@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper via the runners in
+``repro.experiments``; results are printed and archived under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import build_context
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def context_7b():
+    """The paper's LLaMA-7B setup at stand-in scale."""
+    return build_context("llama-7b-sim", n_task_examples=150)
+
+
+@pytest.fixture(scope="session")
+def context_13b():
+    """The paper's LLaMA-13B setup at stand-in scale."""
+    return build_context("llama-13b-sim", n_task_examples=150)

@@ -1,0 +1,51 @@
+"""Zero-shot comparison of PTQ methods (a slice of the paper's Table 2).
+
+Evaluates FP16, RTN, GPTQ and APTQ-90% on the five synthetic common-sense
+suites using the lm-evaluation-harness scoring rule (length-normalised
+choice log-likelihood).
+
+Run:  python examples/zero_shot_eval.py [--model llama-test] [--examples 100]
+"""
+
+import argparse
+
+from repro.data import c4_sim, sample_calibration, standard_task_suites
+from repro.eval import evaluate_suites
+from repro.experiments import apply_method
+from repro.models import clone_model, pretrained
+from repro.report import format_table
+
+METHODS = ("fp16", "rtn", "gptq", "aptq-90")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="llama-7b-sim")
+    parser.add_argument("--examples", type=int, default=100)
+    args = parser.parse_args()
+
+    reference = pretrained(args.model)
+    corpus = c4_sim()
+    calibration = sample_calibration(
+        corpus, n_segments=128, seq_len=reference.config.max_seq_len
+    )
+    suites = standard_task_suites(corpus, n_examples=args.examples)
+
+    rows = []
+    for method in METHODS:
+        model = clone_model(reference)
+        applied = apply_method(method, model, calibration)
+        accuracies = evaluate_suites(model, suites)
+        row = {"method": method, "avg_bits": applied.average_bits}
+        row.update(
+            {name: 100 * value for name, value in accuracies.items()}
+        )
+        rows.append(row)
+        print(f"  {method}: mean acc {100 * accuracies['mean']:.2f}%")
+
+    print()
+    print(format_table(rows, title=f"Zero-shot accuracy on {args.model} (%)"))
+
+
+if __name__ == "__main__":
+    main()

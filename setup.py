@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on such
+environments) fall back to the classic develop-mode install.
+"""
+
+from setuptools import setup
+
+setup()

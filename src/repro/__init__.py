@@ -1,0 +1,13 @@
+"""APTQ reproduction: Attention-aware Post-Training Mixed-Precision Quantization.
+
+Reproduces Guan et al., "APTQ: Attention-aware Post-Training Mixed-Precision
+Quantization for Large Language Models" (DAC 2024) as a self-contained numpy
+library: a LLaMA-style transformer substrate, an autograd engine for training
+the stand-in models, the full quantizer family the paper compares against
+(RTN, GPTQ, OBQ, SmoothQuant, OWQ, PB-LLM, FPQ, LLM-QAT), the APTQ core
+(attention-aware Hessians + Hessian-trace mixed precision), and the
+perplexity / zero-shot evaluation harness that regenerates every table and
+figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"

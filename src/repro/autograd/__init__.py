@@ -1,0 +1,24 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the substrate that lets the reproduction (a) *train* the
+tiny LLaMA-style stand-in models so that quantization has real structure to
+damage, and (b) independently verify the analytic attention derivatives of
+APTQ Eqs. (9), (10), (12) and (13) (see ``repro.core.attention_grads``).
+
+The design is a classic tape-free define-by-run engine: each :class:`Tensor`
+records the operation that produced it and closures computing vector-Jacobian
+products; :meth:`Tensor.backward` runs a topological sweep.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import ops
+from repro.autograd.gradcheck import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,66 @@
+"""Finite-difference gradient checking utilities.
+
+Used by the test suite to validate both the autograd ops and the analytic
+attention derivatives of ``repro.core.attention_grads`` against a common
+numerical reference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[[], Tensor],
+    parameter: Tensor,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``func()`` w.r.t. ``parameter``.
+
+    ``func`` must recompute the scalar objective from the *current* contents
+    of ``parameter.data``; this routine perturbs entries in place.
+    """
+    grad = np.zeros_like(parameter.data, dtype=np.float64)
+    flat = parameter.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        upper = func().item()
+        flat[i] = original - epsilon
+        lower = func().item()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    func: Callable[[], Tensor],
+    parameters: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> None:
+    """Assert autograd gradients of ``func`` match finite differences.
+
+    Raises ``AssertionError`` naming the offending parameter on mismatch.
+    """
+    for parameter in parameters:
+        parameter.zero_grad()
+    loss = func()
+    loss.backward()
+    for index, parameter in enumerate(parameters):
+        expected = numerical_gradient(func, parameter, epsilon=epsilon)
+        actual = parameter.grad
+        if actual is None:
+            raise AssertionError(f"parameter {index} received no gradient")
+        if not np.allclose(actual, expected, rtol=rtol, atol=atol):
+            worst = np.max(np.abs(actual - expected))
+            raise AssertionError(
+                f"parameter {index} ({parameter.name or 'unnamed'}) gradient "
+                f"mismatch, max abs error {worst:.3e}"
+            )

@@ -1,0 +1,381 @@
+"""Differentiable operations on :class:`~repro.autograd.tensor.Tensor`.
+
+Each op computes a numpy forward result and registers a backward closure of
+signature ``backward(grad, sink)`` where ``sink(parent, parent_grad)``
+accumulates vector-Jacobian products into the graph sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = [
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "neg",
+    "power",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "silu",
+    "relu",
+    "abs",
+    "matmul",
+    "sum",
+    "mean",
+    "maximum",
+    "reshape",
+    "transpose",
+    "swapaxes",
+    "getitem",
+    "concat",
+    "stack",
+    "embedding",
+    "softmax",
+    "log_softmax",
+    "where",
+]
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data + b.data
+
+    def backward(grad, sink):
+        sink(a, grad)
+        sink(b, grad)
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data - b.data
+
+    def backward(grad, sink):
+        sink(a, grad)
+        sink(b, -grad)
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data * b.data
+
+    def backward(grad, sink):
+        sink(a, grad * b.data)
+        sink(b, grad * a.data)
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data / b.data
+
+    def backward(grad, sink):
+        sink(a, grad / b.data)
+        sink(b, -grad * a.data / (b.data * b.data))
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def neg(a: Tensor) -> Tensor:
+    out = -a.data
+
+    def backward(grad, sink):
+        sink(a, -grad)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    out = a.data**exponent
+
+    def backward(grad, sink):
+        sink(a, grad * exponent * a.data ** (exponent - 1.0))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    out = np.exp(a.data)
+
+    def backward(grad, sink):
+        sink(a, grad * out)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    out = np.log(a.data)
+
+    def backward(grad, sink):
+        sink(a, grad / a.data)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def sqrt(a: Tensor) -> Tensor:
+    out = np.sqrt(a.data)
+
+    def backward(grad, sink):
+        sink(a, grad * 0.5 / out)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    out = np.tanh(a.data)
+
+    def backward(grad, sink):
+        sink(a, grad * (1.0 - out * out))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    out = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad, sink):
+        sink(a, grad * out * (1.0 - out))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def silu(a: Tensor) -> Tensor:
+    """SiLU/Swish activation ``x * sigmoid(x)`` (the LLaMA MLP gate)."""
+    sig = 1.0 / (1.0 + np.exp(-a.data))
+    out = a.data * sig
+
+    def backward(grad, sink):
+        sink(a, grad * (sig * (1.0 + a.data * (1.0 - sig))))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    mask = a.data > 0
+    out = np.where(mask, a.data, 0.0)
+
+    def backward(grad, sink):
+        sink(a, grad * mask)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def abs(a: Tensor) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    out = np.abs(a.data)
+
+    def backward(grad, sink):
+        sink(a, grad * np.sign(a.data))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    out = np.maximum(a.data, b.data)
+
+    def backward(grad, sink):
+        take_a = a.data >= b.data
+        sink(a, grad * take_a)
+        sink(b, grad * ~take_a)
+
+    return Tensor.make(out, (a, b), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select ``a`` where ``condition`` else ``b`` (condition is constant)."""
+    cond = np.asarray(condition, dtype=bool)
+    out = np.where(cond, a.data, b.data)
+
+    def backward(grad, sink):
+        sink(a, grad * cond)
+        sink(b, grad * ~cond)
+
+    return Tensor.make(out, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    out = a.data @ b.data
+
+    def backward(grad, sink):
+        if a.data.ndim == 1 and b.data.ndim == 1:
+            sink(a, grad * b.data)
+            sink(b, grad * a.data)
+            return
+        a_mat = a.data if a.data.ndim > 1 else a.data[None, :]
+        b_mat = b.data if b.data.ndim > 1 else b.data[:, None]
+        g = grad
+        if a.data.ndim == 1:
+            g = np.expand_dims(g, -2)
+        if b.data.ndim == 1:
+            g = np.expand_dims(g, -1)
+        grad_a = g @ np.swapaxes(b_mat, -1, -2)
+        grad_b = np.swapaxes(a_mat, -1, -2) @ g
+        if a.data.ndim == 1:
+            grad_a = grad_a.reshape(grad_a.shape[:-2] + (grad_a.shape[-1],))
+        if b.data.ndim == 1:
+            grad_b = grad_b.reshape(grad_b.shape[:-1])
+        sink(a, grad_a)
+        sink(b, grad_b)
+
+    return Tensor.make(out, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad, sink):
+        g = np.asarray(grad)
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes):
+                g = np.expand_dims(g, ax)
+        sink(a, np.broadcast_to(g, a.data.shape))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    out = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size / out.size
+
+    def backward(grad, sink):
+        g = np.asarray(grad) / count
+        if axis is not None and not keepdims:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            for ax in sorted(ax % a.data.ndim for ax in axes):
+                g = np.expand_dims(g, ax)
+        sink(a, np.broadcast_to(g, a.data.shape))
+
+    return Tensor.make(out, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+def reshape(a: Tensor, shape: Sequence[int]) -> Tensor:
+    out = a.data.reshape(shape)
+
+    def backward(grad, sink):
+        sink(a, np.asarray(grad).reshape(a.data.shape))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
+    out = a.data.transpose(axes)
+
+    def backward(grad, sink):
+        if axes is None:
+            sink(a, np.asarray(grad).transpose())
+        else:
+            inverse = np.argsort(axes)
+            sink(a, np.asarray(grad).transpose(inverse))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def swapaxes(a: Tensor, axis1: int, axis2: int) -> Tensor:
+    out = np.swapaxes(a.data, axis1, axis2)
+
+    def backward(grad, sink):
+        sink(a, np.swapaxes(np.asarray(grad), axis1, axis2))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def getitem(a: Tensor, index) -> Tensor:
+    out = a.data[index]
+
+    def backward(grad, sink):
+        full = np.zeros_like(a.data, dtype=np.float64)
+        np.add.at(full, index, grad)
+        sink(a, full)
+
+    return Tensor.make(out, (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    tensors = [Tensor.as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad, sink):
+        grad = np.asarray(grad)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            sink(tensor, grad[tuple(index)])
+
+    return Tensor.make(out, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [Tensor.as_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad, sink):
+        grad = np.asarray(grad)
+        for i, tensor in enumerate(tensors):
+            sink(tensor, np.take(grad, i, axis=axis))
+
+    return Tensor.make(out, tuple(tensors), backward)
+
+
+def embedding(table: Tensor, ids: np.ndarray) -> Tensor:
+    """Row lookup ``table[ids]`` with scatter-add backward."""
+    ids = np.asarray(ids)
+    out = table.data[ids]
+
+    def backward(grad, sink):
+        full = np.zeros_like(table.data, dtype=np.float64)
+        np.add.at(full, ids, grad)
+        sink(table, full)
+
+    return Tensor.make(out, (table,), backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad, sink):
+        g = np.asarray(grad)
+        dot = (g * out).sum(axis=axis, keepdims=True)
+        sink(a, out * (g - dot))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_norm
+    probs = np.exp(out)
+
+    def backward(grad, sink):
+        g = np.asarray(grad)
+        sink(a, g - probs * g.sum(axis=axis, keepdims=True))
+
+    return Tensor.make(out, (a,), backward)

@@ -1,0 +1,319 @@
+"""The :class:`Tensor` type: a numpy array plus a reverse-mode gradient tape.
+
+Only float64 data participates in differentiation; integer tensors may flow
+through the graph (e.g. token ids feeding an embedding lookup) but never
+receive gradients.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling gradient recording (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum out leading dimensions that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were broadcast from size 1.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and backward closure.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Floating inputs are stored as float64.
+    requires_grad:
+        Whether :meth:`backward` should accumulate a gradient here.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        array = np.asarray(data)
+        if array.dtype.kind == "f":
+            array = array.astype(np.float64, copy=False)
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def as_tensor(value) -> "Tensor":
+        """Coerce ``value`` to a :class:`Tensor` (no copy when possible)."""
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output wired into the graph when grads are enabled."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{flag}{label})"
+
+    # ------------------------------------------------------------------
+    # Gradient accumulation
+    # ------------------------------------------------------------------
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` (unbroadcast to this tensor's shape) into ``.grad``."""
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient.  Defaults to 1 for scalars; required otherwise.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without seed requires a scalar")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}"
+            )
+
+        order = _topological_order(self)
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                node.accumulate_grad(node_grad)
+                continue
+            # Interior node: leaves with requires_grad also capture grads so
+            # users can inspect intermediate gradients via retain semantics.
+            node._run_backward(node_grad, grads)
+
+    def _run_backward(self, grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
+        staged: dict[int, np.ndarray] = {}
+
+        def sink(parent: Tensor, parent_grad: np.ndarray) -> None:
+            if not parent.requires_grad:
+                return
+            parent_grad = _unbroadcast(
+                np.asarray(parent_grad, dtype=np.float64), parent.data.shape
+            )
+            key = id(parent)
+            if key in staged:
+                staged[key] = staged[key] + parent_grad
+            else:
+                staged[key] = parent_grad
+
+        # The backward closure pushes parent gradients through ``sink``.
+        self._backward(grad, sink)  # type: ignore[misc]
+        # Merge by id so a tensor used as several operands of one op (e.g.
+        # ``mul(x, x)``) is credited exactly once with its staged total.
+        for key, parent_grad in staged.items():
+            if key in grads:
+                grads[key] = grads[key] + parent_grad
+            else:
+                grads[key] = parent_grad
+
+    # ------------------------------------------------------------------
+    # Operator sugar (implementations live in repro.autograd.ops)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.autograd import ops
+
+        return ops.add(self, Tensor.as_tensor(other))
+
+    def __radd__(self, other):
+        from repro.autograd import ops
+
+        return ops.add(Tensor.as_tensor(other), self)
+
+    def __sub__(self, other):
+        from repro.autograd import ops
+
+        return ops.sub(self, Tensor.as_tensor(other))
+
+    def __rsub__(self, other):
+        from repro.autograd import ops
+
+        return ops.sub(Tensor.as_tensor(other), self)
+
+    def __mul__(self, other):
+        from repro.autograd import ops
+
+        return ops.mul(self, Tensor.as_tensor(other))
+
+    def __rmul__(self, other):
+        from repro.autograd import ops
+
+        return ops.mul(Tensor.as_tensor(other), self)
+
+    def __truediv__(self, other):
+        from repro.autograd import ops
+
+        return ops.div(self, Tensor.as_tensor(other))
+
+    def __rtruediv__(self, other):
+        from repro.autograd import ops
+
+        return ops.div(Tensor.as_tensor(other), self)
+
+    def __neg__(self):
+        from repro.autograd import ops
+
+        return ops.neg(self)
+
+    def __pow__(self, exponent):
+        from repro.autograd import ops
+
+        return ops.power(self, float(exponent))
+
+    def __matmul__(self, other):
+        from repro.autograd import ops
+
+        return ops.matmul(self, Tensor.as_tensor(other))
+
+    def __getitem__(self, index):
+        from repro.autograd import ops
+
+        return ops.getitem(self, index)
+
+    # Convenience methods mirroring numpy
+    def sum(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops
+
+        return ops.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        from repro.autograd import ops
+
+        return ops.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        from repro.autograd import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, *axes):
+        from repro.autograd import ops
+
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return ops.transpose(self, axes or None)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+
+def _topological_order(root: Tensor) -> list[Tensor]:
+    """Return nodes reachable from ``root`` in reverse-topological order."""
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def parameters_of(tensors: Iterable[Tensor]) -> list[Tensor]:
+    """Filter an iterable down to tensors that require gradients."""
+    return [t for t in tensors if t.requires_grad]

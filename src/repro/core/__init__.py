@@ -1,0 +1,53 @@
+"""APTQ core: attention-aware Hessians and Hessian-trace mixed precision.
+
+The two contributions of the paper live here:
+
+1. :mod:`repro.core.attention_grads` + :mod:`repro.core.hessian` — the
+   gradients of the attention-block output with respect to each projection
+   weight (paper Eqs. (9), (10), (12), (13)) and the Levenberg-Marquardt
+   Hessians ``H = 2 F'(W) F'(W)^T`` (Eq. (7)) built from them.
+2. :mod:`repro.core.sensitivity` + :mod:`repro.core.allocation` — the
+   average-Hessian-trace sensitivity metric and the 2/4-bit allocation
+   achieving average bits ``4R + 2(1-R)`` (Eq. (18)).
+
+:mod:`repro.core.aptq` ties them together into the end-to-end Algorithm 1.
+"""
+
+from repro.core.attention_grads import (
+    AttentionWeights,
+    attention_seeded_gradients,
+    rope_adjoint,
+)
+from repro.core.hessian import (
+    AttentionHessians,
+    attention_hessians,
+    capture_attention,
+    exact_gauss_newton,
+)
+from repro.core.trace import hutchinson_trace
+from repro.core.sensitivity import LayerSensitivity, compute_sensitivities
+from repro.core.allocation import (
+    allocate_bits_by_sensitivity,
+    average_bits,
+    manual_blockwise_allocation,
+)
+from repro.core.aptq import APTQConfig, APTQResult, aptq_quantize_model
+
+__all__ = [
+    "AttentionWeights",
+    "attention_seeded_gradients",
+    "rope_adjoint",
+    "AttentionHessians",
+    "attention_hessians",
+    "capture_attention",
+    "exact_gauss_newton",
+    "hutchinson_trace",
+    "LayerSensitivity",
+    "compute_sensitivities",
+    "allocate_bits_by_sensitivity",
+    "manual_blockwise_allocation",
+    "average_bits",
+    "APTQConfig",
+    "APTQResult",
+    "aptq_quantize_model",
+]

@@ -1,0 +1,105 @@
+"""Mixed-precision bit allocation (paper Eq. (18) and Algorithm 1, step 2).
+
+Layers are sorted by descending sensitivity; the most sensitive layers get
+``high_bits`` until the fraction of weights at high precision reaches the
+ratio ``R``, the rest get ``low_bits``.  ``average_bits`` implements
+Eq. (18) generalised to exact weight counts.
+"""
+
+from __future__ import annotations
+
+from repro.core.sensitivity import LayerSensitivity
+from repro.nn.transformer import LlamaModel
+
+
+def allocate_bits_by_sensitivity(
+    sensitivities: dict[str, LayerSensitivity],
+    ratio_high: float,
+    high_bits: int = 4,
+    low_bits: int = 2,
+) -> dict[str, int]:
+    """Assign per-layer bit-widths from Hessian-trace sensitivities.
+
+    ``ratio_high`` is the paper's R: the target fraction of weights held at
+    ``high_bits``.  Greedy by descending mean trace; a layer is promoted to
+    high precision while the running high-precision weight fraction stays
+    closest to R (the first layer that would overshoot R by more than it
+    undershoots is left at low precision, matching "calibrate the bit
+    allocation in line with ... R").
+    """
+    if not 0.0 <= ratio_high <= 1.0:
+        raise ValueError("ratio_high must be in [0, 1]")
+    total = sum(s.n_weights for s in sensitivities.values())
+    if total == 0:
+        raise ValueError("no weights to allocate")
+    ordered = sorted(
+        sensitivities.values(), key=lambda s: (-s.mean_trace, s.name)
+    )
+    allocation: dict[str, int] = {}
+    high_count = 0
+    for record in ordered:
+        undershoot = abs(high_count / total - ratio_high)
+        overshoot = abs((high_count + record.n_weights) / total - ratio_high)
+        if overshoot <= undershoot:
+            allocation[record.name] = high_bits
+            high_count += record.n_weights
+        else:
+            allocation[record.name] = low_bits
+    return allocation
+
+
+def manual_blockwise_allocation(
+    model: LlamaModel,
+    ratio_high: float,
+    high_bits: int = 4,
+    low_bits: int = 2,
+) -> dict[str, int]:
+    """The ablation baseline: uniform per-block allocation, no sensitivity.
+
+    All layers of a transformer block share one precision; the first blocks
+    (in depth order) are assigned ``high_bits`` until the weight fraction
+    reaches R.  This is the "manual block-wise quantization" of Table 3.
+    """
+    if not 0.0 <= ratio_high <= 1.0:
+        raise ValueError("ratio_high must be in [0, 1]")
+    layers = model.quantizable_linears()
+    total = sum(linear.weight.size for linear in layers.values())
+    allocation: dict[str, int] = {}
+    high_count = 0
+    for block_index in range(len(model.blocks)):
+        block_layers = {
+            name: linear
+            for name, linear in layers.items()
+            if name.startswith(f"blocks.{block_index}.")
+        }
+        block_weights = sum(l.weight.size for l in block_layers.values())
+        undershoot = abs(high_count / total - ratio_high)
+        overshoot = abs((high_count + block_weights) / total - ratio_high)
+        if overshoot <= undershoot:
+            bits = high_bits
+            high_count += block_weights
+        else:
+            bits = low_bits
+        for name in block_layers:
+            allocation[name] = bits
+    for name in layers:
+        if name not in allocation:  # e.g. an untied lm_head
+            allocation[name] = high_bits
+    return allocation
+
+
+def average_bits(
+    allocation: dict[str, int],
+    weight_counts: dict[str, int],
+) -> float:
+    """Weight-count-weighted average bit-width (paper Eq. (18))."""
+    missing = set(allocation) - set(weight_counts)
+    if missing:
+        raise KeyError(f"missing weight counts for {sorted(missing)}")
+    total = sum(weight_counts[name] for name in allocation)
+    if total == 0:
+        raise ValueError("no weights")
+    weighted = sum(
+        allocation[name] * weight_counts[name] for name in allocation
+    )
+    return weighted / total

@@ -1,0 +1,134 @@
+"""Analytic gradients of the attention output w.r.t. Q/K/V/O weights.
+
+These implement the paper's Eqs. (9), (10), (12), (13): the derivative of
+the attention block output ``F = MultiHead(Q, K, V) = Concat(head_h) W^O``
+with respect to each projection matrix, propagated *through the softmax and
+both matmuls* — the part GPTQ ignores.
+
+Because ``F`` is matrix-valued, derivatives are taken of the scalar
+``<F, S>`` for a seed matrix ``S`` (the paper's ``∂F/∂X`` factor).  With
+Rademacher seeds, ``E[G_S G_S^T]`` equals the Gauss-Newton/Levenberg-
+Marquardt Hessian of Eq. (7) summed over all output coordinates, which is
+how :mod:`repro.core.hessian` assembles ``H``.
+
+Our attention applies rotary position embeddings to Q and K; RoPE is a
+position-wise linear map, so it enters the chain rule as its adjoint
+(``rope_adjoint``), a detail absent from the paper (LLaMA has RoPE; the
+paper's formulas elide it) but required for the gradients to be exact —
+the test-suite verifies every formula against autograd to ~1e-10.
+
+Shapes: batch ``b``, heads ``h``, sequence ``s``, head dim ``d``,
+model dim ``D = h·d``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.nn.attention import AttentionCapture, MultiHeadAttention
+
+
+@dataclasses.dataclass
+class AttentionWeights:
+    """Seeded gradient of the attention output for all four projections.
+
+    Every array matches its weight's ``(d_in, d_out)`` shape: ``(D, D)``.
+    """
+
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    o: np.ndarray
+
+    def by_name(self) -> dict[str, np.ndarray]:
+        return {
+            "q_proj": self.q,
+            "k_proj": self.k,
+            "v_proj": self.v,
+            "o_proj": self.o,
+        }
+
+
+def rope_adjoint(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Adjoint of the rotary map ``R(x) = x·cos + rotate_half(x)·sin``.
+
+    ``rotate_half`` is the linear map ``J`` with ``J^T = -J``, hence
+    ``R^T(x) = x·cos - rotate_half(x)·sin``.
+    """
+    half = x.shape[-1] // 2
+    rotated = np.concatenate([-x[..., half:], x[..., :half]], axis=-1)
+    return x * cos - rotated * sin
+
+
+def softmax_vjp(probs: np.ndarray, upstream: np.ndarray) -> np.ndarray:
+    """Vector-Jacobian product of row-softmax: ``P ⊙ (U - rowsum(U ⊙ P))``."""
+    inner = (upstream * probs).sum(axis=-1, keepdims=True)
+    return probs * (upstream - inner)
+
+
+def _split_heads(x: np.ndarray, n_heads: int) -> np.ndarray:
+    """(b, s, D) -> (b, h, s, d)."""
+    b, s, d_model = x.shape
+    return x.reshape(b, s, n_heads, d_model // n_heads).transpose(0, 2, 1, 3)
+
+
+def attention_seeded_gradients(
+    attn: MultiHeadAttention,
+    capture: AttentionCapture,
+    seed: np.ndarray,
+) -> AttentionWeights:
+    """``∂<F, seed>/∂W`` for W ∈ {W^Q, W^K, W^V, W^O} (Eqs. (9)-(13)).
+
+    ``capture`` holds the forward intermediates of the block on some batch
+    (see :class:`repro.nn.attention.AttentionCapture`); ``seed`` is the
+    ``(b, s, D)`` seed matrix S.
+    """
+    x = capture.x
+    b, s, d_model = x.shape
+    n_heads = attn.n_heads
+    d_head = attn.d_head
+    scale = 1.0 / np.sqrt(d_head)
+    cos, sin = attn.rope.tables(s)
+    w_o = attn.o_proj.weight.data  # (D, D); rows h*d..(h+1)*d belong to head h
+
+    # --- Eq. (9): ∂F/∂W^O = Concat(heads)^T S -------------------------
+    heads_flat = capture.heads.reshape(b * s, d_model)
+    seed_flat = seed.reshape(b * s, d_model)
+    grad_o = heads_flat.T @ seed_flat
+
+    # Per-head upstream of the context: S (W_h^O)^T, shape (b, h, s, d).
+    w_o_heads = w_o.reshape(n_heads, d_head, d_model)  # (h, d, D)
+    upstream_context = np.einsum("bsD,hdD->bhsd", seed, w_o_heads)
+
+    # --- Eq. (10): ∂F/∂W^V = X^T P^T (S W^O,T) ------------------------
+    # d<F,S>/dV_h = P_h^T upstream_context_h, then back through V = X W^V.
+    grad_v_heads = np.einsum(
+        "bhts,bhtd->bhsd", capture.probs, upstream_context
+    )  # P^T @ upstream, per head: (b, h, s, d)
+    grad_v = np.einsum("bsD,bhsd->hDd", x, grad_v_heads)
+
+    # --- softmax back to the pre-softmax scores N ----------------------
+    # d<F,S>/dP_h = upstream_context_h V_h^T, shape (b, h, s, s).
+    upstream_probs = np.einsum(
+        "bhsd,bhtd->bhst", upstream_context, capture.v
+    )
+    omega = softmax_vjp(capture.probs, upstream_probs)  # (b, h, s, s)
+
+    # --- Eqs. (12)/(13): through N = R(XW^Q) R(XW^K)^T / sqrt(d) -------
+    # d<F,S>/dQ_rot = Omega K_rot / sqrt(d);  d<F,S>/dK_rot = Omega^T Q_rot.
+    grad_q_rot = scale * np.einsum("bhst,bhtd->bhsd", omega, capture.k)
+    grad_k_rot = scale * np.einsum("bhst,bhsd->bhtd", omega, capture.q)
+    grad_q_pre = rope_adjoint(grad_q_rot, cos, sin)
+    grad_k_pre = rope_adjoint(grad_k_rot, cos, sin)
+    grad_q = np.einsum("bsD,bhsd->hDd", x, grad_q_pre)
+    grad_k = np.einsum("bsD,bhsd->hDd", x, grad_k_pre)
+
+    def merge(per_head: np.ndarray) -> np.ndarray:
+        """(h, D, d) -> (D, h·d), interleaving heads along columns."""
+        return per_head.transpose(1, 0, 2).reshape(d_model, d_model)
+
+    return AttentionWeights(
+        q=merge(grad_q), k=merge(grad_k), v=merge(grad_v), o=grad_o
+    )

@@ -1,0 +1,186 @@
+"""Attention-aware Levenberg-Marquardt Hessians (paper Eq. (7)).
+
+For each attention projection, the Hessian used by the solver is the
+Gauss-Newton matrix of the block-output reconstruction objective
+``||F(W) - F(Ŵ)||²`` (paper Eq. (5)), restricted to the input dimension:
+
+* ``o_proj`` — ``F`` is linear in W^O with input ``C = Concat(heads)``, so
+  the Hessian is exact and closed-form: ``H = (2·D/n) C^T C`` (this reduces
+  to the GPTQ Hessian of the layer, as Eq. (9) implies).
+* ``v_proj`` — per head, ``F`` is linear in W_h^V with effective input
+  ``A_h = P_h X`` and output-side factor W_h^O (Eq. (10)); collapsing the
+  output side to its mean gain gives the per-head closed form
+  ``H_h = (2·g_h/n) A_h^T A_h`` with ``g_h = ||W_h^O||_F² / d``.
+* ``q_proj`` / ``k_proj`` — ``F`` is *nonlinear* (softmax) in these, so the
+  Gauss-Newton matrix is estimated with Rademacher probes: for seeds S with
+  iid ±1 entries, ``E[G_S G_S^T] = Σ_{t,o} J_{t,o} J_{t,o}^T`` where
+  ``G_S = ∂<F,S>/∂W`` comes from the analytic Eqs. (12)/(13)
+  (:func:`repro.core.attention_grads.attention_seeded_gradients`).
+
+All Hessians are normalised per token so their traces are comparable
+across layers — the quantity Algorithm 1 (line 12) ranks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.attention_grads import attention_seeded_gradients
+from repro.nn.attention import AttentionCapture, MultiHeadAttention
+from repro.nn.transformer import LlamaModel
+
+
+@dataclasses.dataclass
+class AttentionHessians:
+    """Per-projection Hessians for one attention block.
+
+    ``q``, ``k``, ``v`` hold one ``(D, D)`` matrix per head (each head's
+    column slice of the weight is quantized against its own Hessian);
+    ``o`` is a single ``(D, D)`` matrix.
+    """
+
+    q: list[np.ndarray]
+    k: list[np.ndarray]
+    v: list[np.ndarray]
+    o: np.ndarray
+
+    def full_matrix(self, projection: str) -> np.ndarray:
+        """Head-averaged Hessian for trace/sensitivity computations."""
+        if projection == "o_proj":
+            return self.o
+        per_head = {"q_proj": self.q, "k_proj": self.k, "v_proj": self.v}[
+            projection
+        ]
+        return np.mean(per_head, axis=0)
+
+    def mean_trace(self, projection: str) -> float:
+        """Average Hessian trace (trace / dimension) of a projection."""
+        matrix = self.full_matrix(projection)
+        return float(np.trace(matrix) / matrix.shape[0])
+
+
+def capture_attention(
+    model: LlamaModel, ids: np.ndarray, block_index: int
+) -> AttentionCapture:
+    """Forward ``ids`` and capture block ``block_index``'s intermediates."""
+    if not 0 <= block_index < len(model.blocks):
+        raise IndexError(f"block index {block_index} out of range")
+    ids = np.atleast_2d(np.asarray(ids))
+    x = model.embed.weight.data[ids]
+    for index, block in enumerate(model.blocks):
+        if index == block_index:
+            _, capture = block.forward_array(x, capture=True)
+            return capture
+        x = block.forward_array(x)
+    raise AssertionError("unreachable")
+
+
+def attention_hessians(
+    model: LlamaModel,
+    block_index: int,
+    segments: np.ndarray,
+    n_probes: int = 8,
+    batch_size: int = 16,
+    seed: int = 0,
+) -> AttentionHessians:
+    """Accumulate the four projection Hessians over calibration segments."""
+    if n_probes <= 0:
+        raise ValueError("n_probes must be positive")
+    attn = model.blocks[block_index].self_attn
+    d_model = attn.d_model
+    n_heads = attn.n_heads
+    d_head = attn.d_head
+    rng = np.random.default_rng(seed)
+
+    h_q = [np.zeros((d_model, d_model)) for _ in range(n_heads)]
+    h_k = [np.zeros((d_model, d_model)) for _ in range(n_heads)]
+    h_v = [np.zeros((d_model, d_model)) for _ in range(n_heads)]
+    h_o = np.zeros((d_model, d_model))
+    n_tokens = 0
+
+    w_o = attn.o_proj.weight.data
+    head_gain = np.array(
+        [
+            (w_o[h * d_head : (h + 1) * d_head] ** 2).sum() / d_head
+            for h in range(n_heads)
+        ]
+    )
+
+    segments = np.atleast_2d(np.asarray(segments))
+    for start in range(0, segments.shape[0], batch_size):
+        batch = segments[start : start + batch_size]
+        capture = capture_attention(model, batch, block_index)
+        b, s, _ = capture.x.shape
+        n_tokens += b * s
+
+        # Closed forms: o_proj (exact) and v_proj (per head).
+        heads_flat = capture.heads.reshape(b * s, d_model)
+        h_o += d_model * (heads_flat.T @ heads_flat)
+        # A_h = P_h X: effective per-head input of W_h^V.
+        a = np.einsum("bhst,btD->bhsD", capture.probs, capture.x)
+        for h in range(n_heads):
+            a_flat = a[:, h].reshape(b * s, d_model)
+            h_v[h] += head_gain[h] * (a_flat.T @ a_flat)
+
+        # Probed Gauss-Newton for q/k (softmax nonlinearity).
+        for _ in range(n_probes):
+            probe = rng.choice([-1.0, 1.0], size=(b, s, d_model))
+            grads = attention_seeded_gradients(attn, capture, probe)
+            for h in range(n_heads):
+                cols = slice(h * d_head, (h + 1) * d_head)
+                gq = grads.q[:, cols]
+                gk = grads.k[:, cols]
+                h_q[h] += gq @ gq.T / n_probes
+                h_k[h] += gk @ gk.T / n_probes
+
+    if n_tokens == 0:
+        raise ValueError("no calibration tokens")
+    norm = 2.0 / n_tokens
+    return AttentionHessians(
+        q=[norm * m for m in h_q],
+        k=[norm * m for m in h_k],
+        v=[norm * m for m in h_v],
+        o=norm * h_o,
+    )
+
+
+def exact_gauss_newton(
+    attn: MultiHeadAttention,
+    capture,
+    projection: str,
+    head: int,
+) -> np.ndarray:
+    """Exact input-dim Gauss-Newton matrix by basis-seed enumeration.
+
+    Sums ``J_{t,o} J_{t,o}^T`` over *every* output coordinate ``(t, o)`` by
+    seeding the analytic gradients with each standard basis matrix.  Cost is
+    ``O(batch·seq·D)`` backward passes — viable only on micro models; used
+    by the test-suite to certify that the Rademacher probe estimator in
+    :func:`attention_hessians` is unbiased.
+    """
+    if projection not in ("q_proj", "k_proj"):
+        raise ValueError("exact enumeration provided for q/k projections")
+    from repro.core.attention_grads import attention_seeded_gradients
+
+    b, s, d_model = capture.x.shape
+    d_head = attn.d_head
+    cols = slice(head * d_head, (head + 1) * d_head)
+    total = np.zeros((d_model, d_model))
+    for batch_index in range(b):
+        for t in range(s):
+            for o in range(d_model):
+                seed = np.zeros((b, s, d_model))
+                seed[batch_index, t, o] = 1.0
+                grads = attention_seeded_gradients(attn, capture, seed)
+                g = (grads.q if projection == "q_proj" else grads.k)[:, cols]
+                total += g @ g.T
+    return total
+
+
+def head_column_slices(d_model: int, n_heads: int) -> Sequence[slice]:
+    """Column slice of each head inside a ``(D, D)`` projection weight."""
+    d_head = d_model // n_heads
+    return [slice(h * d_head, (h + 1) * d_head) for h in range(n_heads)]

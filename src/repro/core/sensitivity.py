@@ -1,0 +1,91 @@
+"""Layer sensitivity via average Hessian trace (Algorithm 1, line 12/17).
+
+For attention projections, the trace comes from the attention-aware
+Hessians of :mod:`repro.core.hessian`; for feed-forward projections it
+comes from the GPTQ input Hessian ``2 X X^T / n`` — exactly the split the
+paper describes ("the Hessian matrix form in the GPTQ method" for FFN
+layers, the attention-output form for Q/K/V/O).
+
+Traces are normalised per weight dimension (mean of the Hessian diagonal)
+so layers of different widths are comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.hessian import AttentionHessians, attention_hessians
+from repro.data.calibration import CalibrationSet
+from repro.nn.transformer import LlamaModel
+from repro.quant.calibration_hooks import collect_input_stats
+
+_ATTENTION_PROJECTIONS = ("q_proj", "k_proj", "v_proj", "o_proj")
+
+
+@dataclasses.dataclass
+class LayerSensitivity:
+    """Sensitivity record of one quantizable layer."""
+
+    name: str
+    mean_trace: float
+    n_weights: int
+    is_attention: bool
+
+
+def compute_sensitivities(
+    model: LlamaModel,
+    calibration: CalibrationSet,
+    n_probes: int = 8,
+    batch_size: int = 16,
+    seed: int = 0,
+    attention_cache: dict[int, AttentionHessians] | None = None,
+) -> dict[str, LayerSensitivity]:
+    """Average Hessian trace of every quantizable layer.
+
+    ``attention_cache``, if given, is filled with the per-block attention
+    Hessians so the quantization pass can reuse them instead of recomputing.
+    """
+    layers = model.quantizable_linears()
+    sensitivities: dict[str, LayerSensitivity] = {}
+
+    ffn_names = [
+        name
+        for name in layers
+        if not name.split(".")[-1] in _ATTENTION_PROJECTIONS
+    ]
+    if ffn_names:
+        stats = collect_input_stats(
+            model, calibration.segments, layer_names=ffn_names,
+            batch_size=batch_size,
+        )
+        for name in ffn_names:
+            hessian = stats[name].normalised_hessian()
+            sensitivities[name] = LayerSensitivity(
+                name=name,
+                mean_trace=float(np.trace(hessian) / hessian.shape[0]),
+                n_weights=layers[name].weight.size,
+                is_attention=False,
+            )
+
+    for block_index in range(len(model.blocks)):
+        hessians = attention_hessians(
+            model,
+            block_index,
+            calibration.segments,
+            n_probes=n_probes,
+            batch_size=batch_size,
+            seed=seed + block_index,
+        )
+        if attention_cache is not None:
+            attention_cache[block_index] = hessians
+        for projection in _ATTENTION_PROJECTIONS:
+            name = f"blocks.{block_index}.self_attn.{projection}"
+            sensitivities[name] = LayerSensitivity(
+                name=name,
+                mean_trace=hessians.mean_trace(projection),
+                n_weights=layers[name].weight.size,
+                is_attention=True,
+            )
+    return sensitivities

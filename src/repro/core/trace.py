@@ -1,0 +1,44 @@
+"""Hutchinson stochastic trace estimation (the HAWQ-V2 approach).
+
+The related-work comparison point: HAWQ-V2 estimates ``tr(H)`` with the
+Hutchinson algorithm because CNNs' Hessians are implicit; APTQ computes the
+trace directly from its explicit Levenberg-Marquardt Hessian.  We provide
+both so the ablation (bench A2) can show the allocation they induce agrees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def hutchinson_trace(
+    hvp: Callable[[np.ndarray], np.ndarray] | np.ndarray,
+    dim: int | None = None,
+    n_probes: int = 64,
+    seed: int = 0,
+) -> float:
+    """Estimate ``tr(H)`` as ``E[z^T H z]`` over Rademacher probes ``z``.
+
+    ``hvp`` is either an explicit square matrix or a Hessian-vector-product
+    callable (in which case ``dim`` is required).
+    """
+    if n_probes <= 0:
+        raise ValueError("n_probes must be positive")
+    if isinstance(hvp, np.ndarray):
+        matrix = hvp
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("matrix must be square")
+        dim = matrix.shape[0]
+        product = lambda z: matrix @ z  # noqa: E731
+    else:
+        if dim is None:
+            raise ValueError("dim is required for a callable hvp")
+        product = hvp
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(n_probes):
+        z = rng.choice([-1.0, 1.0], size=dim)
+        total += float(z @ product(z))
+    return total / n_probes

@@ -1,0 +1,115 @@
+"""A small byte-pair-encoding tokenizer.
+
+Included as a substrate: the real LLaMA pipeline is BPE-based, and having a
+trainable BPE here lets downstream users reproduce the full text pipeline.
+The headline experiments use the word-level tokenizer (the grammars define
+probabilities at word granularity), but this implementation is complete and
+tested: greedy merge training, encode with learned merge ranks, decode.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Iterable
+
+
+class BPETokenizer:
+    """Byte-pair encoding over characters with end-of-word markers."""
+
+    EOW = "</w>"
+
+    def __init__(self) -> None:
+        self.merges: dict[tuple[str, str], int] = {}
+        self.vocab: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _word_symbols(word: str) -> tuple[str, ...]:
+        return tuple(word) + (BPETokenizer.EOW,)
+
+    def train(self, corpus: Iterable[str], num_merges: int = 200) -> None:
+        """Learn ``num_merges`` merges from whitespace-tokenized ``corpus``."""
+        if num_merges <= 0:
+            raise ValueError("num_merges must be positive")
+        word_counts: collections.Counter[tuple[str, ...]] = collections.Counter()
+        for line in corpus:
+            for word in line.split():
+                word_counts[self._word_symbols(word)] += 1
+        if not word_counts:
+            raise ValueError("empty training corpus")
+
+        self.merges = {}
+        words = dict(word_counts)
+        for rank in range(num_merges):
+            pair_counts: collections.Counter[tuple[str, str]] = collections.Counter()
+            for symbols, count in words.items():
+                for left, right in zip(symbols, symbols[1:]):
+                    pair_counts[(left, right)] += count
+            if not pair_counts:
+                break
+            best, best_count = pair_counts.most_common(1)[0]
+            if best_count < 2:
+                break
+            self.merges[best] = rank
+            merged_symbol = best[0] + best[1]
+            new_words: dict[tuple[str, ...], int] = {}
+            for symbols, count in words.items():
+                new_words[self._merge_once(symbols, best, merged_symbol)] = (
+                    new_words.get(self._merge_once(symbols, best, merged_symbol), 0)
+                    + count
+                )
+            words = new_words
+
+        tokens: set[str] = set()
+        for symbols in words:
+            tokens.update(symbols)
+        self.vocab = {token: i for i, token in enumerate(sorted(tokens))}
+
+    @staticmethod
+    def _merge_once(
+        symbols: tuple[str, ...], pair: tuple[str, str], merged: str
+    ) -> tuple[str, ...]:
+        out: list[str] = []
+        index = 0
+        while index < len(symbols):
+            if (
+                index + 1 < len(symbols)
+                and symbols[index] == pair[0]
+                and symbols[index + 1] == pair[1]
+            ):
+                out.append(merged)
+                index += 2
+            else:
+                out.append(symbols[index])
+                index += 1
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    def encode_word(self, word: str) -> list[str]:
+        """Apply learned merges (lowest rank first) to one word."""
+        if not self.merges:
+            raise RuntimeError("tokenizer has not been trained")
+        symbols = list(self._word_symbols(word))
+        while len(symbols) > 1:
+            ranked = [
+                (self.merges[(a, b)], i)
+                for i, (a, b) in enumerate(zip(symbols, symbols[1:]))
+                if (a, b) in self.merges
+            ]
+            if not ranked:
+                break
+            _, index = min(ranked)
+            symbols[index : index + 2] = [symbols[index] + symbols[index + 1]]
+        return symbols
+
+    def encode(self, text: str) -> list[str]:
+        """Encode whitespace-separated text to subword tokens."""
+        pieces: list[str] = []
+        for word in text.split():
+            pieces.extend(self.encode_word(word))
+        return pieces
+
+    def decode(self, tokens: Iterable[str]) -> str:
+        """Reassemble subword tokens into whitespace-separated text."""
+        text = "".join(tokens)
+        return text.replace(self.EOW, " ").strip()

@@ -1,0 +1,67 @@
+"""Calibration-set sampling, mirroring the paper's protocol.
+
+The paper calibrates every PTQ method on "128 segments, each containing 2048
+tokens randomly sampled from the C4 dataset".  We sample the same number of
+segments from c4-sim, with the segment length scaled to the stand-in model's
+context window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.data.corpus import SyntheticCorpus
+
+
+@dataclasses.dataclass
+class CalibrationSet:
+    """A batch of calibration segments, shape ``(n_segments, seq_len)``."""
+
+    segments: np.ndarray
+    corpus_name: str
+    seed: int
+
+    def __post_init__(self) -> None:
+        self.segments = np.asarray(self.segments)
+        if self.segments.ndim != 2:
+            raise ValueError("segments must be a 2-D (n, seq_len) array")
+
+    @property
+    def n_segments(self) -> int:
+        return self.segments.shape[0]
+
+    @property
+    def seq_len(self) -> int:
+        return self.segments.shape[1]
+
+    def batches(self, batch_size: int):
+        """Yield the segments in contiguous mini-batches."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for start in range(0, self.n_segments, batch_size):
+            yield self.segments[start : start + batch_size]
+
+
+def sample_calibration(
+    corpus: SyntheticCorpus,
+    n_segments: int = 128,
+    seq_len: int = 64,
+    seed: int = 1234,
+) -> CalibrationSet:
+    """Draw ``n_segments`` random ``seq_len``-token windows from ``corpus``.
+
+    Windows are cut from a fresh deterministic stream seeded independently of
+    the train/validation/test splits, so calibration never sees evaluation
+    tokens.
+    """
+    if n_segments <= 0 or seq_len <= 0:
+        raise ValueError("n_segments and seq_len must be positive")
+    rng = np.random.default_rng(seed)
+    # Stream long enough to cut disjoint-ish random windows from.
+    stream = corpus.tokens(max(n_segments * seq_len // 2, 8 * seq_len),
+                           seed_offset=97)
+    starts = rng.integers(0, stream.size - seq_len, size=n_segments)
+    segments = np.stack([stream[s : s + seq_len] for s in starts])
+    return CalibrationSet(segments=segments, corpus_name=corpus.name, seed=seed)

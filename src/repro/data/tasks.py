@@ -1,0 +1,163 @@
+"""Synthetic zero-shot multiple-choice suites.
+
+Stand-ins for the five common-sense benchmarks of the paper's Table 2
+(PIQA, HellaSwag, ARC-Easy, ARC-Challenge, WinoGrande).  Each example is a
+grammar-sampled context plus one *grammatical* continuation and one or more
+distractors; models are scored by length-normalised continuation
+log-likelihood exactly like the EleutherAI harness scores real suites.
+
+Difficulty is graded through two knobs, chosen per suite to produce an
+accuracy spread similar in spirit to the real benchmarks:
+
+* ``distractor``: ``"random"`` (uniform words — easy), ``"foreign"``
+  (fluent text from a different grammar — medium), ``"low_prob"``
+  (improbable branches of the *same* grammar — hard), ``"corrupt"``
+  (a grammatical continuation with one position replaced — hardest, the
+  model must resolve a single-token log-likelihood gap);
+* number of choices and continuation length (shorter = less evidence).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.data.corpus import SyntheticCorpus, c4_domains
+from repro.data.grammar import MarkovGrammar
+from repro.data.tokenizer import WordTokenizer
+
+DistractorKind = Literal["random", "foreign", "low_prob", "corrupt"]
+
+
+@dataclasses.dataclass
+class MultipleChoiceExample:
+    """One scored example: token-id context and candidate continuations."""
+
+    context: np.ndarray
+    choices: list[np.ndarray]
+    answer: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.answer < len(self.choices):
+            raise ValueError("answer index out of range")
+        if len(self.choices) < 2:
+            raise ValueError("need at least two choices")
+
+
+@dataclasses.dataclass
+class TaskSuite:
+    """A named list of examples (one synthetic benchmark)."""
+
+    name: str
+    examples: list[MultipleChoiceExample]
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+
+def build_task_suite(
+    name: str,
+    grammar: MarkovGrammar,
+    tokenizer: WordTokenizer,
+    n_examples: int = 200,
+    n_choices: int = 2,
+    context_len: int = 24,
+    continuation_len: int = 8,
+    distractor: DistractorKind = "random",
+    seed: int = 0,
+    foreign_grammar: MarkovGrammar | None = None,
+    n_corruptions: int = 1,
+) -> TaskSuite:
+    """Generate a suite of multiple-choice examples from ``grammar``."""
+    if distractor == "foreign" and foreign_grammar is None:
+        raise ValueError("foreign distractors need a foreign_grammar")
+    rng = np.random.default_rng(seed)
+    examples: list[MultipleChoiceExample] = []
+    for _ in range(n_examples):
+        context_words = grammar.sample(context_len, rng=rng)
+        correct = grammar.continue_sequence(context_words, continuation_len, rng)
+        choices_words: list[np.ndarray] = [correct]
+        for _ in range(n_choices - 1):
+            if distractor == "random":
+                wrong = rng.integers(grammar.n_words, size=continuation_len)
+            elif distractor == "foreign":
+                wrong = foreign_grammar.continue_sequence(
+                    context_words, continuation_len, rng
+                )
+            elif distractor == "corrupt":
+                wrong = grammar.corrupt_continuation(
+                    grammar.continue_sequence(
+                        context_words, continuation_len, rng
+                    ),
+                    rng,
+                    n_corruptions=n_corruptions,
+                )
+            else:  # low_prob
+                wrong = grammar.continue_sequence(
+                    context_words, continuation_len, rng, low_probability=True
+                )
+            choices_words.append(np.asarray(wrong, dtype=np.int64))
+        order = rng.permutation(n_choices)
+        answer = int(np.nonzero(order == 0)[0][0])
+        examples.append(
+            MultipleChoiceExample(
+                context=tokenizer.word_ids_to_token_ids(context_words),
+                choices=[
+                    tokenizer.word_ids_to_token_ids(choices_words[i])
+                    for i in order
+                ],
+                answer=answer,
+            )
+        )
+    return TaskSuite(name=name, examples=examples)
+
+
+def standard_task_suites(
+    corpus: SyntheticCorpus,
+    n_examples: int = 200,
+    seed: int = 2024,
+) -> list[TaskSuite]:
+    """The five Table-2 suites, built over the corpus' dominant domains.
+
+    Contexts come from the pretraining domains so the FP16 model is well
+    above chance; suite parameters grade difficulty to spread accuracies
+    the way the real benchmarks do (ARC-C hardest, PIQA/ARC-E easiest).
+    """
+    tokenizer = corpus.tokenizer
+    domains = c4_domains(corpus.grammars[0].n_words)
+    foreign = MarkovGrammar(
+        corpus.grammars[0].n_words, branching=12, zipf_exponent=1.0, seed=909
+    )
+    # Difficulty tuned (against the llama-7b-sim stand-in) so FP16 accuracy
+    # sits below saturation with clear headroom for quantization-induced
+    # drops: ARC-Challenge hardest (~75%), ARC-Easy easiest (~99%).
+    specs = [
+        # name, grammar, choices, ctx, cont, distractor, corruptions
+        ("piqa_sim", domains[0], 2, 24, 6, "corrupt", 1),
+        ("hellaswag_sim", domains[1], 4, 32, 6, "foreign", 1),
+        ("arc_easy_sim", domains[2], 4, 24, 8, "corrupt", 3),
+        ("arc_challenge_sim", domains[2], 4, 24, 6, "corrupt", 1),
+        ("winogrande_sim", domains[0], 2, 16, 4, "corrupt", 1),
+    ]
+    suites: list[TaskSuite] = []
+    for index, (name, grammar, n_choices, ctx, cont, kind, nc) in enumerate(
+        specs
+    ):
+        suites.append(
+            build_task_suite(
+                name,
+                grammar,
+                tokenizer,
+                n_examples=n_examples,
+                n_choices=n_choices,
+                context_len=ctx,
+                continuation_len=cont,
+                distractor=kind,  # type: ignore[arg-type]
+                seed=seed + index,
+                foreign_grammar=foreign,
+                n_corruptions=nc,
+            )
+        )
+    return suites

@@ -1,0 +1,113 @@
+"""Word-level tokenizer and the synthetic pronounceable lexicon.
+
+The grammars emit integer word ids; :func:`build_lexicon` gives each id a
+pronounceable surface form so the corpus pipeline is genuinely
+text -> tokens -> ids, like the paper's pipeline, rather than id-passing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_ONSETS = ["b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z",
+           "br", "dr", "gr", "kl", "pl", "st", "tr", "sk"]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "ou"]
+_CODAS = ["", "n", "r", "s", "t", "l", "m", "nd", "st", "rk"]
+
+
+def build_lexicon(n_words: int, seed: int = 0) -> list[str]:
+    """Deterministically generate ``n_words`` distinct pronounceable words."""
+    rng = np.random.default_rng(seed)
+    words: list[str] = []
+    seen: set[str] = set()
+    while len(words) < n_words:
+        syllables = int(rng.integers(1, 4))
+        parts = []
+        for _ in range(syllables):
+            parts.append(
+                _ONSETS[rng.integers(len(_ONSETS))]
+                + _NUCLEI[rng.integers(len(_NUCLEI))]
+                + _CODAS[rng.integers(len(_CODAS))]
+            )
+        word = "".join(parts)
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+class WordTokenizer:
+    """Whitespace tokenizer over a fixed lexicon with special tokens.
+
+    Token id layout: ``[<pad>, <unk>, <bos>, <eos>] + lexicon``, so a word
+    id ``w`` from a grammar maps to token id ``w + num_specials``.
+    """
+
+    PAD = "<pad>"
+    UNK = "<unk>"
+    BOS = "<bos>"
+    EOS = "<eos>"
+    SPECIALS = (PAD, UNK, BOS, EOS)
+
+    def __init__(self, lexicon: Sequence[str]) -> None:
+        if len(set(lexicon)) != len(lexicon):
+            raise ValueError("lexicon contains duplicate words")
+        overlap = set(lexicon) & set(self.SPECIALS)
+        if overlap:
+            raise ValueError(f"lexicon collides with special tokens: {overlap}")
+        self.lexicon = list(lexicon)
+        self._vocab = list(self.SPECIALS) + self.lexicon
+        self._ids = {word: index for index, word in enumerate(self._vocab)}
+
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self._vocab)
+
+    @property
+    def num_specials(self) -> int:
+        return len(self.SPECIALS)
+
+    @property
+    def pad_id(self) -> int:
+        return self._ids[self.PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._ids[self.UNK]
+
+    @property
+    def bos_id(self) -> int:
+        return self._ids[self.BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._ids[self.EOS]
+
+    # ------------------------------------------------------------------
+    def encode(self, text: str) -> np.ndarray:
+        """Tokenize whitespace-separated ``text`` to an id array."""
+        ids = [self._ids.get(word, self.unk_id) for word in text.split()]
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Inverse of :meth:`encode` (specials rendered literally)."""
+        return " ".join(self._vocab[int(i)] for i in ids)
+
+    def word_ids_to_token_ids(self, word_ids: np.ndarray) -> np.ndarray:
+        """Map grammar word ids to tokenizer ids (shift past specials)."""
+        word_ids = np.asarray(word_ids)
+        if word_ids.size and (
+            word_ids.min() < 0 or word_ids.max() >= len(self.lexicon)
+        ):
+            raise IndexError("word id outside lexicon")
+        return word_ids + self.num_specials
+
+    def token_ids_to_word_ids(self, token_ids: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`word_ids_to_token_ids`; specials are rejected."""
+        token_ids = np.asarray(token_ids)
+        if token_ids.size and token_ids.min() < self.num_specials:
+            raise ValueError("token stream contains special tokens")
+        return token_ids - self.num_specials

@@ -1,0 +1,55 @@
+"""Corpus perplexity evaluation (the paper's Table 1 metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.transformer import LlamaModel
+
+
+def token_nll(
+    model: LlamaModel,
+    tokens: np.ndarray,
+    seq_len: int | None = None,
+    batch_size: int = 16,
+) -> float:
+    """Mean next-token negative log-likelihood over ``tokens``.
+
+    The stream is cut into non-overlapping ``seq_len``-token windows (the
+    standard strided perplexity protocol); a trailing remainder shorter than
+    two tokens is dropped.
+    """
+    tokens = np.asarray(tokens)
+    seq_len = seq_len or model.config.max_seq_len
+    if seq_len < 2:
+        raise ValueError("seq_len must be at least 2")
+    n_windows = tokens.size // seq_len
+    if n_windows == 0:
+        raise ValueError(
+            f"stream of {tokens.size} tokens shorter than one window ({seq_len})"
+        )
+    windows = tokens[: n_windows * seq_len].reshape(n_windows, seq_len)
+    total_nll = 0.0
+    total_count = 0
+    for start in range(0, n_windows, batch_size):
+        batch = windows[start : start + batch_size]
+        logits = model.forward_array(batch[:, :-1])
+        log_probs = F.log_softmax(logits, axis=-1)
+        targets = batch[:, 1:]
+        picked = np.take_along_axis(
+            log_probs, targets[..., None], axis=-1
+        ).squeeze(-1)
+        total_nll += float(-picked.sum())
+        total_count += picked.size
+    return total_nll / total_count
+
+
+def perplexity(
+    model: LlamaModel,
+    tokens: np.ndarray,
+    seq_len: int | None = None,
+    batch_size: int = 16,
+) -> float:
+    """``exp(mean NLL)`` of ``tokens`` under ``model``."""
+    return float(np.exp(token_nll(model, tokens, seq_len, batch_size)))

@@ -1,0 +1,33 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+:mod:`repro.experiments.methods` is the registry of quantization methods
+appearing in the paper's tables; :mod:`repro.experiments.runners` composes
+them with the model zoo, corpora and evaluation harness into one function
+per table/figure.  The ``benchmarks/`` suite is a thin shell over these.
+"""
+
+from repro.experiments.methods import (
+    AppliedMethod,
+    apply_method,
+    available_methods,
+)
+from repro.experiments.runners import (
+    ExperimentContext,
+    build_context,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+__all__ = [
+    "AppliedMethod",
+    "apply_method",
+    "available_methods",
+    "ExperimentContext",
+    "build_context",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure2",
+]

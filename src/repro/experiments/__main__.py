@@ -1,0 +1,86 @@
+"""Command-line regeneration of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table1 [--model llama-7b-sim]
+    python -m repro.experiments table2 --model llama-13b-sim
+    python -m repro.experiments table3
+    python -m repro.experiments figure2
+    python -m repro.experiments all --out results/
+
+Each command prints the reproduced table/figure and, with ``--out``,
+archives CSV artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments.runners import (
+    build_context,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.report import ascii_line_chart, format_table, write_csv
+
+
+def _maybe_write(rows, out: Path | None, name: str) -> None:
+    if out is not None:
+        path = write_csv(out / f"{name}.csv", rows)
+        print(f"[saved {path}]")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument(
+        "target", choices=["table1", "table2", "table3", "figure2", "all"]
+    )
+    parser.add_argument("--model", default="llama-7b-sim")
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--examples", type=int, default=150,
+                        help="zero-shot examples per suite (table2)")
+    args = parser.parse_args(argv)
+
+    context = build_context(
+        args.model,
+        n_task_examples=args.examples,
+        with_tasks=args.target in ("table2", "all"),
+    )
+
+    if args.target in ("table1", "all"):
+        rows = run_table1(context)
+        print(format_table(
+            rows, columns=["method", "avg_bits", "c4-sim", "wikitext2-sim"],
+            title=f"Table 1 ({args.model})",
+        ))
+        _maybe_write(rows, args.out, f"table1_{args.model}")
+    if args.target in ("table2", "all"):
+        rows = run_table2(context)
+        print(format_table(rows, title=f"Table 2 ({args.model})"))
+        _maybe_write(rows, args.out, f"table2_{args.model}")
+    if args.target in ("table3", "all"):
+        rows = run_table3(context)
+        print(format_table(rows, title=f"Table 3 ({args.model})"))
+        _maybe_write(rows, args.out, f"table3_{args.model}")
+    if args.target in ("figure2", "all"):
+        series = run_figure2(context)
+        print(ascii_line_chart(
+            series, x_label="average bits", y_label="c4-sim ppl",
+            title=f"Figure 2 ({args.model})",
+        ))
+        if args.out is not None:
+            rows = [
+                {"series": name, "avg_bits": x, "ppl": y}
+                for name, pts in series.items()
+                for x, y in pts
+            ]
+            _maybe_write(rows, args.out, f"figure2_{args.model}")
+
+
+if __name__ == "__main__":
+    main()

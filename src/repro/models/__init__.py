@@ -1,0 +1,12 @@
+"""Model zoo: pretrained tiny LLaMA stand-ins with on-disk caching."""
+
+from repro.models.configs import MODEL_CONFIGS, model_config
+from repro.models.zoo import clone_model, default_cache_dir, pretrained
+
+__all__ = [
+    "MODEL_CONFIGS",
+    "model_config",
+    "pretrained",
+    "clone_model",
+    "default_cache_dir",
+]

@@ -1,0 +1,50 @@
+"""Configurations of the paper's model stand-ins.
+
+``llama-7b-sim`` and ``llama-13b-sim`` keep LLaMA-7B/13B's *relative*
+proportions (13B is deeper and wider than 7B by roughly the same factors)
+at a scale a CPU can train in seconds.  ``llama-test`` is a miniature used
+by the test-suite.
+"""
+
+from __future__ import annotations
+
+from repro.data.corpus import DEFAULT_N_WORDS
+from repro.nn.config import LlamaConfig
+
+_VOCAB = DEFAULT_N_WORDS + 4  # lexicon + special tokens
+
+MODEL_CONFIGS: dict[str, LlamaConfig] = {
+    "llama-test": LlamaConfig(
+        vocab_size=_VOCAB,
+        d_model=32,
+        n_layers=2,
+        n_heads=2,
+        d_ff=88,
+        max_seq_len=64,
+    ),
+    "llama-7b-sim": LlamaConfig(
+        vocab_size=_VOCAB,
+        d_model=64,
+        n_layers=4,
+        n_heads=4,
+        d_ff=176,
+        max_seq_len=64,
+    ),
+    "llama-13b-sim": LlamaConfig(
+        vocab_size=_VOCAB,
+        d_model=96,
+        n_layers=6,
+        n_heads=6,
+        d_ff=264,
+        max_seq_len=64,
+    ),
+}
+
+
+def model_config(name: str) -> LlamaConfig:
+    """Look up a named config, raising with the known names on miss."""
+    try:
+        return MODEL_CONFIGS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CONFIGS))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None

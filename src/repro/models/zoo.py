@@ -1,0 +1,76 @@
+"""Train-and-cache pretrained stand-in models.
+
+``pretrained(name)`` returns a trained :class:`LlamaModel`; the first call
+trains it on the c4-sim corpus and caches the checkpoint under a key derived
+from the config, trainer settings and corpus seeds, so every later call
+(including across pytest sessions and benchmark runs) loads instantly and
+identically.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.data.corpus import c4_sim
+from repro.models.configs import model_config
+from repro.nn.config import LlamaConfig
+from repro.nn.serialize import load_state_dict, save_state_dict
+from repro.nn.transformer import LlamaModel
+from repro.training.trainer import Trainer, TrainingConfig
+
+_TRAINING_PRESETS: dict[str, TrainingConfig] = {
+    "llama-test": TrainingConfig(steps=1500, batch_size=16, seq_len=64, seed=0),
+    "llama-7b-sim": TrainingConfig(steps=4000, batch_size=16, seq_len=64, seed=0),
+    "llama-13b-sim": TrainingConfig(steps=4000, batch_size=16, seq_len=64, seed=0),
+}
+_TRAIN_TOKENS = 200_000
+_CACHE_VERSION = "v1"
+
+
+def default_cache_dir() -> Path:
+    """Cache root; override with the ``REPRO_CACHE_DIR`` environment variable."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-aptq"
+
+
+def _checkpoint_path(name: str, config: LlamaConfig, training: TrainingConfig) -> Path:
+    key = (
+        f"{name}-{_CACHE_VERSION}-{config.cache_key()}"
+        f"-s{training.steps}b{training.batch_size}l{training.seq_len}"
+        f"r{training.seed}"
+    )
+    return default_cache_dir() / "models" / f"{key}.npz"
+
+
+def pretrained(
+    name: str,
+    cache: bool = True,
+    training: Optional[TrainingConfig] = None,
+) -> LlamaModel:
+    """Return the named model trained on c4-sim (cached on disk)."""
+    config = model_config(name)
+    training = training or _TRAINING_PRESETS.get(name, TrainingConfig())
+    path = _checkpoint_path(name, config, training)
+    if cache and path.exists():
+        state, stored_config = load_state_dict(path)
+        model = LlamaModel(stored_config, seed=training.seed)
+        model.load_state_dict(state)
+        return model
+    model = LlamaModel(config, seed=training.seed)
+    corpus = c4_sim()
+    tokens = corpus.splits(train_tokens=_TRAIN_TOKENS).train
+    Trainer(model, training).fit(tokens)
+    if cache:
+        save_state_dict(path, model, config)
+    return model
+
+
+def clone_model(model: LlamaModel) -> LlamaModel:
+    """Deep-copy a model (quantizers mutate weights in place)."""
+    twin = LlamaModel(model.config, seed=0)
+    twin.load_state_dict(model.state_dict())
+    return twin

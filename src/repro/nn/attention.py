@@ -1,0 +1,217 @@
+"""Multi-head self-attention with rotary position embeddings.
+
+The projection submodules are named ``q_proj``/``k_proj``/``v_proj``/``o_proj``
+to match the paper's layer naming ("self_attn.k_proj" in Algorithm 1).
+
+Two forward paths exist:
+
+* :meth:`MultiHeadAttention.forward` — autograd path (training, QAT, and
+  the independent verification of the analytic APTQ derivatives);
+* :meth:`MultiHeadAttention.forward_array` — fast numpy inference path that
+  can additionally *capture* every intermediate the APTQ Hessian
+  construction needs (Q, K, V, pre-softmax scores N, attention probs P,
+  concatenated head outputs C — cf. paper Eqs. (9)-(15)).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+from repro.nn import functional as F
+from repro.nn.modules import Linear, Module
+
+
+class RotaryEmbedding:
+    """Precomputed cos/sin tables for rotary position embeddings."""
+
+    def __init__(self, d_head: int, max_seq_len: int, base: float = 10000.0):
+        self.d_head = d_head
+        self.max_seq_len = max_seq_len
+        self.base = base
+        self.cos, self.sin = F.rope_tables(max_seq_len, d_head, base)
+
+    def tables(self, seq_len: int) -> tuple[np.ndarray, np.ndarray]:
+        if seq_len > self.max_seq_len:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds table size {self.max_seq_len}"
+            )
+        return self.cos[:seq_len], self.sin[:seq_len]
+
+
+@dataclasses.dataclass
+class AttentionCapture:
+    """Intermediates of one attention forward pass (numpy arrays).
+
+    Shapes use ``b`` batch, ``h`` heads, ``s`` sequence, ``d`` head dim and
+    ``D = h*d`` model dim.  These are exactly the quantities appearing in the
+    paper's derivative formulas:
+
+    - ``x``: layer input after RMSNorm, (b, s, D) — the paper's Q=K=V inputs.
+    - ``q``/``k``: rotated per-head projections, (b, h, s, d).
+    - ``v``: per-head value projections, (b, h, s, d).
+    - ``scores``: pre-softmax logits N_h = Q W^Q (W^K)^T K^T / sqrt(d), (b, h, s, s).
+    - ``probs``: softmax(scores) = P_h, (b, h, s, s).
+    - ``heads``: concatenated head outputs Concat(head_1..head_H), (b, s, D).
+    - ``output``: attention block output F = heads @ W^O, (b, s, D).
+    """
+
+    x: np.ndarray
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    scores: np.ndarray
+    probs: np.ndarray
+    heads: np.ndarray
+    output: np.ndarray
+
+
+class MultiHeadAttention(Module):
+    """Causal multi-head self-attention (the paper's MultiHead(Q, K, V))."""
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        max_seq_len: int,
+        rope_base: float = 10000.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        rng = rng or np.random.default_rng(0)
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.o_proj = Linear(d_model, d_model, rng=rng)
+        self.rope = RotaryEmbedding(self.d_head, max_seq_len, rope_base)
+
+    # ------------------------------------------------------------------
+    # Autograd path
+    # ------------------------------------------------------------------
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        x = ops.reshape(x, (batch, seq, self.n_heads, self.d_head))
+        return ops.transpose(x, (0, 2, 1, 3))
+
+    def _merge_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        x = ops.transpose(x, (0, 2, 1, 3))
+        return ops.reshape(x, (batch, seq, self.d_model))
+
+    def _rope_tensor(self, x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+        half = self.d_head // 2
+        rotated = ops.concat(
+            [ops.neg(x[..., half:]), x[..., :half]], axis=-1
+        )
+        return ops.add(
+            ops.mul(x, Tensor(cos)), ops.mul(rotated, Tensor(sin))
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        cos, sin = self.rope.tables(seq)
+        q = self._split_heads(self.q_proj(x), batch, seq)
+        k = self._split_heads(self.k_proj(x), batch, seq)
+        v = self._split_heads(self.v_proj(x), batch, seq)
+        q = self._rope_tensor(q, cos, sin)
+        k = self._rope_tensor(k, cos, sin)
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = ops.matmul(q, ops.swapaxes(k, -1, -2)) * scale
+        scores = ops.add(scores, Tensor(F.causal_mask(seq)))
+        probs = ops.softmax(scores, axis=-1)
+        context = ops.matmul(probs, v)
+        merged = self._merge_heads(context, batch, seq)
+        return self.o_proj(merged)
+
+    # ------------------------------------------------------------------
+    # Numpy inference path
+    # ------------------------------------------------------------------
+    def forward_array(
+        self, x: np.ndarray, capture: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, AttentionCapture]:
+        batch, seq, _ = x.shape
+        cos, sin = self.rope.tables(seq)
+
+        def split(a: np.ndarray) -> np.ndarray:
+            return a.reshape(batch, seq, self.n_heads, self.d_head).transpose(
+                0, 2, 1, 3
+            )
+
+        q = F.apply_rope(split(self.q_proj.forward_array(x)), cos, sin)
+        k = F.apply_rope(split(self.k_proj.forward_array(x)), cos, sin)
+        v = split(self.v_proj.forward_array(x))
+        scores = q @ np.swapaxes(k, -1, -2) / np.sqrt(self.d_head)
+        scores = scores + F.causal_mask(seq)
+        probs = F.softmax(scores, axis=-1)
+        context = probs @ v
+        heads = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        output = self.o_proj.forward_array(heads)
+        if not capture:
+            return output
+        return output, AttentionCapture(
+            x=x, q=q, k=k, v=v, scores=scores, probs=probs,
+            heads=heads, output=output,
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental decoding with a KV cache
+    # ------------------------------------------------------------------
+    def forward_step(
+        self,
+        x: np.ndarray,
+        cache: "KVCache",
+        position: int,
+    ) -> np.ndarray:
+        """Attend one new token at ``position`` against the cached keys.
+
+        ``x`` is (batch, 1, d_model); the cache is appended in place.
+        Equivalent to the last row of :meth:`forward_array` over the full
+        prefix, at O(prefix) instead of O(prefix²) cost.
+        """
+        batch = x.shape[0]
+        cos, sin = self.rope.tables(position + 1)
+        cos_t, sin_t = cos[position], sin[position]
+
+        def split(a: np.ndarray) -> np.ndarray:
+            return a.reshape(batch, 1, self.n_heads, self.d_head).transpose(
+                0, 2, 1, 3
+            )
+
+        q = F.apply_rope(split(self.q_proj.forward_array(x)), cos_t, sin_t)
+        k = F.apply_rope(split(self.k_proj.forward_array(x)), cos_t, sin_t)
+        v = split(self.v_proj.forward_array(x))
+        keys, values = cache.append(k, v)
+        scores = q @ np.swapaxes(keys, -1, -2) / np.sqrt(self.d_head)
+        probs = F.softmax(scores, axis=-1)
+        context = probs @ values
+        heads = context.transpose(0, 2, 1, 3).reshape(batch, 1, self.d_model)
+        return self.o_proj.forward_array(heads)
+
+
+class KVCache:
+    """Grow-only key/value cache for one attention block."""
+
+    def __init__(self) -> None:
+        self.keys: Optional[np.ndarray] = None
+        self.values: Optional[np.ndarray] = None
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys is None else self.keys.shape[2]
+
+    def append(
+        self, k: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Append (b, h, 1, d) keys/values; returns the full caches."""
+        if self.keys is None:
+            self.keys, self.values = k, v
+        else:
+            self.keys = np.concatenate([self.keys, k], axis=2)
+            self.values = np.concatenate([self.values, v], axis=2)
+        return self.keys, self.values

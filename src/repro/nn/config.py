@@ -1,0 +1,69 @@
+"""Model configuration for the LLaMA-style stand-in models."""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+
+@dataclasses.dataclass(frozen=True)
+class LlamaConfig:
+    """Hyper-parameters of a LLaMA-style causal language model.
+
+    The defaults describe the smallest model the test-suite trains; the
+    model zoo (``repro.models.configs``) defines the paper stand-ins
+    ``llama-7b-sim`` and ``llama-13b-sim``.
+    """
+
+    vocab_size: int = 256
+    d_model: int = 64
+    n_layers: int = 4
+    n_heads: int = 4
+    d_ff: int = 176
+    max_seq_len: int = 64
+    rope_base: float = 10000.0
+    rmsnorm_eps: float = 1e-5
+    tie_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model={self.d_model} not divisible by n_heads={self.n_heads}"
+            )
+        if self.d_head % 2 != 0:
+            raise ValueError(
+                f"head dimension {self.d_head} must be even for rotary embeddings"
+            )
+        for field in ("vocab_size", "d_model", "n_layers", "n_heads", "d_ff",
+                      "max_seq_len"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    @property
+    def d_head(self) -> int:
+        """Per-head dimension ``d_model / n_heads`` (the paper's d_k)."""
+        return self.d_model // self.n_heads
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LlamaConfig":
+        return cls(**payload)
+
+    def cache_key(self) -> str:
+        """Stable hash of the config, used to key the model-zoo cache."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def num_parameters(self) -> int:
+        """Exact parameter count of a model built from this config."""
+        attn = 4 * self.d_model * self.d_model
+        mlp = 3 * self.d_model * self.d_ff
+        norms = 2 * self.d_model
+        per_layer = attn + mlp + norms
+        embeddings = self.vocab_size * self.d_model
+        head = 0 if self.tie_embeddings else self.vocab_size * self.d_model
+        final_norm = self.d_model
+        return self.n_layers * per_layer + embeddings + head + final_norm

@@ -1,0 +1,101 @@
+"""Pure-numpy functional ops shared by inference paths and the quantizers.
+
+These mirror the autograd ops in ``repro.autograd.ops`` but operate on raw
+arrays; they are used where no gradients are needed (fast perplexity
+evaluation, Hessian assembly, reference computations in tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "silu",
+    "rms_norm",
+    "rotate_half",
+    "apply_rope",
+    "causal_mask",
+    "cross_entropy",
+    "attention",
+]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + np.exp(-x))
+
+
+def rms_norm(x: np.ndarray, gain: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square layer norm (the LLaMA normalisation)."""
+    scale = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    return x / scale * gain
+
+
+def rotate_half(x: np.ndarray) -> np.ndarray:
+    """Rotate pairs ``(x1, x2) -> (-x2, x1)`` along the last axis."""
+    half = x.shape[-1] // 2
+    return np.concatenate([-x[..., half:], x[..., :half]], axis=-1)
+
+
+def rope_tables(
+    seq_len: int, d_head: int, base: float = 10000.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cos/sin tables of shape ``(seq_len, d_head)`` for rotary embeddings."""
+    if d_head % 2 != 0:
+        raise ValueError("d_head must be even for rotary embeddings")
+    inv_freq = 1.0 / (base ** (np.arange(0, d_head, 2, dtype=np.float64) / d_head))
+    positions = np.arange(seq_len, dtype=np.float64)
+    angles = np.outer(positions, inv_freq)
+    angles = np.concatenate([angles, angles], axis=-1)
+    return np.cos(angles), np.sin(angles)
+
+
+def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Apply rotary position embedding to ``x`` shaped ``(..., seq, d_head)``."""
+    return x * cos + rotate_half(x) * sin
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive mask: 0 on/below diagonal, ``-inf`` above."""
+    mask = np.zeros((seq_len, seq_len))
+    mask[np.triu_indices(seq_len, k=1)] = -np.inf
+    return mask
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean negative log-likelihood of ``targets`` under ``logits``.
+
+    ``logits`` has shape ``(..., vocab)``; ``targets`` matches the leading
+    shape with integer class ids.
+    """
+    log_probs = log_softmax(logits, axis=-1)
+    flat = log_probs.reshape(-1, log_probs.shape[-1])
+    picked = flat[np.arange(flat.shape[0]), targets.reshape(-1)]
+    return float(-picked.mean())
+
+
+def attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Scaled dot-product attention over ``(..., seq, d_head)`` arrays."""
+    d_head = q.shape[-1]
+    scores = q @ np.swapaxes(k, -1, -2) / np.sqrt(d_head)
+    if mask is not None:
+        scores = scores + mask
+    return softmax(scores, axis=-1) @ v

@@ -1,0 +1,34 @@
+"""Model checkpoint (de)serialisation as ``.npz`` archives with JSON config."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.config import LlamaConfig
+from repro.nn.modules import Module
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_state_dict(path: str | Path, model: Module, config: LlamaConfig) -> None:
+    """Write ``model``'s parameters and ``config`` to a single ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(model.state_dict())
+    payload[_CONFIG_KEY] = np.frombuffer(
+        json.dumps(config.to_dict()).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+
+
+def load_state_dict(path: str | Path) -> tuple[dict[str, np.ndarray], LlamaConfig]:
+    """Read a checkpoint, returning (state dict, config)."""
+    path = Path(path)
+    with np.load(path) as archive:
+        raw = {key: archive[key] for key in archive.files}
+    config_bytes = raw.pop(_CONFIG_KEY).tobytes()
+    config = LlamaConfig.from_dict(json.loads(config_bytes.decode()))
+    return raw, config

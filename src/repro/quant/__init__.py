@@ -1,0 +1,70 @@
+"""Quantization substrate and the full baseline family of the paper.
+
+Building blocks
+---------------
+* :mod:`repro.quant.uniform` — affine uniform quantizer (scale/zero-point).
+* :mod:`repro.quant.groupwise` — group-wise quantization over input channels.
+* :mod:`repro.quant.packing` — dense bit-packing of integer codes.
+* :mod:`repro.quant.qlinear` — packed quantized linear layer representation.
+* :mod:`repro.quant.solver` — the shared second-order error-compensation
+  solver (GPTQ Cholesky inner loop; APTQ reuses it with its own Hessians).
+
+Methods compared in the paper's tables
+--------------------------------------
+* :mod:`repro.quant.rtn` — round-to-nearest.
+* :mod:`repro.quant.gptq` — GPTQ (Frantar et al., ICLR 2023).
+* :mod:`repro.quant.obq` — Optimal Brain Quantization (reference).
+* :mod:`repro.quant.smoothquant` — SmoothQuant difficulty migration.
+* :mod:`repro.quant.owq` — outlier-aware weight quantization.
+* :mod:`repro.quant.pbllm` — PB-LLM partial binarization.
+* :mod:`repro.quant.fpq` — FPQ / LLM-FP4-style fp4 format.
+* :mod:`repro.quant.llmqat` — LLM-QAT data-free quantization-aware training.
+"""
+
+from repro.quant.uniform import (
+    QuantParams,
+    compute_params,
+    dequantize,
+    quantize,
+    quantize_dequantize,
+)
+from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
+from repro.quant.packing import pack_codes, unpack_codes
+from repro.quant.qlinear import QuantizedLinear
+from repro.quant.deploy import PackedModel, pack_model
+from repro.quant.solver import SolverResult, quantize_with_hessian
+from repro.quant.rtn import rtn_quantize_layer, rtn_quantize_model
+from repro.quant.gptq import gptq_quantize_layer, gptq_quantize_model
+from repro.quant.obq import obq_quantize_matrix
+from repro.quant.smoothquant import smoothquant_quantize_model
+from repro.quant.owq import owq_quantize_model
+from repro.quant.pbllm import pbllm_quantize_model
+from repro.quant.fpq import fpq_quantize_model
+from repro.quant.llmqat import llmqat_train
+
+__all__ = [
+    "QuantParams",
+    "compute_params",
+    "quantize",
+    "dequantize",
+    "quantize_dequantize",
+    "GroupQuantResult",
+    "quantize_groupwise",
+    "pack_codes",
+    "unpack_codes",
+    "QuantizedLinear",
+    "PackedModel",
+    "pack_model",
+    "SolverResult",
+    "quantize_with_hessian",
+    "rtn_quantize_layer",
+    "rtn_quantize_model",
+    "gptq_quantize_layer",
+    "gptq_quantize_model",
+    "obq_quantize_matrix",
+    "smoothquant_quantize_model",
+    "owq_quantize_model",
+    "pbllm_quantize_model",
+    "fpq_quantize_model",
+    "llmqat_train",
+]

@@ -1,0 +1,157 @@
+"""Deployable packed-model artifact.
+
+The paper's motivation is fitting LLMs into edge-device memory; this module
+provides the artifact a deployment would actually ship: every quantizable
+layer stored as packed integer codes + fp16 group grids
+(:class:`repro.quant.qlinear.QuantizedLinear`), the full-precision
+remainder (embeddings, norms) as fp16, all in one ``.npz``.
+
+``pack_model`` captures a quantized model (after any method from
+``repro.quant``/``repro.core`` ran on it); ``PackedModel.to_model()``
+reconstructs a runnable :class:`~repro.nn.transformer.LlamaModel` whose
+weights equal the packed representation exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.config import LlamaConfig
+from repro.nn.transformer import LlamaModel
+from repro.quant.qlinear import QuantizedLinear
+
+
+class PackedModel:
+    """A quantized model in deployment form."""
+
+    def __init__(
+        self,
+        config: LlamaConfig,
+        layers: dict[str, QuantizedLinear],
+        full_precision: dict[str, np.ndarray],
+    ) -> None:
+        self.config = config
+        self.layers = layers
+        self.full_precision = full_precision
+
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Total artifact size: packed layers + fp16 remainder."""
+        packed = sum(q.storage_bytes() for q in self.layers.values())
+        dense = sum(2 * a.size for a in self.full_precision.values())
+        return packed + dense
+
+    def average_bits(self) -> float:
+        """Code bits per quantized weight entry (paper Eq. (18) accounting)."""
+        total_weights = sum(
+            q.shape[0] * q.shape[1] for q in self.layers.values()
+        )
+        total_bits = sum(
+            q.bits * q.shape[0] * q.shape[1] for q in self.layers.values()
+        )
+        if total_weights == 0:
+            raise ValueError("no packed layers")
+        return total_bits / total_weights
+
+    def to_model(self, seed: int = 0) -> LlamaModel:
+        """Materialise a runnable model from the packed representation."""
+        model = LlamaModel(self.config, seed=seed)
+        state = model.state_dict()
+        for name, array in self.full_precision.items():
+            state[name] = np.asarray(array, dtype=np.float64)
+        for name, packed in self.layers.items():
+            state[f"{name}.weight"] = packed.dequantize()
+        model.load_state_dict(state)
+        return model
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the artifact as a single compressed ``.npz``."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: dict[str, np.ndarray] = {}
+        meta: dict[str, dict] = {}
+        for name, packed in self.layers.items():
+            payload[f"packed/{name}/codes"] = packed.packed
+            payload[f"packed/{name}/scales"] = packed.scales
+            payload[f"packed/{name}/zeros"] = packed.zeros
+            meta[name] = {
+                "bits": packed.bits,
+                "group_size": packed.group_size,
+                "shape": list(packed.shape),
+            }
+        for name, array in self.full_precision.items():
+            payload[f"fp/{name}"] = array.astype(np.float16)
+        header = {"config": self.config.to_dict(), "layers": meta}
+        payload["__meta__"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **payload)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PackedModel":
+        """Inverse of :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            raw = {key: archive[key] for key in archive.files}
+        header = json.loads(raw.pop("__meta__").tobytes().decode())
+        config = LlamaConfig.from_dict(header["config"])
+        layers: dict[str, QuantizedLinear] = {}
+        for name, meta in header["layers"].items():
+            layers[name] = QuantizedLinear(
+                packed=raw[f"packed/{name}/codes"],
+                scales=raw[f"packed/{name}/scales"],
+                zeros=raw[f"packed/{name}/zeros"],
+                bits=int(meta["bits"]),
+                group_size=int(meta["group_size"]),
+                shape=tuple(meta["shape"]),
+            )
+        full_precision = {
+            key[len("fp/"):]: raw[key]
+            for key in raw
+            if key.startswith("fp/")
+        }
+        return cls(config=config, layers=layers, full_precision=full_precision)
+
+
+def pack_model(
+    model: LlamaModel,
+    bits: int | dict[str, int],
+    group_size: int | None = 32,
+    layer_results: dict | None = None,
+) -> PackedModel:
+    """Pack a (typically already fake-quantized) model for deployment.
+
+    ``bits`` is a uniform width or a per-layer allocation (e.g.
+    ``APTQResult.allocation``).  When ``layer_results`` is supplied (the
+    ``APTQResult.layer_results``/GPTQ result mapping), each layer's *exact*
+    solver codes and grids are packed — the lossless path; otherwise the
+    current weights are re-rounded onto a fresh min/max grid, which may
+    shift entries by up to half a quantization step.  Non-quantizable
+    parameters (embeddings, norm gains) are carried at fp16.
+    """
+    quantizable = model.quantizable_linears()
+    layers: dict[str, QuantizedLinear] = {}
+    for name, linear in quantizable.items():
+        result = (layer_results or {}).get(name)
+        if result is not None and result.permutation is None:
+            layers[name] = QuantizedLinear.from_group_result(
+                result.group_result
+            )
+            continue
+        layer_bits = bits[name] if isinstance(bits, dict) else int(bits)
+        layers[name] = QuantizedLinear.from_weight(
+            linear.weight.data, layer_bits, group_size
+        )
+    quantized_keys = {f"{name}.weight" for name in quantizable}
+    full_precision = {
+        name: array
+        for name, array in model.state_dict().items()
+        if name not in quantized_keys
+    }
+    return PackedModel(
+        config=model.config, layers=layers, full_precision=full_precision
+    )

@@ -1,0 +1,63 @@
+"""FPQ / LLM-FP4 (Liu et al., 2023): 4-bit floating-point quantization.
+
+Weights are mapped to the nearest value of an E2M1 fp4 grid (1 sign bit,
+2 exponent bits, 1 mantissa bit) with one fp16 scale per group/column.
+The representable magnitudes of E2M1 are {0, 0.5, 1, 1.5, 2, 3, 4, 6}.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.nn.transformer import LlamaModel
+from repro.quant.groupwise import resolve_group_size
+
+# E2M1 positive magnitudes; with sign this is the 16-value fp4 code book.
+FP4_MAGNITUDES = np.array([0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
+FP4_VALUES = np.unique(np.concatenate([-FP4_MAGNITUDES, FP4_MAGNITUDES]))
+
+
+@dataclasses.dataclass
+class FPQResult:
+    codes: np.ndarray
+    scales: np.ndarray
+    group_size: int
+    bits: int = 4
+
+
+def fp4_quantize_array(values: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Nearest fp4 code index for each entry of ``values / scale``."""
+    normalised = values / scale
+    distance = np.abs(normalised[..., None] - FP4_VALUES)
+    return np.argmin(distance, axis=-1)
+
+
+def fpq_quantize_model(
+    model: LlamaModel,
+    group_size: int | None = 32,
+) -> dict[str, FPQResult]:
+    """Quantize every linear layer in place to fp4 with per-group scales."""
+    results: dict[str, FPQResult] = {}
+    for name, linear in model.quantizable_linears().items():
+        weight = linear.weight.data
+        d_in, d_out = weight.shape
+        gsize = resolve_group_size(d_in, group_size)
+        n_groups = (d_in + gsize - 1) // gsize
+        codes = np.empty(weight.shape, dtype=np.int64)
+        scales = np.empty((n_groups, d_out))
+        out = np.empty_like(weight)
+        for g in range(n_groups):
+            rows = slice(g * gsize, min((g + 1) * gsize, d_in))
+            block = weight[rows]
+            # Scale so the largest magnitude maps to the largest fp4 value.
+            peak = np.abs(block).max(axis=0)
+            scale = np.where(peak > 0, peak / FP4_MAGNITUDES[-1], 1.0)
+            block_codes = fp4_quantize_array(block, scale)
+            codes[rows] = block_codes
+            scales[g] = scale
+            out[rows] = FP4_VALUES[block_codes] * scale
+        linear.weight.data = out
+        results[name] = FPQResult(codes=codes, scales=scales, group_size=gsize)
+    return results

@@ -1,0 +1,119 @@
+"""GPTQ (Frantar et al., ICLR 2023): layer-wise second-order quantization.
+
+For each linear layer, the Hessian of the layer reconstruction objective
+``||WX - ŴX||²`` is ``H = 2 X X^T`` over the calibration inputs; the shared
+solver (:mod:`repro.quant.solver`) then runs the Cholesky-reformulated OBQ
+sweep.  Layers are processed transformer-block by transformer-block, each
+block's calibration inputs computed with all *previous* blocks already
+quantized, matching the official implementation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.data.calibration import CalibrationSet
+from repro.nn.modules import Linear
+from repro.nn.transformer import LlamaModel
+from repro.quant.calibration_hooks import collect_input_stats
+from repro.quant.solver import SolverResult, quantize_with_hessian
+
+
+def layer_block_index(layer_name: str) -> int | None:
+    """Transformer block index of a layer name, None for e.g. ``lm_head``."""
+    parts = layer_name.split(".")
+    if parts[0] == "blocks" and len(parts) > 1:
+        return int(parts[1])
+    return None
+
+
+def group_layers_by_block(layer_names) -> list[list[str]]:
+    """Partition layer names into per-block groups, in forward order."""
+    blocks: dict[int | None, list[str]] = {}
+    for name in layer_names:
+        blocks.setdefault(layer_block_index(name), []).append(name)
+    ordered: list[list[str]] = []
+    for key in sorted((k for k in blocks if k is not None)):
+        ordered.append(blocks[key])
+    if None in blocks:
+        ordered.append(blocks[None])
+    return ordered
+
+
+def gptq_quantize_layer(
+    linear: Linear,
+    hessian: np.ndarray,
+    bits: int,
+    group_size: int | None = None,
+    percdamp: float = 0.01,
+    actorder: bool = False,
+) -> SolverResult:
+    """Quantize one layer in place with the GPTQ solver."""
+    result = quantize_with_hessian(
+        linear.weight.data,
+        hessian,
+        bits=bits,
+        group_size=group_size,
+        percdamp=percdamp,
+        actorder=actorder,
+    )
+    linear.weight.data = result.quantized_weight
+    return result
+
+
+@dataclasses.dataclass
+class GPTQConfig:
+    """Knobs of a GPTQ run (defaults follow the paper's setup)."""
+
+    bits: int | dict[str, int] = 4
+    group_size: int | None = 32
+    percdamp: float = 0.01
+    actorder: bool = False
+    sequential: bool = True
+    batch_size: int = 16
+
+
+def gptq_quantize_model(
+    model: LlamaModel,
+    calibration: CalibrationSet,
+    config: GPTQConfig | None = None,
+    **overrides,
+) -> dict[str, SolverResult]:
+    """Quantize every linear layer of ``model`` in place.
+
+    ``config.bits`` may be an int or a per-layer mapping (mixed precision).
+    Returns the per-layer solver results keyed by layer name.
+    """
+    config = dataclasses.replace(config or GPTQConfig(), **overrides)
+    layers = model.quantizable_linears()
+    results: dict[str, SolverResult] = {}
+
+    if config.sequential:
+        layer_groups = group_layers_by_block(layers)
+    else:
+        layer_groups = [list(layers)]
+
+    for group in layer_groups:
+        stats = collect_input_stats(
+            model,
+            calibration.segments,
+            layer_names=group,
+            batch_size=config.batch_size,
+        )
+        for name in group:
+            layer_bits = (
+                config.bits[name]
+                if isinstance(config.bits, dict)
+                else config.bits
+            )
+            results[name] = gptq_quantize_layer(
+                layers[name],
+                stats[name].normalised_hessian(),
+                bits=layer_bits,
+                group_size=config.group_size,
+                percdamp=config.percdamp,
+                actorder=config.actorder,
+            )
+    return results

@@ -1,0 +1,103 @@
+"""Group-wise quantization over input channels.
+
+The paper (like GPTQ) uses a group size of 128: each group of 128 input
+channels of each output column gets its own scale/zero-point.  Weights here
+are stored ``(d_in, d_out)`` (see :mod:`repro.nn.modules`), so groups are
+blocks of *rows* and parameters have one entry per ``(group, column)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.quant.uniform import QuantParams, dequantize, quantize
+
+
+def resolve_group_size(d_in: int, group_size: int | None) -> int:
+    """Clamp the requested group size to the layer's input dimension.
+
+    ``None`` or anything >= ``d_in`` means one group per column
+    (per-column quantization).
+    """
+    if group_size is None or group_size >= d_in:
+        return d_in
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    return group_size
+
+
+@dataclasses.dataclass
+class GroupQuantResult:
+    """Codes plus per-group grids for one weight matrix.
+
+    ``codes`` has the weight's shape; ``scales``/``zeros`` have shape
+    ``(n_groups, d_out)``.
+    """
+
+    codes: np.ndarray
+    scales: np.ndarray
+    zeros: np.ndarray
+    bits: int
+    group_size: int
+
+    @property
+    def n_groups(self) -> int:
+        return self.scales.shape[0]
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the dense float weight."""
+        d_in, _ = self.codes.shape
+        out = np.empty(self.codes.shape, dtype=np.float64)
+        for g in range(self.n_groups):
+            rows = slice(g * self.group_size, min((g + 1) * self.group_size, d_in))
+            params = QuantParams(
+                scale=self.scales[g], zero=self.zeros[g], bits=self.bits
+            )
+            out[rows] = dequantize(self.codes[rows], params)
+        return out
+
+    def storage_bits(self) -> int:
+        """Total bits: codes + fp16 scale and zero per group/column."""
+        code_bits = self.codes.size * self.bits
+        param_bits = (self.scales.size + self.zeros.size) * 16
+        return code_bits + param_bits
+
+
+def group_params(
+    weight: np.ndarray, rows: slice, bits: int
+) -> QuantParams:
+    """Min/max grid for one row-group, per output column."""
+    block = weight[rows]
+    lo = np.minimum(block.min(axis=0), 0.0)
+    hi = np.maximum(block.max(axis=0), 0.0)
+    n_levels = (1 << bits) - 1
+    span = hi - lo
+    scale = np.where(span > 0, span / n_levels, 1.0)
+    zero = np.clip(np.round(-lo / scale), 0, n_levels)
+    return QuantParams(scale=scale, zero=zero, bits=bits)
+
+
+def quantize_groupwise(
+    weight: np.ndarray, bits: int, group_size: int | None = None
+) -> GroupQuantResult:
+    """Round-to-nearest group-wise quantization of a ``(d_in, d_out)`` matrix."""
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError("expected a 2-D weight matrix")
+    d_in, d_out = weight.shape
+    group_size = resolve_group_size(d_in, group_size)
+    n_groups = (d_in + group_size - 1) // group_size
+    codes = np.empty_like(weight, dtype=np.int64)
+    scales = np.empty((n_groups, d_out))
+    zeros = np.empty((n_groups, d_out))
+    for g in range(n_groups):
+        rows = slice(g * group_size, min((g + 1) * group_size, d_in))
+        params = group_params(weight, rows, bits)
+        codes[rows] = quantize(weight[rows], params)
+        scales[g] = params.scale
+        zeros[g] = params.zero
+    return GroupQuantResult(
+        codes=codes, scales=scales, zeros=zeros, bits=bits, group_size=group_size
+    )

@@ -1,0 +1,58 @@
+"""Bit-packing of integer codes into uint32 words.
+
+Provides the storage layer a deployment would use: ``pack_codes`` packs a
+flat code array at ``bits`` per entry with no padding between entries
+(entries may straddle word boundaries); ``unpack_codes`` is its exact
+inverse.  Model-size accounting in the experiments uses these sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_WORD_BITS = 32
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack non-negative integer ``codes`` densely at ``bits`` per code."""
+    if not 1 <= bits <= 16:
+        raise ValueError("bits must be in [1, 16]")
+    codes = np.asarray(codes).reshape(-1).astype(np.uint64)
+    if codes.size and codes.max() >= (1 << bits):
+        raise ValueError(f"code out of range for {bits}-bit packing")
+    total_bits = codes.size * bits
+    n_words = (total_bits + _WORD_BITS - 1) // _WORD_BITS
+    words = np.zeros(n_words, dtype=np.uint64)
+    positions = np.arange(codes.size, dtype=np.uint64) * np.uint64(bits)
+    word_index = (positions // _WORD_BITS).astype(np.int64)
+    offset = (positions % _WORD_BITS).astype(np.uint64)
+    # Low part goes into the current word...
+    np.bitwise_or.at(words, word_index, codes << offset)
+    # ...and any overflow spills into the next word.
+    spill = offset + np.uint64(bits) > _WORD_BITS
+    if spill.any():
+        hi = codes[spill] >> (np.uint64(_WORD_BITS) - offset[spill])
+        np.bitwise_or.at(words, word_index[spill] + 1, hi)
+    # Mask to 32 bits and downcast.
+    return (words & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+
+
+def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`; returns ``count`` codes as int64."""
+    if not 1 <= bits <= 16:
+        raise ValueError("bits must be in [1, 16]")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    words = np.asarray(words, dtype=np.uint64)
+    mask = np.uint64((1 << bits) - 1)
+    positions = np.arange(count, dtype=np.uint64) * np.uint64(bits)
+    word_index = (positions // _WORD_BITS).astype(np.int64)
+    offset = (positions % _WORD_BITS).astype(np.uint64)
+    padded = np.concatenate([words, np.zeros(1, dtype=np.uint64)])
+    low = padded[word_index] >> offset
+    high = np.where(
+        offset > 0,
+        padded[word_index + 1] << (np.uint64(_WORD_BITS) - offset),
+        np.uint64(0),
+    )
+    return ((low | high) & mask).astype(np.int64)

@@ -1,0 +1,89 @@
+"""Packed quantized linear layer: the deployable artefact of quantization.
+
+The experiment pipeline does "fake quantization" (it writes dequantized
+weights back into the float model, exactly like the GPTQ/APTQ evaluation
+code), but :class:`QuantizedLinear` materialises the real deployment
+format — packed integer codes plus fp16 group grids — and its
+``forward_array`` runs from that storage, so storage sizes and numerics are
+honest end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
+from repro.quant.packing import pack_codes, unpack_codes
+
+
+class QuantizedLinear:
+    """A linear layer stored as packed group-quantized integer codes."""
+
+    def __init__(
+        self,
+        packed: np.ndarray,
+        scales: np.ndarray,
+        zeros: np.ndarray,
+        bits: int,
+        group_size: int,
+        shape: tuple[int, int],
+    ) -> None:
+        self.packed = packed
+        self.scales = np.asarray(scales, dtype=np.float16)
+        self.zeros = np.asarray(zeros, dtype=np.float16)
+        self.bits = int(bits)
+        self.group_size = int(group_size)
+        self.shape = (int(shape[0]), int(shape[1]))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_group_result(cls, result: GroupQuantResult) -> "QuantizedLinear":
+        return cls(
+            packed=pack_codes(result.codes, result.bits),
+            scales=result.scales,
+            zeros=result.zeros,
+            bits=result.bits,
+            group_size=result.group_size,
+            shape=result.codes.shape,
+        )
+
+    @classmethod
+    def from_weight(
+        cls, weight: np.ndarray, bits: int, group_size: int | None = None
+    ) -> "QuantizedLinear":
+        """Round-to-nearest quantize and pack a float weight matrix."""
+        return cls.from_group_result(quantize_groupwise(weight, bits, group_size))
+
+    # ------------------------------------------------------------------
+    def codes(self) -> np.ndarray:
+        d_in, d_out = self.shape
+        return unpack_codes(self.packed, self.bits, d_in * d_out).reshape(
+            d_in, d_out
+        )
+
+    def dequantize(self) -> np.ndarray:
+        """Dense float64 weight reconstructed from storage."""
+        d_in, d_out = self.shape
+        codes = self.codes().astype(np.float64)
+        scales = self.scales.astype(np.float64)
+        zeros = self.zeros.astype(np.float64)
+        group_of_row = np.minimum(
+            np.arange(d_in) // self.group_size, scales.shape[0] - 1
+        )
+        return (codes - zeros[group_of_row]) * scales[group_of_row]
+
+    def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """``x @ W`` computed from the packed representation."""
+        return x @ self.dequantize()
+
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Bytes of the packed representation (codes + fp16 grids)."""
+        return (
+            self.packed.nbytes + self.scales.nbytes + self.zeros.nbytes
+        )
+
+    def compression_ratio(self, reference_bytes_per_weight: float = 2.0) -> float:
+        """Size reduction versus an fp16 dense layer."""
+        dense = self.shape[0] * self.shape[1] * reference_bytes_per_weight
+        return dense / self.storage_bytes()

@@ -1,0 +1,35 @@
+"""Round-to-nearest (RTN) baseline: group-wise quantization, no compensation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.modules import Linear
+from repro.nn.transformer import LlamaModel
+from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
+
+
+def rtn_quantize_layer(
+    linear: Linear, bits: int, group_size: int | None = None
+) -> GroupQuantResult:
+    """Quantize one layer in place; returns the grids/codes."""
+    result = quantize_groupwise(linear.weight.data, bits, group_size)
+    linear.weight.data = result.dequantize()
+    return result
+
+
+def rtn_quantize_model(
+    model: LlamaModel,
+    bits: int | dict[str, int] = 4,
+    group_size: int | None = None,
+) -> dict[str, GroupQuantResult]:
+    """Quantize every quantizable layer of ``model`` in place.
+
+    ``bits`` may be a single width or a per-layer mapping (used by the
+    manual mixed-precision ablation).
+    """
+    results: dict[str, GroupQuantResult] = {}
+    for name, linear in model.quantizable_linears().items():
+        layer_bits = bits[name] if isinstance(bits, dict) else bits
+        results[name] = rtn_quantize_layer(linear, layer_bits, group_size)
+    return results

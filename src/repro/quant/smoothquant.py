@@ -1,0 +1,68 @@
+"""SmoothQuant (Xiao et al., ICML 2023) adapted to the weight-only setting.
+
+SmoothQuant migrates quantization difficulty between activations and weights
+with a per-input-channel scale ``s_j = max|X_j|^alpha / max|W_j|^(1-alpha)``.
+The paper's Table 2 uses it as a 4-bit baseline.  Our evaluation is
+weight-only (as for every other method in the tables), so the migration is
+applied to the weight side: each layer is quantized as
+``diag(s) W`` and the dequantized result is divided back by ``s`` — i.e.
+the quantization grid is allocated according to activation magnitudes,
+which is exactly the mechanism that makes SmoothQuant help or hurt.
+Round-to-nearest is used on the scaled weights, per the original method
+(SmoothQuant is compensation-free).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.data.calibration import CalibrationSet
+from repro.nn.transformer import LlamaModel
+from repro.quant.calibration_hooks import collect_input_stats
+from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
+
+
+@dataclasses.dataclass
+class SmoothQuantResult:
+    group_result: GroupQuantResult
+    channel_scale: np.ndarray
+
+
+def smooth_scales(
+    act_abs_max: np.ndarray, weight: np.ndarray, alpha: float = 0.5
+) -> np.ndarray:
+    """Per-input-channel migration scales (SmoothQuant Eq. (4))."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+    weight_max = np.abs(weight).max(axis=1)
+    act = np.maximum(act_abs_max, 1e-8)
+    wmax = np.maximum(weight_max, 1e-8)
+    scales = act**alpha / wmax ** (1.0 - alpha)
+    return np.maximum(scales, 1e-8)
+
+
+def smoothquant_quantize_model(
+    model: LlamaModel,
+    calibration: CalibrationSet,
+    bits: int = 4,
+    group_size: int | None = 32,
+    alpha: float = 0.5,
+    batch_size: int = 16,
+) -> dict[str, SmoothQuantResult]:
+    """Quantize every linear layer in place with difficulty migration."""
+    stats = collect_input_stats(
+        model, calibration.segments, batch_size=batch_size
+    )
+    results: dict[str, SmoothQuantResult] = {}
+    for name, linear in model.quantizable_linears().items():
+        weight = linear.weight.data
+        scales = smooth_scales(stats[name].abs_max, weight, alpha=alpha)
+        scaled = weight * scales[:, None]
+        group_result = quantize_groupwise(scaled, bits, group_size)
+        linear.weight.data = group_result.dequantize() / scales[:, None]
+        results[name] = SmoothQuantResult(
+            group_result=group_result, channel_scale=scales
+        )
+    return results

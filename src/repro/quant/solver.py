@@ -1,0 +1,204 @@
+"""Second-order error-compensated quantization solver.
+
+This is the shared inner loop of OBQ/GPTQ/APTQ (paper Eqs. (2), (3), (16),
+(17)): quantize one input channel at a time and update the not-yet-quantized
+channels to compensate, using the inverse Hessian.  Following GPTQ, channels
+are processed in a fixed order with a Cholesky reformulation: with
+``U = chol(H^{-1})`` (upper), the optimal update for channel ``j`` is
+
+    err = (w_j - quant(w_j)) / U_jj
+    W[j+1:] -= U[j, j+1:]^T err          (paper Eq. (17))
+
+The solver is Hessian-agnostic: GPTQ passes ``H = 2 X X^T`` while APTQ
+passes the attention-aware Levenberg-Marquardt Hessian ``2 F'(W) F'(W)^T``
+(paper Eq. (7)); everything downstream of the Hessian is identical, which is
+what isolates APTQ's contribution in the ablations.
+
+Weights here are ``(d_in, d_out)`` so "channels" are rows; this corresponds
+one-to-one to the column sweep in the papers' ``(d_out, d_in)`` convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.quant.groupwise import (
+    GroupQuantResult,
+    group_params,
+    resolve_group_size,
+)
+from repro.quant.uniform import QuantParams, dequantize, quantize
+
+
+@dataclasses.dataclass
+class SolverResult:
+    """Output of one layer's quantization."""
+
+    quantized_weight: np.ndarray
+    group_result: GroupQuantResult
+    compensated_loss: float
+    mse: float
+    permutation: np.ndarray | None = None
+
+    @property
+    def bits(self) -> int:
+        return self.group_result.bits
+
+
+def prepare_hessian(
+    hessian: np.ndarray, percdamp: float = 0.01
+) -> tuple[np.ndarray, np.ndarray]:
+    """Damp ``H`` and return ``(H_damped, dead_channel_mask)``.
+
+    Dead channels (zero diagonal — inputs never active during calibration)
+    get a unit diagonal so the Cholesky succeeds; their weights carry no
+    signal and are zeroed by the solver.
+    """
+    hessian = np.array(hessian, dtype=np.float64, copy=True)
+    if hessian.ndim != 2 or hessian.shape[0] != hessian.shape[1]:
+        raise ValueError("hessian must be square")
+    diagonal = np.diagonal(hessian).copy()
+    dead = diagonal <= 0
+    if dead.any():
+        hessian[dead, :] = 0.0
+        hessian[:, dead] = 0.0
+        hessian[dead, dead] = 1.0
+        diagonal = np.diagonal(hessian).copy()
+    damp = percdamp * float(diagonal.mean())
+    hessian[np.diag_indices_from(hessian)] += damp
+    return hessian, dead
+
+
+def inverse_cholesky(hessian: np.ndarray) -> np.ndarray:
+    """Upper Cholesky factor of ``H^{-1}`` (the GPTQ reformulation)."""
+    identity = np.eye(hessian.shape[0])
+    lower = np.linalg.cholesky(hessian)
+    inv = np.linalg.solve(lower.T, np.linalg.solve(lower, identity))
+    # np.linalg.cholesky returns the lower factor of ``inv``; we need the
+    # upper factor U with inv = U^T U ... equivalently chol(inv).T.
+    return np.linalg.cholesky(inv).T
+
+
+def quantize_with_hessian(
+    weight: np.ndarray,
+    hessian: np.ndarray,
+    bits: int,
+    group_size: int | None = None,
+    blocksize: int = 128,
+    percdamp: float = 0.01,
+    actorder: bool = False,
+) -> SolverResult:
+    """Quantize ``weight`` with error compensation driven by ``hessian``.
+
+    Parameters mirror GPTQ: ``group_size`` for the quantization grid
+    granularity, ``blocksize`` for the lazy-batched update, ``percdamp`` for
+    diagonal damping, ``actorder`` to process channels by decreasing Hessian
+    diagonal (GPTQ's ``--act-order``).
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2:
+        raise ValueError("expected a 2-D weight matrix")
+    d_in, d_out = weight.shape
+    if hessian.shape != (d_in, d_in):
+        raise ValueError(
+            f"hessian shape {hessian.shape} does not match d_in={d_in}"
+        )
+    group_size = resolve_group_size(d_in, group_size)
+
+    hessian, dead = prepare_hessian(hessian, percdamp)
+    working = weight.copy()
+    working[dead, :] = 0.0
+
+    permutation: np.ndarray | None = None
+    if actorder:
+        permutation = np.argsort(-np.diagonal(hessian), kind="stable")
+        working = working[permutation]
+        hessian = hessian[np.ix_(permutation, permutation)]
+
+    inv_upper = inverse_cholesky(hessian)
+
+    n_groups = (d_in + group_size - 1) // group_size
+    codes = np.empty((d_in, d_out), dtype=np.int64)
+    scales = np.empty((n_groups, d_out))
+    zeros = np.empty((n_groups, d_out))
+    quantized = np.empty_like(working)
+    compensated_loss = 0.0
+
+    params: QuantParams | None = None
+    for block_start in range(0, d_in, blocksize):
+        block_end = min(block_start + blocksize, d_in)
+        count = block_end - block_start
+        block_weight = working[block_start:block_end].copy()
+        block_quant = np.empty_like(block_weight)
+        block_errors = np.empty_like(block_weight)
+        block_inv = inv_upper[block_start:block_end, block_start:block_end]
+
+        for local in range(count):
+            row = block_start + local
+            if row % group_size == 0:
+                group = row // group_size
+                group_rows = slice(row, min(row + group_size, d_in))
+                # Grid from the *current* (compensated) weights, as in GPTQ.
+                current = np.concatenate(
+                    [
+                        block_weight[local : min(local + group_size, count)],
+                        working[block_end : group_rows.stop],
+                    ]
+                )
+                params = group_params(current, slice(0, current.shape[0]), bits)
+                scales[group] = params.scale
+                zeros[group] = params.zero
+            assert params is not None
+            row_codes = quantize(block_weight[local], params)
+            row_quant = dequantize(row_codes, params)
+            codes[row] = row_codes
+            block_quant[local] = row_quant
+            diag = block_inv[local, local]
+            err = (block_weight[local] - row_quant) / diag
+            compensated_loss += 0.5 * float((err**2).sum())
+            # Compensate the rest of the block immediately (Eq. (17)).
+            if local + 1 < count:
+                block_weight[local + 1 :] -= np.outer(
+                    block_inv[local, local + 1 :], err
+                )
+            block_errors[local] = err
+
+        quantized[block_start:block_end] = block_quant
+        working[block_start:block_end] = block_quant
+        # Lazy-batched compensation of all rows after the block.
+        if block_end < d_in:
+            working[block_end:] -= (
+                inv_upper[block_start:block_end, block_end:].T @ block_errors
+            )
+
+    if permutation is not None:
+        inverse = np.argsort(permutation)
+        quantized = quantized[inverse]
+        codes = codes[inverse]
+        # Group grids were fitted in permuted order; dequantization of the
+        # permuted codes is exact, so recompute a row-aligned group table is
+        # unnecessary — but codes/scales must stay consistent.  We therefore
+        # keep the permuted group layout and expose the permutation.
+        group_result = GroupQuantResult(
+            codes=codes[permutation],
+            scales=scales,
+            zeros=zeros,
+            bits=bits,
+            group_size=group_size,
+        )
+    else:
+        group_result = GroupQuantResult(
+            codes=codes, scales=scales, zeros=zeros, bits=bits,
+            group_size=group_size,
+        )
+
+    mse = float(((weight - quantized) ** 2).mean())
+    return SolverResult(
+        quantized_weight=quantized,
+        group_result=group_result,
+        compensated_loss=compensated_loss,
+        mse=mse,
+        permutation=permutation,
+    )

@@ -1,0 +1,13 @@
+"""Reporting: table formatting, ASCII figures and CSV export."""
+
+from repro.report.tables import format_table, format_markdown_table
+from repro.report.figures import ascii_line_chart
+from repro.report.export import rows_to_csv, write_csv
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "ascii_line_chart",
+    "rows_to_csv",
+    "write_csv",
+]

@@ -1,0 +1,36 @@
+"""CSV export of experiment rows."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def rows_to_csv(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Serialize dict rows to a CSV string."""
+    if not rows:
+        raise ValueError("no rows to export")
+    columns = list(columns) if columns else list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: row.get(col, "") for col in columns})
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str | Path,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> Path:
+    """Write dict rows to ``path`` as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows, columns))
+    return path

@@ -1,0 +1,50 @@
+"""ASCII line charts for terminal-friendly figure reproduction (Figure 2)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Plot named (x, y) series on a character grid with a legend."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("no data to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:10.2f} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<10.2f}" + " " * max(width - 20, 1) + f"{x_hi:>10.2f}"
+    )
+    lines.append(" " * 12 + f"({x_label} vs {y_label})")
+    for index, name in enumerate(series):
+        lines.append(f"  {_MARKERS[index % len(_MARKERS)]} {name}")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Training substrate: optimizers, LR schedules and a causal-LM trainer.
+
+Used to (a) pretrain the tiny LLaMA stand-ins in :mod:`repro.models.zoo`
+and (b) run the straight-through-estimator fine-tuning of the LLM-QAT
+baseline (:mod:`repro.quant.llmqat`).
+"""
+
+from repro.training.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.training.schedule import (
+    ConstantSchedule,
+    CosineSchedule,
+    WarmupSchedule,
+)
+from repro.training.trainer import Trainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "WarmupSchedule",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+]

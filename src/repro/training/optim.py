@@ -1,0 +1,121 @@
+"""First-order optimizers over :class:`repro.autograd.Tensor` parameters."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        factor = max_norm / total
+        for p in params:
+            p.grad *= factor
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a mutable learning rate."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float) -> None:
+        self.parameters: Sequence[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.step_count += 1
+        for index, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            self._update(index, p)
+
+    def _update(self, index: int, parameter: Tensor) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self, parameters: Iterable[Tensor], lr: float, momentum: float = 0.0
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, index: int, parameter: Tensor) -> None:
+        if self.momentum:
+            v = self._velocity[index]
+            v *= self.momentum
+            v += parameter.grad
+            parameter.data -= self.lr * v
+        else:
+            parameter.data -= self.lr * parameter.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, index: int, parameter: Tensor) -> None:
+        grad = parameter.grad
+        m = self._m[index]
+        v = self._v[index]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1**self.step_count)
+        v_hat = v / (1.0 - self.beta2**self.step_count)
+        parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.01,
+    ) -> None:
+        super().__init__(parameters, lr, betas=betas, eps=eps)
+        self.weight_decay = weight_decay
+
+    def _update(self, index: int, parameter: Tensor) -> None:
+        if self.weight_decay:
+            parameter.data -= self.lr * self.weight_decay * parameter.data
+        super()._update(index, parameter)

@@ -1,0 +1,54 @@
+"""Learning-rate schedules used by the trainer."""
+
+from __future__ import annotations
+
+import math
+
+
+class Schedule:
+    """Maps a step index to a learning rate."""
+
+    def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantSchedule(Schedule):
+    """A fixed learning rate at every step."""
+
+    def __init__(self, lr: float) -> None:
+        self.lr = float(lr)
+
+    def lr_at(self, step: int) -> float:
+        return self.lr
+
+
+class CosineSchedule(Schedule):
+    """Cosine decay from ``peak`` to ``floor`` over ``total_steps``."""
+
+    def __init__(self, peak: float, total_steps: int, floor: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.peak = float(peak)
+        self.floor = float(floor)
+        self.total_steps = int(total_steps)
+
+    def lr_at(self, step: int) -> float:
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (self.peak - self.floor) * cosine
+
+
+class WarmupSchedule(Schedule):
+    """Linear warmup for ``warmup_steps`` wrapping an inner schedule."""
+
+    def __init__(self, inner: Schedule, warmup_steps: int) -> None:
+        if warmup_steps < 0:
+            raise ValueError("warmup_steps must be non-negative")
+        self.inner = inner
+        self.warmup_steps = int(warmup_steps)
+
+    def lr_at(self, step: int) -> float:
+        base = self.inner.lr_at(step)
+        if self.warmup_steps and step < self.warmup_steps:
+            return base * (step + 1) / self.warmup_steps
+        return base

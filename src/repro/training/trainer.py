@@ -1,0 +1,116 @@
+"""Causal language-model training loop.
+
+Keeps the loop deliberately small: sample batches of fixed-length windows
+from a token stream, compute next-token cross-entropy via the autograd path,
+clip, step, anneal.  This is sufficient to give the tiny stand-in models the
+learned structure the quantization experiments need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nn.transformer import LlamaModel
+from repro.training.optim import AdamW, clip_grad_norm
+from repro.training.schedule import CosineSchedule, WarmupSchedule
+
+
+@dataclasses.dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run."""
+
+    steps: int = 1500
+    batch_size: int = 16
+    seq_len: int = 64
+    lr: float = 3e-3
+    weight_decay: float = 0.01
+    warmup_steps: int = 50
+    grad_clip: float = 1.0
+    seed: int = 0
+    log_every: int = 0  # 0 disables progress callbacks
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0 or self.batch_size <= 0 or self.seq_len <= 0:
+            raise ValueError("steps, batch_size and seq_len must be positive")
+
+
+@dataclasses.dataclass
+class TrainingResult:
+    """Summary of a finished run."""
+
+    steps: int
+    final_loss: float
+    loss_history: list[float]
+    wall_seconds: float
+
+
+def sample_batch(
+    tokens: np.ndarray,
+    batch_size: int,
+    seq_len: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``batch_size`` random windows; returns (inputs, targets)."""
+    tokens = np.asarray(tokens)
+    if tokens.size < seq_len + 1:
+        raise ValueError(
+            f"token stream of length {tokens.size} shorter than "
+            f"seq_len+1={seq_len + 1}"
+        )
+    starts = rng.integers(0, tokens.size - seq_len - 1, size=batch_size)
+    windows = np.stack([tokens[s : s + seq_len + 1] for s in starts])
+    return windows[:, :-1], windows[:, 1:]
+
+
+class Trainer:
+    """Trains a :class:`LlamaModel` on a flat token stream."""
+
+    def __init__(
+        self,
+        model: LlamaModel,
+        config: TrainingConfig,
+        on_step: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.on_step = on_step
+        self.optimizer = AdamW(
+            model.parameters(),
+            lr=config.lr,
+            weight_decay=config.weight_decay,
+        )
+        self.schedule = WarmupSchedule(
+            CosineSchedule(config.lr, config.steps, floor=config.lr * 0.1),
+            config.warmup_steps,
+        )
+
+    def fit(self, tokens: np.ndarray) -> TrainingResult:
+        """Run the configured number of steps over ``tokens``."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        history: list[float] = []
+        started = time.perf_counter()
+        for step in range(config.steps):
+            inputs, targets = sample_batch(
+                tokens, config.batch_size, config.seq_len, rng
+            )
+            self.optimizer.zero_grad()
+            loss = self.model.loss(inputs, targets)
+            loss.backward()
+            clip_grad_norm(self.model.parameters(), config.grad_clip)
+            self.optimizer.lr = self.schedule.lr_at(step)
+            self.optimizer.step()
+            value = loss.item()
+            history.append(value)
+            if self.on_step and config.log_every and step % config.log_every == 0:
+                self.on_step(step, value)
+        return TrainingResult(
+            steps=config.steps,
+            final_loss=history[-1],
+            loss_history=history,
+            wall_seconds=time.perf_counter() - started,
+        )

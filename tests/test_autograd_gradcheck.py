@@ -1,0 +1,52 @@
+"""Tests for the finite-difference gradient checker itself."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, numerical_gradient, ops
+
+
+class TestNumericalGradient:
+    def test_quadratic(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        grad = numerical_gradient(lambda: ops.sum(ops.mul(x, x)), x)
+        assert np.allclose(grad, 2 * x.data, atol=1e-6)
+
+    def test_does_not_corrupt_parameter(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        original = x.data.copy()
+        numerical_gradient(lambda: ops.sum(x), x)
+        assert np.array_equal(x.data, original)
+
+    def test_matrix_parameter(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        grad = numerical_gradient(lambda: ops.sum(ops.mul(x, x)), x)
+        assert grad.shape == (2, 3)
+        assert np.allclose(grad, 2 * x.data, atol=1e-6)
+
+
+class TestCheckGradients:
+    def test_passes_on_correct_gradients(self):
+        x = Tensor(np.array([0.5, -1.5]), requires_grad=True)
+        check_gradients(lambda: ops.sum(ops.exp(x)), [x])
+
+    def test_fails_on_wrong_gradients(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+
+        def broken(a: Tensor) -> Tensor:
+            out = a.data * 3.0
+
+            def backward(grad, sink):
+                sink(a, grad * 2.0)  # wrong: claims d/da = 2, truth is 3
+
+            return Tensor.make(out, (a,), backward)
+
+        with pytest.raises(AssertionError, match="mismatch"):
+            check_gradients(lambda: ops.sum(broken(x)), [x])
+
+    def test_fails_when_gradient_missing(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = Tensor(np.ones(2), requires_grad=True)
+        # y never participates, so it receives no gradient.
+        with pytest.raises(AssertionError, match="no gradient"):
+            check_gradients(lambda: ops.sum(x), [x, y])

@@ -1,0 +1,249 @@
+"""Gradient checks and forward semantics for every autograd op."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, ops
+
+
+def make(shape, seed=0, lo=-2.0, hi=2.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.uniform(lo, hi, size=shape), requires_grad=True)
+
+
+class TestElementwiseForward:
+    def test_add(self):
+        assert np.allclose(ops.add(Tensor(1.0), Tensor(2.0)).data, 3.0)
+
+    def test_sub(self):
+        assert np.allclose(ops.sub(Tensor(5.0), Tensor(2.0)).data, 3.0)
+
+    def test_mul_div(self):
+        assert ops.mul(Tensor(3.0), Tensor(4.0)).item() == 12.0
+        assert ops.div(Tensor(8.0), Tensor(4.0)).item() == 2.0
+
+    def test_exp_log_sqrt(self):
+        x = np.array([0.5, 1.0, 2.0])
+        assert np.allclose(ops.exp(Tensor(x)).data, np.exp(x))
+        assert np.allclose(ops.log(Tensor(x)).data, np.log(x))
+        assert np.allclose(ops.sqrt(Tensor(x)).data, np.sqrt(x))
+
+    def test_tanh_sigmoid_silu_relu(self):
+        x = np.linspace(-3, 3, 7)
+        sig = 1 / (1 + np.exp(-x))
+        assert np.allclose(ops.tanh(Tensor(x)).data, np.tanh(x))
+        assert np.allclose(ops.sigmoid(Tensor(x)).data, sig)
+        assert np.allclose(ops.silu(Tensor(x)).data, x * sig)
+        assert np.allclose(ops.relu(Tensor(x)).data, np.maximum(x, 0))
+
+    def test_abs_maximum_where(self):
+        a = np.array([-1.0, 2.0])
+        b = np.array([0.5, -3.0])
+        assert np.allclose(ops.abs(Tensor(a)).data, np.abs(a))
+        assert np.allclose(ops.maximum(Tensor(a), Tensor(b)).data, [0.5, 2.0])
+        out = ops.where(np.array([True, False]), Tensor(a), Tensor(b))
+        assert np.allclose(out.data, [-1.0, -3.0])
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize(
+        "op",
+        [ops.exp, ops.tanh, ops.sigmoid, ops.silu, ops.neg],
+        ids=["exp", "tanh", "sigmoid", "silu", "neg"],
+    )
+    def test_unary(self, op):
+        a = make((3, 4), seed=1)
+        check_gradients(lambda: ops.sum(op(a)), [a])
+
+    def test_log_positive_domain(self):
+        a = make((3, 4), seed=2, lo=0.5, hi=3.0)
+        check_gradients(lambda: ops.sum(ops.log(a)), [a])
+
+    def test_sqrt_positive_domain(self):
+        a = make((3, 4), seed=3, lo=0.5, hi=3.0)
+        check_gradients(lambda: ops.sum(ops.sqrt(a)), [a])
+
+    def test_power(self):
+        a = make((3,), seed=4, lo=0.5, hi=2.0)
+        check_gradients(lambda: ops.sum(ops.power(a, 2.7)), [a])
+
+    @pytest.mark.parametrize(
+        "op", [ops.add, ops.sub, ops.mul, ops.div], ids=["add", "sub", "mul", "div"]
+    )
+    def test_binary(self, op):
+        a = make((2, 3), seed=5, lo=0.5, hi=2.0)
+        b = make((2, 3), seed=6, lo=0.5, hi=2.0)
+        check_gradients(lambda: ops.sum(op(a, b)), [a, b])
+
+    def test_binary_broadcast(self):
+        a = make((2, 3), seed=7)
+        b = make((3,), seed=8, lo=0.5, hi=2.0)
+        check_gradients(lambda: ops.sum(ops.mul(a, b)), [a, b])
+
+    def test_maximum_gradient_routing(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        ops.sum(ops.maximum(a, b)).backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0])
+
+    def test_where_gradient_routing(self):
+        cond = np.array([True, False])
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        ops.sum(ops.where(cond, a, b)).backward()
+        assert np.allclose(a.grad, [1.0, 0.0])
+        assert np.allclose(b.grad, [0.0, 1.0])
+
+
+class TestMatmul:
+    def test_forward_2d(self):
+        a = np.arange(6.0).reshape(2, 3)
+        b = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(ops.matmul(Tensor(a), Tensor(b)).data, a @ b)
+
+    def test_grad_2d(self):
+        a = make((3, 4), seed=9)
+        b = make((4, 2), seed=10)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_grad_batched(self):
+        a = make((2, 3, 4), seed=11)
+        b = make((2, 4, 5), seed=12)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_grad_broadcast_batch(self):
+        a = make((2, 3, 4), seed=13)
+        b = make((4, 5), seed=14)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_grad_vector_vector(self):
+        a = make((4,), seed=15)
+        b = make((4,), seed=16)
+        check_gradients(lambda: ops.matmul(a, b), [a, b])
+
+    def test_grad_matrix_vector(self):
+        a = make((3, 4), seed=17)
+        b = make((4,), seed=18)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_grad_vector_matrix(self):
+        a = make((4,), seed=19)
+        b = make((4, 3), seed=20)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+
+class TestReductions:
+    def test_sum_axis_none(self):
+        a = make((2, 3), seed=21)
+        check_gradients(lambda: ops.sum(a), [a])
+
+    def test_sum_axis_keepdims(self):
+        a = make((2, 3), seed=22)
+        check_gradients(lambda: ops.sum(ops.sum(a, axis=1, keepdims=True)), [a])
+
+    def test_sum_negative_axis(self):
+        a = make((2, 3), seed=23)
+        check_gradients(lambda: ops.sum(ops.sum(a, axis=-1)), [a])
+
+    def test_sum_axis_tuple(self):
+        a = make((2, 3, 4), seed=24)
+        out = ops.sum(a, axis=(0, 2))
+        assert out.shape == (3,)
+        check_gradients(lambda: ops.sum(ops.sum(a, axis=(0, 2))), [a])
+
+    def test_mean(self):
+        a = make((2, 3), seed=25)
+        check_gradients(lambda: ops.mean(a), [a])
+
+    def test_mean_axis(self):
+        a = make((2, 3), seed=26)
+        check_gradients(lambda: ops.sum(ops.mean(a, axis=0)), [a])
+
+    def test_mean_value(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert ops.mean(a).item() == pytest.approx(2.0)
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        a = make((2, 6), seed=27)
+        check_gradients(lambda: ops.sum(ops.reshape(a, (3, 4))), [a])
+
+    def test_transpose_grad(self):
+        a = make((2, 3, 4), seed=28)
+        check_gradients(lambda: ops.sum(ops.transpose(a, (2, 0, 1))), [a])
+
+    def test_transpose_default_reverses(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert ops.transpose(a).shape == (4, 3, 2)
+
+    def test_swapaxes_grad(self):
+        a = make((2, 3, 4), seed=29)
+        check_gradients(lambda: ops.sum(ops.swapaxes(a, 1, 2)), [a])
+
+    def test_getitem_slice_grad(self):
+        a = make((4, 5), seed=30)
+        check_gradients(lambda: ops.sum(a[1:3, ::2]), [a])
+
+    def test_getitem_fancy_grad_with_duplicates(self):
+        a = Tensor(np.arange(4.0), requires_grad=True)
+        out = ops.sum(a[np.array([0, 0, 2])])
+        out.backward()
+        assert np.allclose(a.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_concat_grad(self):
+        a = make((2, 3), seed=31)
+        b = make((2, 2), seed=32)
+        check_gradients(lambda: ops.sum(ops.concat([a, b], axis=1)), [a, b])
+
+    def test_concat_axis0(self):
+        a = make((2, 3), seed=33)
+        b = make((1, 3), seed=34)
+        out = ops.concat([a, b], axis=0)
+        assert out.shape == (3, 3)
+
+    def test_stack_grad(self):
+        a = make((2, 3), seed=35)
+        b = make((2, 3), seed=36)
+        check_gradients(lambda: ops.sum(ops.stack([a, b], axis=1)), [a, b])
+
+    def test_embedding_grad_scatter(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        ids = np.array([[1, 1], [3, 0]])
+        ops.sum(ops.embedding(table, ids)).backward()
+        assert np.allclose(table.grad, [[1, 1, 1], [2, 2, 2], [0, 0, 0], [1, 1, 1]])
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self):
+        a = make((5, 7), seed=37)
+        assert np.allclose(ops.softmax(a).data.sum(axis=-1), 1.0)
+
+    def test_softmax_grad(self):
+        a = make((3, 4), seed=38)
+        w = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        check_gradients(lambda: ops.sum(ops.mul(ops.softmax(a), w)), [a])
+
+    def test_softmax_stability_large_values(self):
+        a = Tensor(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(ops.softmax(a).data, 0.5)
+
+    def test_softmax_with_neg_inf(self):
+        a = Tensor(np.array([[0.0, -np.inf]]))
+        assert np.allclose(ops.softmax(a).data, [[1.0, 0.0]])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        a = make((4, 6), seed=39)
+        assert np.allclose(
+            ops.log_softmax(a).data, np.log(ops.softmax(a).data)
+        )
+
+    def test_log_softmax_grad(self):
+        a = make((3, 4), seed=40)
+        w = Tensor(np.random.default_rng(2).normal(size=(3, 4)))
+        check_gradients(lambda: ops.sum(ops.mul(ops.log_softmax(a), w)), [a])
+
+    def test_softmax_other_axis(self):
+        a = make((3, 4), seed=41)
+        assert np.allclose(ops.softmax(a, axis=0).data.sum(axis=0), 1.0)

@@ -1,0 +1,191 @@
+"""Tests for the Tensor type and the backward sweep."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, is_grad_enabled, no_grad, ops
+
+
+class TestConstruction:
+    def test_float_data_promoted_to_float64(self):
+        t = Tensor(np.ones(3, dtype=np.float32))
+        assert t.dtype == np.float64
+
+    def test_integer_data_preserved(self):
+        t = Tensor(np.arange(4))
+        assert t.dtype.kind == "i"
+
+    def test_scalar_payload(self):
+        t = Tensor(2.5)
+        assert t.item() == 2.5
+        assert t.shape == ()
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(1.0)
+        assert Tensor.as_tensor(t) is t
+
+    def test_as_tensor_wraps_arrays(self):
+        assert isinstance(Tensor.as_tensor([1.0, 2.0]), Tensor)
+
+    def test_requires_grad_flag(self):
+        assert Tensor(1.0, requires_grad=True).requires_grad
+        assert not Tensor(1.0).requires_grad
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        d = (a * 2.0).detach()
+        assert not d.requires_grad
+        assert np.array_equal(d.data, 2 * np.ones(2))
+
+
+class TestNoGrad:
+    def test_no_grad_disables_recording(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            out = a * 3.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+
+
+class TestBackward:
+    def test_scalar_backward_default_seed(self):
+        a = Tensor(3.0, requires_grad=True)
+        (a * a).backward()
+        assert a.grad == pytest.approx(6.0)
+
+    def test_backward_requires_scalar_without_seed(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_with_seed(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = a * 2.0
+        out.backward(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(a.grad, [2.0, 4.0, 6.0])
+
+    def test_backward_seed_shape_mismatch(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = a * 2.0
+        with pytest.raises(ValueError):
+            out.backward(np.ones(4))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(1.0).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * a).backward()
+        (a * a).backward()
+        assert a.grad == pytest.approx(8.0)
+
+    def test_zero_grad(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * a).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph(self):
+        # y = x*x + x*x : both paths must be accumulated exactly once each.
+        x = Tensor(3.0, requires_grad=True)
+        y = x * x
+        z = y + y
+        z.backward()
+        assert x.grad == pytest.approx(12.0)
+
+    def test_same_tensor_used_as_both_operands(self):
+        # Regression: mul(x, x) must not double-count staged gradients.
+        x = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        out = ops.sum(ops.mul(x, x))
+        out.backward()
+        assert np.allclose(x.grad, [4.0, 6.0])
+
+    def test_deep_chain(self):
+        x = Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(50):
+            y = y * 1.0 + 0.0
+        y.backward()
+        assert x.grad == pytest.approx(1.0)
+
+    def test_broadcast_gradient_unreduced(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        ops.sum(a + b).backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_broadcast_scalar_gradient(self):
+        s = Tensor(2.0, requires_grad=True)
+        a = Tensor(np.ones((3, 4)))
+        ops.sum(a * s).backward()
+        assert s.grad == pytest.approx(12.0)
+
+    def test_interior_nodes_do_not_retain_grad(self):
+        x = Tensor(2.0, requires_grad=True)
+        mid = x * 3.0
+        (mid * 2.0).backward()
+        assert mid.grad is None
+        assert x.grad == pytest.approx(6.0)
+
+
+class TestOperatorSugar:
+    def test_radd_rsub_rmul_rtruediv(self):
+        a = Tensor(2.0, requires_grad=True)
+        assert (1.0 + a).item() == 3.0
+        assert (5.0 - a).item() == 3.0
+        assert (3.0 * a).item() == 6.0
+        assert (8.0 / a).item() == 4.0
+
+    def test_negation(self):
+        assert (-Tensor(2.0)).item() == -2.0
+
+    def test_pow(self):
+        a = Tensor(3.0, requires_grad=True)
+        (a**2).backward()
+        assert a.grad == pytest.approx(6.0)
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor(np.array([[1.0], [2.0]]))
+        assert np.allclose((a @ b).data, [[1.0], [2.0]])
+
+    def test_indexing(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = ops.sum(a[0])
+        out.backward()
+        assert np.allclose(a.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_transpose_property(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.T.shape == (3, 2)
+
+    def test_reshape_method(self):
+        a = Tensor(np.arange(6.0))
+        assert a.reshape(2, 3).shape == (2, 3)
+        assert a.reshape((3, 2)).shape == (3, 2)
+
+    def test_sum_mean_methods(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.sum().item() == 15.0
+        assert a.mean().item() == 2.5
+        assert a.sum(axis=0).shape == (3,)

@@ -1,0 +1,128 @@
+"""End-to-end tests for the APTQ pipeline (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aptq import APTQConfig, aptq_quantize_model
+from repro.core.allocation import manual_blockwise_allocation
+from repro.eval import perplexity
+from tests.conftest import clone
+
+
+@pytest.fixture(scope="module")
+def aptq_result_and_model(trained_micro_model, calibration):
+    model = clone(trained_micro_model)
+    result = aptq_quantize_model(
+        model,
+        calibration,
+        APTQConfig(ratio_4bit=0.75, group_size=8, n_probes=4, seed=0),
+    )
+    return result, model
+
+
+class TestAPTQRun:
+    def test_every_layer_quantized(self, aptq_result_and_model):
+        result, model = aptq_result_and_model
+        assert set(result.layer_results) == set(model.quantizable_linears())
+
+    def test_average_bits_near_target(self, aptq_result_and_model):
+        result, _ = aptq_result_and_model
+        target = 4 * 0.75 + 2 * 0.25
+        assert abs(result.average_bits - target) < 0.35
+
+    def test_allocation_contains_both_widths(self, aptq_result_and_model):
+        result, _ = aptq_result_and_model
+        assert set(result.allocation.values()) == {2, 4}
+
+    def test_solver_bits_match_allocation(self, aptq_result_and_model):
+        result, _ = aptq_result_and_model
+        for name, solver_result in result.layer_results.items():
+            assert solver_result.bits == result.allocation[name]
+
+    def test_weights_changed(self, aptq_result_and_model, trained_micro_model):
+        _, model = aptq_result_and_model
+        for name, linear in model.quantizable_linears().items():
+            reference = trained_micro_model.quantizable_linears()[name]
+            assert not np.allclose(linear.weight.data, reference.weight.data)
+
+    def test_model_still_functions(self, aptq_result_and_model, calibration):
+        _, model = aptq_result_and_model
+        logits = model.forward_array(calibration.segments[:2])
+        assert np.all(np.isfinite(logits))
+
+
+class TestAPTQConfigs:
+    def test_ratio_one_uniform_4bit(self, trained_micro_model, calibration):
+        model = clone(trained_micro_model)
+        result = aptq_quantize_model(
+            model, calibration,
+            APTQConfig(ratio_4bit=1.0, group_size=8, n_probes=2),
+        )
+        assert result.average_bits == pytest.approx(4.0)
+
+    def test_non_sequential_reuses_fp_hessians(
+        self, trained_micro_model, calibration
+    ):
+        model = clone(trained_micro_model)
+        result = aptq_quantize_model(
+            model, calibration,
+            APTQConfig(ratio_4bit=1.0, group_size=8, n_probes=2,
+                       sequential=False),
+        )
+        assert len(result.layer_results) == 14
+
+    def test_allocation_override(self, trained_micro_model, calibration):
+        model = clone(trained_micro_model)
+        override = manual_blockwise_allocation(model, 0.5)
+        result = aptq_quantize_model(
+            model, calibration,
+            APTQConfig(group_size=8, n_probes=2, allocation_override=override),
+        )
+        assert result.allocation == override
+
+    def test_incomplete_override_rejected(self, trained_micro_model, calibration):
+        model = clone(trained_micro_model)
+        with pytest.raises(KeyError):
+            aptq_quantize_model(
+                model, calibration,
+                APTQConfig(allocation_override={"blocks.0.mlp.up_proj": 4}),
+            )
+
+    def test_kwarg_overrides(self, trained_micro_model, calibration):
+        model = clone(trained_micro_model)
+        result = aptq_quantize_model(
+            model, calibration, ratio_4bit=0.0, group_size=8, n_probes=2,
+        )
+        assert result.average_bits == pytest.approx(2.0)
+
+
+class TestAPTQQuality:
+    def test_mixed_precision_beats_uniform_2bit(
+        self, trained_micro_model, calibration, corpus_splits
+    ):
+        stream = corpus_splits.validation[:2000]
+        uniform2 = clone(trained_micro_model)
+        aptq_quantize_model(
+            uniform2, calibration,
+            APTQConfig(ratio_4bit=0.0, group_size=8, n_probes=2),
+        )
+        mixed = clone(trained_micro_model)
+        aptq_quantize_model(
+            mixed, calibration,
+            APTQConfig(ratio_4bit=0.75, group_size=8, n_probes=2),
+        )
+        assert perplexity(mixed, stream, seq_len=32) < perplexity(
+            uniform2, stream, seq_len=32
+        )
+
+    def test_4bit_close_to_fp(self, trained_micro_model, calibration,
+                              corpus_splits):
+        stream = corpus_splits.validation[:2000]
+        quantized = clone(trained_micro_model)
+        aptq_quantize_model(
+            quantized, calibration,
+            APTQConfig(ratio_4bit=1.0, group_size=8, n_probes=2),
+        )
+        fp = perplexity(trained_micro_model, stream, seq_len=32)
+        q = perplexity(quantized, stream, seq_len=32)
+        assert q < fp * 1.25

@@ -1,0 +1,32 @@
+"""The merged per-head group record must dequantize to the layer weights."""
+
+import numpy as np
+import pytest
+
+from repro.core.aptq import APTQConfig, aptq_quantize_model
+from tests.conftest import clone
+
+
+@pytest.fixture(scope="module")
+def run(trained_micro_model, calibration):
+    model = clone(trained_micro_model)
+    result = aptq_quantize_model(
+        model, calibration,
+        APTQConfig(ratio_4bit=1.0, group_size=8, n_probes=2),
+    )
+    return result, model
+
+
+class TestMergedGroupRecords:
+    def test_attention_group_record_matches_weights(self, run):
+        result, model = run
+        for name, linear in model.quantizable_linears().items():
+            record = result.layer_results[name].group_result
+            assert record.codes.shape == linear.weight.data.shape
+            assert np.allclose(record.dequantize(), linear.weight.data)
+
+    def test_grid_shapes_cover_all_columns(self, run):
+        result, model = run
+        for name, linear in model.quantizable_linears().items():
+            record = result.layer_results[name].group_result
+            assert record.scales.shape[1] == linear.d_out

@@ -1,0 +1,105 @@
+"""The central correctness check of the reproduction: the analytic
+attention derivatives (paper Eqs. (9), (10), (12), (13)) must match
+reverse-mode autograd exactly."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.core.attention_grads import (
+    attention_seeded_gradients,
+    rope_adjoint,
+    softmax_vjp,
+)
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadAttention
+
+
+def autograd_reference(attn, x, seed):
+    attn.zero_grad()
+    out = attn(Tensor(x))
+    ops.sum(ops.mul(out, Tensor(seed))).backward()
+    return {
+        "q_proj": attn.q_proj.weight.grad,
+        "k_proj": attn.k_proj.weight.grad,
+        "v_proj": attn.v_proj.weight.grad,
+        "o_proj": attn.o_proj.weight.grad,
+    }
+
+
+class TestRopeAdjoint:
+    def test_adjoint_identity(self, rng):
+        # <R(x), y> == <x, R^T(y)> for all x, y.
+        cos, sin = F.rope_tables(5, 8)
+        x = rng.normal(size=(5, 8))
+        y = rng.normal(size=(5, 8))
+        lhs = (F.apply_rope(x, cos, sin) * y).sum()
+        rhs = (x * rope_adjoint(y, cos, sin)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_adjoint_is_inverse_for_rotations(self, rng):
+        # RoPE is orthogonal, so the adjoint is also the inverse.
+        cos, sin = F.rope_tables(4, 8)
+        x = rng.normal(size=(4, 8))
+        assert np.allclose(rope_adjoint(F.apply_rope(x, cos, sin), cos, sin), x)
+
+
+class TestSoftmaxVJP:
+    def test_matches_autograd(self, rng):
+        logits = rng.normal(size=(3, 6))
+        upstream = rng.normal(size=(3, 6))
+        t = Tensor(logits, requires_grad=True)
+        ops.sum(ops.mul(ops.softmax(t), Tensor(upstream))).backward()
+        analytic = softmax_vjp(F.softmax(logits), upstream)
+        assert np.allclose(analytic, t.grad)
+
+
+class TestSeededGradients:
+    @pytest.mark.parametrize(
+        "d_model,n_heads,seq,batch",
+        [(8, 2, 5, 1), (12, 3, 6, 2), (16, 4, 4, 3), (16, 2, 9, 2)],
+    )
+    def test_matches_autograd(self, d_model, n_heads, seq, batch):
+        rng = np.random.default_rng(d_model + seq)
+        attn = MultiHeadAttention(d_model, n_heads, 16, rng=rng)
+        x = rng.normal(size=(batch, seq, d_model))
+        seed = rng.normal(size=(batch, seq, d_model))
+        ref = autograd_reference(attn, x, seed)
+        _, capture = attn.forward_array(x, capture=True)
+        analytic = attention_seeded_gradients(attn, capture, seed).by_name()
+        for name, expected in ref.items():
+            assert np.allclose(analytic[name], expected, atol=1e-10), name
+
+    def test_gradients_not_degenerate(self, rng):
+        attn = MultiHeadAttention(12, 3, 8, rng=rng)
+        x = rng.normal(size=(2, 6, 12))
+        _, capture = attn.forward_array(x, capture=True)
+        grads = attention_seeded_gradients(
+            attn, capture, np.ones((2, 6, 12))
+        )
+        for matrix in (grads.q, grads.k, grads.v, grads.o):
+            assert matrix.shape == (12, 12)
+            assert np.abs(matrix).max() > 0
+
+    def test_linear_in_seed(self, rng):
+        # d<F, aS1 + bS2>/dW == a d<F,S1>/dW + b d<F,S2>/dW.
+        attn = MultiHeadAttention(8, 2, 8, rng=rng)
+        x = rng.normal(size=(1, 5, 8))
+        _, capture = attn.forward_array(x, capture=True)
+        s1 = rng.normal(size=(1, 5, 8))
+        s2 = rng.normal(size=(1, 5, 8))
+        g1 = attention_seeded_gradients(attn, capture, s1)
+        g2 = attention_seeded_gradients(attn, capture, s2)
+        g12 = attention_seeded_gradients(attn, capture, 2.0 * s1 - 3.0 * s2)
+        assert np.allclose(g12.q, 2.0 * g1.q - 3.0 * g2.q)
+        assert np.allclose(g12.o, 2.0 * g1.o - 3.0 * g2.o)
+
+    def test_o_gradient_is_heads_transpose_seed(self, rng):
+        # Eq. (9) reduces to C^T S exactly.
+        attn = MultiHeadAttention(8, 2, 8, rng=rng)
+        x = rng.normal(size=(2, 4, 8))
+        seed = rng.normal(size=(2, 4, 8))
+        _, capture = attn.forward_array(x, capture=True)
+        grads = attention_seeded_gradients(attn, capture, seed)
+        expected = capture.heads.reshape(-1, 8).T @ seed.reshape(-1, 8)
+        assert np.allclose(grads.o, expected)

@@ -1,0 +1,104 @@
+"""Tests for the attention-aware Hessian assembly (paper Eq. (7))."""
+
+import numpy as np
+import pytest
+
+from repro.core.hessian import (
+    attention_hessians,
+    capture_attention,
+    head_column_slices,
+)
+
+
+@pytest.fixture(scope="module")
+def hessians(trained_micro_model, calibration):
+    return attention_hessians(
+        trained_micro_model, 0, calibration.segments[:8], n_probes=6, seed=0
+    )
+
+
+class TestCaptureAttention:
+    def test_capture_matches_block_input(self, trained_micro_model, calibration):
+        ids = calibration.segments[:2]
+        capture = capture_attention(trained_micro_model, ids, 1)
+        states = trained_micro_model.hidden_states(ids)
+        normed = trained_micro_model.blocks[1].input_norm.forward_array(states[1])
+        assert np.allclose(capture.x, normed)
+
+    def test_block_index_validated(self, trained_micro_model, calibration):
+        with pytest.raises(IndexError):
+            capture_attention(trained_micro_model, calibration.segments[:1], 99)
+
+
+class TestAttentionHessians:
+    def test_shapes(self, hessians, trained_micro_model):
+        d = trained_micro_model.config.d_model
+        h = trained_micro_model.config.n_heads
+        assert len(hessians.q) == h and len(hessians.k) == h
+        assert len(hessians.v) == h
+        for matrix in hessians.q + hessians.k + hessians.v + [hessians.o]:
+            assert matrix.shape == (d, d)
+
+    def test_symmetric_positive_semidefinite(self, hessians):
+        for matrix in hessians.q + hessians.k + hessians.v + [hessians.o]:
+            assert np.allclose(matrix, matrix.T)
+            assert np.all(np.linalg.eigvalsh(matrix) > -1e-8)
+
+    def test_o_hessian_matches_gptq_closed_form(
+        self, trained_micro_model, calibration
+    ):
+        # Eq. (9): the o_proj Hessian is (2 D / n) C^T C where C are the
+        # concatenated head outputs — i.e. GPTQ's Hessian of that layer
+        # scaled by D.
+        segments = calibration.segments[:8]
+        hessians = attention_hessians(
+            trained_micro_model, 0, segments, n_probes=2, seed=0
+        )
+        capture = capture_attention(trained_micro_model, segments, 0)
+        flat = capture.heads.reshape(-1, capture.heads.shape[-1])
+        d_model = flat.shape[1]
+        expected = 2.0 * d_model * (flat.T @ flat) / flat.shape[0]
+        assert np.allclose(hessians.o, expected)
+
+    def test_probe_estimate_converges(self, trained_micro_model, calibration):
+        # More probes -> the q-Hessian approaches a many-probe reference.
+        segments = calibration.segments[:4]
+        reference = attention_hessians(
+            trained_micro_model, 0, segments, n_probes=64, seed=100
+        )
+        few = attention_hessians(
+            trained_micro_model, 0, segments, n_probes=2, seed=200
+        )
+        many = attention_hessians(
+            trained_micro_model, 0, segments, n_probes=32, seed=300
+        )
+
+        def distance(a, b):
+            return np.linalg.norm(a - b) / np.linalg.norm(b)
+
+        assert distance(many.q[0], reference.q[0]) < distance(
+            few.q[0], reference.q[0]
+        )
+
+    def test_mean_trace_positive(self, hessians):
+        for proj in ("q_proj", "k_proj", "v_proj", "o_proj"):
+            assert hessians.mean_trace(proj) > 0.0
+
+    def test_full_matrix_average(self, hessians):
+        stacked = np.mean(hessians.q, axis=0)
+        assert np.allclose(hessians.full_matrix("q_proj"), stacked)
+
+    def test_invalid_probes_rejected(self, trained_micro_model, calibration):
+        with pytest.raises(ValueError):
+            attention_hessians(
+                trained_micro_model, 0, calibration.segments[:2], n_probes=0
+            )
+
+
+class TestHeadSlices:
+    def test_partition(self):
+        slices = head_column_slices(16, 4)
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(16))

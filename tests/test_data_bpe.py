@@ -1,0 +1,62 @@
+"""Tests for the byte-pair-encoding substrate."""
+
+import pytest
+
+from repro.data.bpe import BPETokenizer
+
+CORPUS = [
+    "the cat sat on the mat",
+    "the cat ate the rat",
+    "a cat and a rat sat",
+] * 5
+
+
+@pytest.fixture(scope="module")
+def trained():
+    tok = BPETokenizer()
+    tok.train(CORPUS, num_merges=30)
+    return tok
+
+
+class TestTraining:
+    def test_learns_merges(self, trained):
+        assert len(trained.merges) > 0
+        assert len(trained.vocab) > 0
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            BPETokenizer().train([], num_merges=5)
+
+    def test_nonpositive_merges_rejected(self):
+        with pytest.raises(ValueError):
+            BPETokenizer().train(CORPUS, num_merges=0)
+
+    def test_deterministic_training(self):
+        a, b = BPETokenizer(), BPETokenizer()
+        a.train(CORPUS, num_merges=20)
+        b.train(CORPUS, num_merges=20)
+        assert a.merges == b.merges
+
+    def test_frequent_word_becomes_single_token(self, trained):
+        # "the" is the most common word; 30 merges collapse it fully.
+        assert trained.encode_word("the") == ["the" + BPETokenizer.EOW]
+
+
+class TestEncodeDecode:
+    def test_round_trip(self, trained):
+        text = "the cat sat on a mat"
+        assert trained.decode(trained.encode(text)) == text
+
+    def test_unseen_word_falls_back_to_chars(self, trained):
+        pieces = trained.encode_word("zzz")
+        assert "".join(pieces) == "zzz" + BPETokenizer.EOW
+
+    def test_encode_before_training_rejected(self):
+        with pytest.raises(RuntimeError):
+            BPETokenizer().encode("hello")
+
+    def test_merge_order_respects_rank(self, trained):
+        # Encoding must apply lowest-rank merges first; spot-check that
+        # re-encoding an already-encoded word is stable.
+        once = trained.encode_word("cat")
+        assert trained.encode_word("cat") == once

@@ -1,0 +1,46 @@
+"""Tests for calibration sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.calibration import CalibrationSet, sample_calibration
+
+
+class TestSampleCalibration:
+    def test_shape_matches_protocol(self, corpus):
+        calib = sample_calibration(corpus, n_segments=32, seq_len=48, seed=1)
+        assert calib.segments.shape == (32, 48)
+        assert calib.corpus_name == "c4-sim"
+
+    def test_deterministic(self, corpus):
+        a = sample_calibration(corpus, n_segments=8, seq_len=16, seed=5)
+        b = sample_calibration(corpus, n_segments=8, seq_len=16, seed=5)
+        assert np.array_equal(a.segments, b.segments)
+
+    def test_seed_changes_segments(self, corpus):
+        a = sample_calibration(corpus, n_segments=8, seq_len=16, seed=5)
+        b = sample_calibration(corpus, n_segments=8, seq_len=16, seed=6)
+        assert not np.array_equal(a.segments, b.segments)
+
+    def test_invalid_args(self, corpus):
+        with pytest.raises(ValueError):
+            sample_calibration(corpus, n_segments=0)
+        with pytest.raises(ValueError):
+            sample_calibration(corpus, seq_len=0)
+
+
+class TestCalibrationSet:
+    def test_batches_cover_all_segments(self, corpus):
+        calib = sample_calibration(corpus, n_segments=10, seq_len=8, seed=2)
+        batches = list(calib.batches(4))
+        assert [b.shape[0] for b in batches] == [4, 4, 2]
+        assert np.array_equal(np.concatenate(batches), calib.segments)
+
+    def test_invalid_batch_size(self, corpus):
+        calib = sample_calibration(corpus, n_segments=4, seq_len=8, seed=2)
+        with pytest.raises(ValueError):
+            list(calib.batches(0))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            CalibrationSet(segments=np.zeros(5), corpus_name="x", seed=0)

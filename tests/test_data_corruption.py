@@ -1,0 +1,67 @@
+"""Tests for the corruption distractor family."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import c4_domains
+from repro.data.tasks import build_task_suite
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return c4_domains()[0]
+
+
+class TestCorruptContinuation:
+    def test_exactly_n_positions_differ(self, grammar, rng):
+        continuation = grammar.sample(10, rng=rng)
+        for n in (1, 3, 10):
+            corrupted = grammar.corrupt_continuation(continuation, rng, n)
+            assert int((corrupted != continuation).sum()) == n
+
+    def test_replacement_never_equals_original(self, grammar, rng):
+        continuation = grammar.sample(50, rng=rng)
+        corrupted = grammar.corrupt_continuation(continuation, rng, 50)
+        assert np.all(corrupted != continuation)
+
+    def test_original_not_mutated(self, grammar, rng):
+        continuation = grammar.sample(8, rng=rng)
+        before = continuation.copy()
+        grammar.corrupt_continuation(continuation, rng, 2)
+        assert np.array_equal(continuation, before)
+
+    def test_out_of_range_rejected(self, grammar, rng):
+        continuation = grammar.sample(4, rng=rng)
+        with pytest.raises(ValueError):
+            grammar.corrupt_continuation(continuation, rng, 0)
+        with pytest.raises(ValueError):
+            grammar.corrupt_continuation(continuation, rng, 5)
+
+    def test_corruption_lowers_grammar_logprob_on_average(self, grammar):
+        rng = np.random.default_rng(1)
+        deltas = []
+        for _ in range(20):
+            context = grammar.sample(10, rng=rng)
+            good = grammar.continue_sequence(context, 6, rng)
+            bad = grammar.corrupt_continuation(good, rng, 1)
+            lp_good = grammar.sequence_logprob(np.concatenate([context, good]))
+            lp_bad = grammar.sequence_logprob(np.concatenate([context, bad]))
+            deltas.append(lp_good - lp_bad)
+        assert np.mean(deltas) > 0.5
+
+
+class TestCorruptSuites:
+    def test_corrupt_suite_builds(self, grammar, tokenizer):
+        suite = build_task_suite(
+            "t", grammar, tokenizer, n_examples=10, n_choices=2,
+            continuation_len=5, distractor="corrupt", seed=2,
+            n_corruptions=2,
+        )
+        assert len(suite) == 10
+
+    def test_corruptions_bounded_by_length(self, grammar, tokenizer):
+        with pytest.raises(ValueError):
+            build_task_suite(
+                "t", grammar, tokenizer, n_examples=2, continuation_len=3,
+                distractor="corrupt", seed=2, n_corruptions=4,
+            )

@@ -1,0 +1,146 @@
+"""Tests for the class-structured Markov grammars."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.grammar import MarkovGrammar
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return MarkovGrammar(60, branching=5, zipf_exponent=1.1, seed=3)
+
+
+class TestConstruction:
+    def test_every_class_non_empty(self, grammar):
+        for members in grammar.class_words:
+            assert members.size > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MarkovGrammar(2)
+        with pytest.raises(ValueError):
+            MarkovGrammar(60, branching=0)
+        with pytest.raises(ValueError):
+            MarkovGrammar(60, branching=30, n_classes=14)
+        with pytest.raises(ValueError):
+            MarkovGrammar(60, smoothing=0.0)
+        with pytest.raises(ValueError):
+            MarkovGrammar(60, n_classes=1)
+
+    def test_deterministic_construction(self):
+        a = MarkovGrammar(60, seed=4)
+        b = MarkovGrammar(60, seed=4)
+        assert np.array_equal(a.word_class, b.word_class)
+        assert np.array_equal(a._successor_classes, b._successor_classes)
+
+    def test_shared_class_seed_shares_lexical_structure(self):
+        a = MarkovGrammar(60, seed=1, class_seed=42)
+        b = MarkovGrammar(60, seed=2, class_seed=42)
+        assert np.array_equal(a.word_class, b.word_class)
+        assert np.allclose(a._emission_prob, b._emission_prob)
+        # Transitions still differ.
+        assert not np.array_equal(a._successor_classes, b._successor_classes)
+
+
+class TestDistributions:
+    @given(st.integers(0, 59), st.integers(0, 59))
+    @settings(max_examples=30, deadline=None)
+    def test_successor_distribution_normalised(self, a, b):
+        grammar = MarkovGrammar(60, branching=5, seed=3)
+        dist = grammar.successor_distribution((a, b))
+        assert dist.min() > 0.0
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_word_probability_matches_distribution(self, grammar):
+        context = (4, 17)
+        dist = grammar.successor_distribution(context)
+        for word in (0, 13, 59):
+            assert grammar.word_probability(context, word) == pytest.approx(
+                dist[word]
+            )
+
+    def test_entropy_rate_positive_and_bounded(self, grammar):
+        rate = grammar.entropy_rate()
+        assert 0.0 < rate < np.log(grammar.n_words)
+
+
+class TestSampling:
+    def test_sample_range_and_length(self, grammar):
+        out = grammar.sample(500, rng=np.random.default_rng(0))
+        assert out.shape == (500,)
+        assert out.min() >= 0 and out.max() < grammar.n_words
+
+    def test_sample_deterministic(self, grammar):
+        a = grammar.sample(100, rng=np.random.default_rng(9))
+        b = grammar.sample(100, rng=np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_sample_start_context_respected(self, grammar):
+        a = grammar.sample(50, rng=np.random.default_rng(1), start=(3, 4))
+        b = grammar.sample(50, rng=np.random.default_rng(1), start=(3, 4))
+        assert np.array_equal(a, b)
+
+    def test_nonpositive_length_rejected(self, grammar):
+        with pytest.raises(ValueError):
+            grammar.sample(0)
+
+    def test_samples_follow_the_grammar(self, grammar):
+        # Empirical next-word frequencies should be dominated by the
+        # grammar's successor classes.
+        stream = grammar.sample(4000, rng=np.random.default_rng(2))
+        hits = 0
+        for i in range(2, 2000):
+            context = (stream[i - 2], stream[i - 1])
+            row = grammar._successor_classes[grammar._context_index(context)]
+            hits += int(grammar.word_class[stream[i]] in row)
+        assert hits / 1998 > 0.95  # smoothing allows rare misses
+
+
+class TestContinuations:
+    def test_continuation_more_probable_than_random(self, grammar, rng):
+        context = grammar.sample(20, rng=np.random.default_rng(5))
+        good = grammar.continue_sequence(context, 8, rng)
+        bad = rng.integers(grammar.n_words, size=8)
+        lp_good = grammar.sequence_logprob(np.concatenate([context, good]))
+        lp_bad = grammar.sequence_logprob(np.concatenate([context, bad]))
+        assert lp_good > lp_bad
+
+    def test_low_probability_continuation_is_worse(self, grammar, rng):
+        context = grammar.sample(20, rng=np.random.default_rng(6))
+        totals = {"normal": 0.0, "low": 0.0}
+        for trial in range(10):
+            trial_rng = np.random.default_rng(trial)
+            normal = grammar.continue_sequence(context, 6, trial_rng)
+            low = grammar.continue_sequence(
+                context, 6, trial_rng, low_probability=True
+            )
+            totals["normal"] += grammar.sequence_logprob(
+                np.concatenate([context, normal])
+            )
+            totals["low"] += grammar.sequence_logprob(
+                np.concatenate([context, low])
+            )
+        assert totals["normal"] > totals["low"]
+
+    def test_short_context_rejected(self, grammar, rng):
+        with pytest.raises(ValueError):
+            grammar.continue_sequence(np.array([1]), 4, rng)
+
+
+class TestLogprob:
+    def test_needs_three_words(self, grammar):
+        with pytest.raises(ValueError):
+            grammar.sequence_logprob(np.array([1, 2]))
+
+    def test_logprob_is_negative(self, grammar):
+        stream = grammar.sample(50, rng=np.random.default_rng(7))
+        assert grammar.sequence_logprob(stream) < 0.0
+
+    def test_grammar_text_scores_higher_than_foreign(self):
+        ours = MarkovGrammar(60, seed=1, class_seed=9)
+        other = MarkovGrammar(60, seed=2, class_seed=9)
+        stream = ours.sample(200, rng=np.random.default_rng(8))
+        assert ours.sequence_logprob(stream) > other.sequence_logprob(stream)

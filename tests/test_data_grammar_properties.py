@@ -1,0 +1,64 @@
+"""Hypothesis property tests on grammar probability consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.grammar import MarkovGrammar
+
+
+@pytest.fixture(scope="module")
+def grammar():
+    return MarkovGrammar(40, branching=4, zipf_exponent=1.1, seed=5,
+                         n_classes=8)
+
+
+class TestProbabilityConsistency:
+    @given(st.integers(0, 39), st.integers(0, 39), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_sequence_logprob_decomposes(self, a, b, data):
+        grammar = MarkovGrammar(40, branching=4, seed=5, n_classes=8)
+        words = [a, b]
+        for _ in range(4):
+            words.append(data.draw(st.integers(0, 39)))
+        words = np.asarray(words)
+        total = grammar.sequence_logprob(words)
+        manual = -2.0 * np.log(40)
+        for i in range(2, words.size):
+            manual += np.log(
+                grammar.word_probability(
+                    (int(words[i - 2]), int(words[i - 1])), int(words[i])
+                )
+            )
+        assert total == pytest.approx(manual, rel=1e-12)
+
+    def test_distribution_factorises_class_times_emission(self, grammar):
+        context = (3, 17)
+        dist = grammar.successor_distribution(context)
+        index = grammar._context_index(context)
+        class_probs = grammar._class_given_context[index]
+        for word in range(0, 40, 7):
+            c = int(grammar.word_class[word])
+            expected = class_probs[c] * grammar._emission_prob[word]
+            assert dist[word] == pytest.approx(expected)
+
+    def test_class_distribution_rows_normalised(self, grammar):
+        sums = grammar._class_given_context.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_emission_normalised_within_class(self, grammar):
+        for c in range(grammar.n_classes):
+            members = grammar.class_words[c]
+            assert grammar._emission_prob[members].sum() == pytest.approx(1.0)
+
+
+class TestEmpiricalFrequencies:
+    def test_sample_marginals_match_class_priors_roughly(self, grammar):
+        stream = grammar.sample(20_000, rng=np.random.default_rng(3))
+        observed_classes = grammar.word_class[stream]
+        counts = np.bincount(observed_classes, minlength=grammar.n_classes)
+        frequencies = counts / counts.sum()
+        # Every class must be visited; no class should dominate entirely.
+        assert frequencies.min() > 0.0
+        assert frequencies.max() < 0.6

@@ -1,0 +1,105 @@
+"""Tests for the synthetic zero-shot task suites."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import c4_domains
+from repro.data.grammar import MarkovGrammar
+from repro.data.tasks import (
+    MultipleChoiceExample,
+    build_task_suite,
+    standard_task_suites,
+)
+
+
+class TestMultipleChoiceExample:
+    def test_answer_range_validated(self):
+        ctx = np.array([4, 5, 6])
+        with pytest.raises(ValueError):
+            MultipleChoiceExample(
+                context=ctx, choices=[np.array([1]), np.array([2])], answer=2
+            )
+
+    def test_needs_two_choices(self):
+        with pytest.raises(ValueError):
+            MultipleChoiceExample(
+                context=np.array([1, 2]), choices=[np.array([1])], answer=0
+            )
+
+
+class TestBuildTaskSuite:
+    @pytest.fixture(scope="class")
+    def grammar(self):
+        return c4_domains()[0]
+
+    def test_counts_and_shapes(self, grammar, tokenizer):
+        suite = build_task_suite(
+            "t", grammar, tokenizer, n_examples=20, n_choices=3,
+            context_len=10, continuation_len=4, distractor="random", seed=1,
+        )
+        assert len(suite) == 20
+        for ex in suite.examples:
+            assert ex.context.size == 10
+            assert len(ex.choices) == 3
+            assert all(c.size == 4 for c in ex.choices)
+
+    def test_deterministic(self, grammar, tokenizer):
+        kwargs = dict(n_examples=5, n_choices=2, seed=9, distractor="random")
+        a = build_task_suite("t", grammar, tokenizer, **kwargs)
+        b = build_task_suite("t", grammar, tokenizer, **kwargs)
+        for ea, eb in zip(a.examples, b.examples):
+            assert np.array_equal(ea.context, eb.context)
+            assert ea.answer == eb.answer
+
+    def test_answers_are_shuffled(self, grammar, tokenizer):
+        suite = build_task_suite(
+            "t", grammar, tokenizer, n_examples=40, n_choices=4,
+            distractor="random", seed=2,
+        )
+        answers = {ex.answer for ex in suite.examples}
+        assert len(answers) > 1
+
+    def test_foreign_requires_grammar(self, grammar, tokenizer):
+        with pytest.raises(ValueError):
+            build_task_suite(
+                "t", grammar, tokenizer, distractor="foreign", seed=0
+            )
+
+    def test_oracle_prefers_correct_answer(self, grammar, tokenizer):
+        # Scoring with the true grammar log-probability should solve the
+        # random-distractor suite almost perfectly.
+        suite = build_task_suite(
+            "t", grammar, tokenizer, n_examples=30, n_choices=2,
+            context_len=12, continuation_len=6, distractor="random", seed=3,
+        )
+        correct = 0
+        for ex in suite.examples:
+            ctx_words = tokenizer.token_ids_to_word_ids(ex.context)
+            scores = []
+            for choice in ex.choices:
+                words = np.concatenate(
+                    [ctx_words, tokenizer.token_ids_to_word_ids(choice)]
+                )
+                scores.append(grammar.sequence_logprob(words))
+            correct += int(np.argmax(scores) == ex.answer)
+        assert correct / 30 > 0.9
+
+
+class TestStandardSuites:
+    def test_five_suites_with_expected_names(self, corpus):
+        suites = standard_task_suites(corpus, n_examples=5)
+        names = [s.name for s in suites]
+        assert names == [
+            "piqa_sim",
+            "hellaswag_sim",
+            "arc_easy_sim",
+            "arc_challenge_sim",
+            "winogrande_sim",
+        ]
+
+    def test_tokens_within_vocab(self, corpus):
+        for suite in standard_task_suites(corpus, n_examples=3):
+            for ex in suite.examples:
+                ids = np.concatenate([ex.context] + list(ex.choices))
+                assert ids.min() >= corpus.tokenizer.num_specials
+                assert ids.max() < corpus.tokenizer.vocab_size

@@ -1,0 +1,68 @@
+"""Tests for the lexicon builder and word-level tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.data.tokenizer import WordTokenizer, build_lexicon
+
+
+class TestLexicon:
+    def test_requested_size_and_uniqueness(self):
+        words = build_lexicon(300, seed=1)
+        assert len(words) == 300
+        assert len(set(words)) == 300
+
+    def test_deterministic(self):
+        assert build_lexicon(50, seed=2) == build_lexicon(50, seed=2)
+
+    def test_different_seeds_differ(self):
+        assert build_lexicon(50, seed=1) != build_lexicon(50, seed=2)
+
+    def test_words_are_alpha(self):
+        assert all(word.isalpha() for word in build_lexicon(100, seed=3))
+
+
+class TestWordTokenizer:
+    @pytest.fixture
+    def tok(self):
+        return WordTokenizer(["alpha", "beta", "gamma"])
+
+    def test_vocab_layout(self, tok):
+        assert tok.vocab_size == 7  # 4 specials + 3 words
+        assert tok.pad_id == 0
+        assert tok.unk_id == 1
+        assert tok.bos_id == 2
+        assert tok.eos_id == 3
+
+    def test_encode_decode_round_trip(self, tok):
+        text = "beta alpha gamma"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_words_map_to_unk(self, tok):
+        ids = tok.encode("alpha nonsense beta")
+        assert ids[1] == tok.unk_id
+
+    def test_duplicate_lexicon_rejected(self):
+        with pytest.raises(ValueError):
+            WordTokenizer(["a", "a"])
+
+    def test_special_collision_rejected(self):
+        with pytest.raises(ValueError):
+            WordTokenizer(["<unk>", "b"])
+
+    def test_word_token_id_round_trip(self, tok):
+        word_ids = np.array([0, 2, 1])
+        token_ids = tok.word_ids_to_token_ids(word_ids)
+        assert np.array_equal(token_ids, word_ids + 4)
+        assert np.array_equal(tok.token_ids_to_word_ids(token_ids), word_ids)
+
+    def test_word_id_out_of_range(self, tok):
+        with pytest.raises(IndexError):
+            tok.word_ids_to_token_ids(np.array([3]))
+
+    def test_token_id_specials_rejected(self, tok):
+        with pytest.raises(ValueError):
+            tok.token_ids_to_word_ids(np.array([0]))
+
+    def test_empty_encode(self, tok):
+        assert tok.encode("").size == 0

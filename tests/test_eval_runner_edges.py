@@ -1,0 +1,28 @@
+"""Edge cases for the high-level evaluation runner."""
+
+from repro.eval.runner import evaluate_model
+
+
+class TestEvaluateModelEdges:
+    def test_no_streams_no_suites(self, trained_micro_model):
+        report = evaluate_model(trained_micro_model, label="bare")
+        assert report.perplexities == {}
+        assert report.zero_shot == {}
+        row = report.summary_row()
+        assert row == {"method": "bare", "avg_bits": 16.0}
+
+    def test_streams_only(self, trained_micro_model, corpus_splits):
+        report = evaluate_model(
+            trained_micro_model,
+            label="ppl-only",
+            eval_streams={"val": corpus_splits.validation[:1000]},
+            seq_len=32,
+        )
+        assert set(report.perplexities) == {"val"}
+        assert report.zero_shot == {}
+
+    def test_average_bits_recorded(self, trained_micro_model):
+        report = evaluate_model(
+            trained_micro_model, label="q", average_bits=3.5
+        )
+        assert report.summary_row()["avg_bits"] == 3.5

@@ -1,0 +1,17 @@
+"""Tests for the ``python -m repro.experiments`` CLI plumbing."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLIParsing:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_help_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "table1" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Tests for the method registry used by the benchmark runners."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.methods import apply_method, available_methods
+from tests.conftest import clone
+
+
+def weights_of(model):
+    return {
+        name: lin.weight.data.copy()
+        for name, lin in model.quantizable_linears().items()
+    }
+
+
+class TestRegistry:
+    def test_available_methods_listed(self):
+        names = available_methods()
+        assert "fp16" in names and "gptq" in names
+
+    def test_unknown_method_rejected(self, trained_micro_model, calibration):
+        with pytest.raises(ValueError):
+            apply_method("nonsense", clone(trained_micro_model), calibration)
+
+    def test_bad_percentage_rejected(self, trained_micro_model, calibration):
+        with pytest.raises(ValueError):
+            apply_method("aptq-150", clone(trained_micro_model), calibration)
+
+    def test_fp16_is_noop(self, trained_micro_model, calibration):
+        model = clone(trained_micro_model)
+        before = weights_of(model)
+        applied = apply_method("fp16", model, calibration)
+        assert applied.average_bits == 16.0
+        for name, w in weights_of(model).items():
+            assert np.array_equal(w, before[name])
+
+    @pytest.mark.parametrize(
+        "method,expected_bits",
+        [
+            ("rtn", 4.0),
+            ("smoothquant", 4.0),
+            ("fpq", 4.0),
+            ("gptq", 4.0),
+            ("pb-llm-20", 4.0),
+            ("pb-llm-10", 2.5),
+            ("aptq-100", 4.0),
+        ],
+    )
+    def test_methods_mutate_and_report_bits(
+        self, trained_micro_model, calibration, method, expected_bits
+    ):
+        model = clone(trained_micro_model)
+        before = weights_of(model)
+        applied = apply_method(
+            model=model,
+            name=method,
+            calibration=calibration,
+            group_size=8,
+            n_probes=2,
+        )
+        assert applied.average_bits == pytest.approx(expected_bits, abs=0.2)
+        changed = any(
+            not np.allclose(w, before[name])
+            for name, w in weights_of(model).items()
+        )
+        assert changed
+
+    def test_owq_bits_just_above_four(self, trained_micro_model, calibration):
+        model = clone(trained_micro_model)
+        applied = apply_method("owq", model, calibration, group_size=8)
+        assert 4.0 < applied.average_bits < 5.0
+
+    def test_aptq_ratio_scales_bits(self, trained_micro_model, calibration):
+        bits = {}
+        for ratio in (100, 50, 0):
+            model = clone(trained_micro_model)
+            applied = apply_method(
+                f"aptq-{ratio}", model, calibration, group_size=8, n_probes=2
+            )
+            bits[ratio] = applied.average_bits
+        assert bits[100] == pytest.approx(4.0)
+        assert bits[0] == pytest.approx(2.0)
+        assert bits[100] > bits[50] > bits[0]
+
+    def test_manual_matches_aptq_bits(self, trained_micro_model, calibration):
+        aptq = apply_method(
+            "aptq-50", clone(trained_micro_model), calibration,
+            group_size=8, n_probes=2,
+        )
+        manual = apply_method(
+            "manual-50", clone(trained_micro_model), calibration,
+            group_size=8, n_probes=2,
+        )
+        assert manual.average_bits == pytest.approx(aptq.average_bits, abs=0.5)
+
+    def test_llmqat_runs(self, trained_micro_model, calibration):
+        model = clone(trained_micro_model)
+        applied = apply_method(
+            "llm-qat", model, calibration, group_size=8, qat_steps=3
+        )
+        assert applied.average_bits == 4.0
+        assert len(applied.details) == 3

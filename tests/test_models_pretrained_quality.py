@@ -1,0 +1,49 @@
+"""Quality checks on the cached paper stand-in models.
+
+These run only when the zoo cache already holds the models (built by the
+benchmark suite or a prior `pretrained(...)` call) — on a cold cache they
+would trigger minutes of training, which belongs to benchmarks, not tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models.configs import model_config
+from repro.models.zoo import _TRAINING_PRESETS, _checkpoint_path, pretrained
+
+
+def cached(name: str) -> bool:
+    return _checkpoint_path(
+        name, model_config(name), _TRAINING_PRESETS[name]
+    ).exists()
+
+
+requires_7b = pytest.mark.skipif(
+    not cached("llama-7b-sim"), reason="llama-7b-sim not in zoo cache"
+)
+
+
+@requires_7b
+class TestPretrained7B:
+    def test_loads_and_predicts_better_than_uniform(self, corpus):
+        from repro.eval import perplexity
+
+        model = pretrained("llama-7b-sim")
+        stream = corpus.splits().validation[:4000]
+        assert perplexity(model, stream) < 0.5 * model.config.vocab_size
+
+    def test_deterministic_load(self):
+        a = pretrained("llama-7b-sim")
+        b = pretrained("llama-7b-sim")
+        ids = np.random.default_rng(0).integers(0, 256, size=(1, 16))
+        assert np.allclose(a.forward_array(ids), b.forward_array(ids))
+
+    def test_beats_chance_on_standard_suites(self, corpus):
+        from repro.data.tasks import standard_task_suites
+        from repro.eval import evaluate_suites
+
+        model = pretrained("llama-7b-sim")
+        suites = standard_task_suites(corpus, n_examples=30)
+        results = evaluate_suites(model, suites)
+        # Chance is 25-50% depending on the suite; a trained model clears it.
+        assert results["mean"] > 0.6

@@ -1,0 +1,136 @@
+"""Tests for the numpy functional ops, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import functional as F
+
+finite_rows = arrays(
+    np.float64,
+    (4, 6),
+    elements=st.floats(-50, 50, allow_nan=False),
+)
+
+
+class TestSoftmax:
+    @given(finite_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_rows_sum_to_one(self, x):
+        assert np.allclose(F.softmax(x).sum(axis=-1), 1.0)
+
+    @given(finite_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_shift_invariance(self, x):
+        assert np.allclose(F.softmax(x), F.softmax(x + 123.0))
+
+    def test_extreme_values_stable(self):
+        out = F.softmax(np.array([1e9, -1e9]))
+        assert np.allclose(out, [1.0, 0.0])
+
+    @given(finite_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_log_softmax_consistency(self, x):
+        assert np.allclose(F.log_softmax(x), np.log(F.softmax(x)))
+
+
+class TestRMSNorm:
+    def test_unit_gain_output_has_unit_rms(self, rng):
+        x = rng.normal(size=(8, 16)) * 5.0
+        out = F.rms_norm(x, np.ones(16), eps=0.0)
+        assert np.allclose(np.sqrt((out**2).mean(axis=-1)), 1.0)
+
+    def test_gain_scales_output(self, rng):
+        x = rng.normal(size=(4, 8))
+        gain = np.full(8, 3.0)
+        assert np.allclose(
+            F.rms_norm(x, gain), 3.0 * F.rms_norm(x, np.ones(8))
+        )
+
+    def test_eps_guards_zero_input(self):
+        out = F.rms_norm(np.zeros((2, 4)), np.ones(4), eps=1e-5)
+        assert np.all(np.isfinite(out))
+
+
+class TestRoPE:
+    def test_tables_shape(self):
+        cos, sin = F.rope_tables(10, 8)
+        assert cos.shape == (10, 8)
+        assert sin.shape == (10, 8)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            F.rope_tables(4, 7)
+
+    def test_rotation_preserves_norm(self, rng):
+        cos, sin = F.rope_tables(6, 8)
+        x = rng.normal(size=(6, 8))
+        rotated = F.apply_rope(x, cos, sin)
+        assert np.allclose(
+            np.linalg.norm(rotated, axis=-1), np.linalg.norm(x, axis=-1)
+        )
+
+    def test_position_zero_is_identity(self, rng):
+        cos, sin = F.rope_tables(4, 8)
+        x = rng.normal(size=(4, 8))
+        rotated = F.apply_rope(x, cos, sin)
+        assert np.allclose(rotated[0], x[0])
+
+    def test_relative_property_dot_products(self, rng):
+        # <R_m q, R_n k> must depend only on (m - n): shift both positions.
+        d = 8
+        cos, sin = F.rope_tables(12, d)
+        q = rng.normal(size=d)
+        k = rng.normal(size=d)
+        def rot(v, pos):
+            return v * cos[pos] + F.rotate_half(v[None, :])[0] * sin[pos]
+        a = rot(q, 3) @ rot(k, 1)
+        b = rot(q, 7) @ rot(k, 5)
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestCausalMask:
+    def test_upper_triangle_blocked(self):
+        mask = F.causal_mask(4)
+        assert np.all(np.isneginf(mask[np.triu_indices(4, k=1)]))
+
+    def test_lower_triangle_open(self):
+        mask = F.causal_mask(4)
+        lower = mask[np.tril_indices(4)]
+        assert np.all(lower == 0.0)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits(self):
+        logits = np.zeros((5, 10))
+        targets = np.arange(5) % 10
+        assert F.cross_entropy(logits, targets) == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((4, 6), -1e3)
+        targets = np.array([1, 2, 3, 4])
+        logits[np.arange(4), targets] = 1e3
+        assert F.cross_entropy(logits, targets) == pytest.approx(0.0, abs=1e-9)
+
+    def test_batched_shape(self):
+        logits = np.zeros((2, 3, 7))
+        targets = np.zeros((2, 3), dtype=int)
+        assert F.cross_entropy(logits, targets) == pytest.approx(np.log(7))
+
+
+class TestAttention:
+    def test_uniform_scores_average_values(self, rng):
+        q = np.zeros((1, 3, 4))
+        k = np.zeros((1, 3, 4))
+        v = rng.normal(size=(1, 3, 4))
+        out = F.attention(q, k, v)
+        assert np.allclose(out, v.mean(axis=1, keepdims=True))
+
+    def test_causal_mask_first_position_sees_itself(self, rng):
+        q = rng.normal(size=(1, 3, 4))
+        k = rng.normal(size=(1, 3, 4))
+        v = rng.normal(size=(1, 3, 4))
+        out = F.attention(q, k, v, mask=F.causal_mask(3))
+        assert np.allclose(out[0, 0], v[0, 0])

@@ -1,0 +1,71 @@
+"""Tests for autoregressive generation."""
+
+import numpy as np
+import pytest
+
+
+class TestGenerate:
+    def test_length_and_prefix_preserved(self, trained_micro_model, rng):
+        prompt = rng.integers(4, 256, size=5)
+        out = trained_micro_model.generate(prompt, max_new_tokens=7, rng=rng)
+        assert out.size == 12
+        assert np.array_equal(out[:5], prompt)
+
+    def test_tokens_in_vocab(self, trained_micro_model, rng):
+        out = trained_micro_model.generate(
+            rng.integers(4, 256, size=3), max_new_tokens=20, rng=rng
+        )
+        assert out.min() >= 0
+        assert out.max() < trained_micro_model.config.vocab_size
+
+    def test_greedy_is_deterministic(self, trained_micro_model, rng):
+        prompt = rng.integers(4, 256, size=4)
+        a = trained_micro_model.generate(prompt, 10, temperature=0.0)
+        b = trained_micro_model.generate(prompt, 10, temperature=0.0)
+        assert np.array_equal(a, b)
+
+    def test_sampling_seeded(self, trained_micro_model, rng):
+        prompt = rng.integers(4, 256, size=4)
+        a = trained_micro_model.generate(
+            prompt, 10, rng=np.random.default_rng(3)
+        )
+        b = trained_micro_model.generate(
+            prompt, 10, rng=np.random.default_rng(3)
+        )
+        assert np.array_equal(a, b)
+
+    def test_window_slides_past_context(self, trained_micro_model, rng):
+        max_len = trained_micro_model.config.max_seq_len
+        prompt = rng.integers(4, 256, size=max_len)
+        out = trained_micro_model.generate(prompt, 5, rng=rng)
+        assert out.size == max_len + 5
+
+    def test_zero_new_tokens(self, trained_micro_model, rng):
+        prompt = rng.integers(4, 256, size=4)
+        assert np.array_equal(
+            trained_micro_model.generate(prompt, 0), prompt
+        )
+
+    def test_validation(self, trained_micro_model):
+        with pytest.raises(ValueError):
+            trained_micro_model.generate(np.array([1]), -1)
+        with pytest.raises(ValueError):
+            trained_micro_model.generate(np.array([], dtype=int), 3)
+
+    def test_trained_model_generates_grammatical_text(
+        self, trained_micro_model, single_corpus, rng
+    ):
+        # Text sampled from the trained model should score far higher under
+        # the true grammar than uniform-random text.
+        grammar = single_corpus.grammars[0]
+        tok = single_corpus.tokenizer
+        prompt = single_corpus.tokens(8, seed_offset=50)
+        out = trained_micro_model.generate(
+            prompt, 40, temperature=0.8, rng=rng
+        )
+        generated = out[out >= tok.num_specials]
+        words = tok.token_ids_to_word_ids(generated)
+        lp_model = grammar.sequence_logprob(words) / words.size
+        random_words = rng.integers(grammar.n_words, size=words.size)
+        lp_random = grammar.sequence_logprob(random_words) / words.size
+        assert lp_model > lp_random + 0.5

@@ -1,0 +1,80 @@
+"""KV-cache incremental decoding must match the full forward pass exactly."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import KVCache
+
+
+class TestKVCache:
+    def test_append_grows(self, rng):
+        cache = KVCache()
+        assert cache.length == 0
+        k = rng.normal(size=(2, 2, 1, 4))
+        v = rng.normal(size=(2, 2, 1, 4))
+        keys, values = cache.append(k, v)
+        assert cache.length == 1
+        cache.append(k, v)
+        assert cache.length == 2
+
+
+class TestDecodeStep:
+    def test_matches_full_forward(self, trained_micro_model, rng):
+        model = trained_micro_model
+        ids = rng.integers(4, 256, size=12)
+        full = model.forward_array(ids[None, :])[0]
+        caches = model.new_cache()
+        stepped = [
+            model.decode_step(np.array([token]), caches)[0] for token in ids
+        ]
+        for position in range(ids.size):
+            assert np.allclose(full[position], stepped[position], atol=1e-10)
+
+    def test_batched_decoding(self, trained_micro_model, rng):
+        model = trained_micro_model
+        ids = rng.integers(4, 256, size=(3, 6))
+        full = model.forward_array(ids)
+        caches = model.new_cache()
+        for position in range(6):
+            logits = model.decode_step(ids[:, position], caches)
+        assert np.allclose(full[:, -1, :], logits, atol=1e-10)
+
+    def test_cache_overflow_rejected(self, trained_micro_model, rng):
+        model = trained_micro_model
+        caches = model.new_cache()
+        for _ in range(model.config.max_seq_len):
+            model.decode_step(np.array([5]), caches)
+        with pytest.raises(ValueError):
+            model.decode_step(np.array([5]), caches)
+
+
+class TestGenerateCached:
+    def test_greedy_matches_uncached(self, trained_micro_model, rng):
+        prompt = rng.integers(4, 256, size=6)
+        a = trained_micro_model.generate(prompt, 10, temperature=0.0)
+        b = trained_micro_model.generate_cached(prompt, 10, temperature=0.0)
+        assert np.array_equal(a, b)
+
+    def test_sampling_matches_uncached_with_same_rng(
+        self, trained_micro_model, rng
+    ):
+        prompt = rng.integers(4, 256, size=4)
+        a = trained_micro_model.generate(
+            prompt, 8, temperature=0.9, rng=np.random.default_rng(5)
+        )
+        b = trained_micro_model.generate_cached(
+            prompt, 8, temperature=0.9, rng=np.random.default_rng(5)
+        )
+        assert np.array_equal(a, b)
+
+    def test_context_overflow_rejected(self, trained_micro_model, rng):
+        max_len = trained_micro_model.config.max_seq_len
+        prompt = rng.integers(4, 256, size=max_len)
+        with pytest.raises(ValueError):
+            trained_micro_model.generate_cached(prompt, 1)
+
+    def test_validation(self, trained_micro_model):
+        with pytest.raises(ValueError):
+            trained_micro_model.generate_cached(np.array([1]), -1)
+        with pytest.raises(ValueError):
+            trained_micro_model.generate_cached(np.array([], dtype=int), 2)

@@ -1,0 +1,143 @@
+"""Tests for Module, Linear, Embedding and RMSNorm."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.nn.modules import Embedding, Linear, Module, RMSNorm
+
+
+class TestModuleRegistry:
+    def test_named_parameters_nested(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Linear(2, 3)
+
+        outer = Outer()
+        names = dict(outer.named_parameters())
+        assert "inner.weight" in names
+
+    def test_named_modules(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 2)
+                self.b = RMSNorm(2)
+
+        names = [name for name, _ in Outer().named_modules()]
+        assert "" in names and "a" in names and "b" in names
+
+    def test_num_parameters(self):
+        assert Linear(3, 4).num_parameters() == 12
+
+    def test_zero_grad_clears_all(self):
+        lin = Linear(2, 2)
+        out = ops.sum(lin(Tensor(np.ones((1, 2)))))
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a = Linear(3, 4, rng=np.random.default_rng(1))
+        b = Linear(3, 4, rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        lin = Linear(2, 2)
+        state = lin.state_dict()
+        state["weight"][:] = 0.0
+        assert not np.allclose(lin.weight.data, 0.0)
+
+    def test_missing_key_rejected(self):
+        lin = Linear(2, 2)
+        with pytest.raises(KeyError):
+            lin.load_state_dict({})
+
+    def test_unexpected_key_rejected(self):
+        lin = Linear(2, 2)
+        state = lin.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            lin.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        lin = Linear(2, 2)
+        with pytest.raises(ValueError):
+            lin.load_state_dict({"weight": np.zeros((3, 3))})
+
+
+class TestLinear:
+    def test_forward_matches_matmul(self, rng):
+        lin = Linear(4, 5, rng=rng)
+        x = rng.normal(size=(2, 4))
+        assert np.allclose(lin(Tensor(x)).data, x @ lin.weight.data)
+
+    def test_forward_array_matches_forward(self, rng):
+        lin = Linear(4, 5, rng=rng)
+        x = rng.normal(size=(2, 3, 4))
+        assert np.allclose(lin.forward_array(x), lin(Tensor(x)).data)
+
+    def test_input_hooks_called_on_both_paths(self, rng):
+        lin = Linear(3, 3, rng=rng)
+        seen = []
+        lin.input_hooks.append(lambda x: seen.append(x.shape))
+        x = rng.normal(size=(2, 3))
+        lin.forward_array(x)
+        lin(Tensor(x))
+        assert seen == [(2, 3), (2, 3)]
+
+    def test_init_scale_reasonable(self):
+        lin = Linear(100, 50, rng=np.random.default_rng(0))
+        std = lin.weight.data.std()
+        assert 0.05 < std < 0.2  # ~ 1/sqrt(100)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        ids = np.array([[1, 2], [3, 4]])
+        out = emb(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], emb.weight.data[1])
+
+    def test_out_of_range_rejected(self):
+        emb = Embedding(10, 4)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_flows_to_rows(self):
+        emb = Embedding(5, 3)
+        out = ops.sum(emb(np.array([2, 2])))
+        out.backward()
+        assert np.allclose(emb.weight.grad[2], 2.0)
+        assert np.allclose(emb.weight.grad[0], 0.0)
+
+
+class TestRMSNorm:
+    def test_matches_functional(self, rng):
+        from repro.nn import functional as F
+
+        norm = RMSNorm(8, eps=1e-5)
+        norm.gain.data = rng.normal(size=8)
+        x = rng.normal(size=(3, 8))
+        assert np.allclose(
+            norm(Tensor(x)).data, F.rms_norm(x, norm.gain.data, eps=1e-5)
+        )
+
+    def test_forward_array_matches(self, rng):
+        norm = RMSNorm(8)
+        x = rng.normal(size=(2, 3, 8))
+        assert np.allclose(norm.forward_array(x), norm(Tensor(x)).data)
+
+    def test_gain_receives_gradient(self, rng):
+        norm = RMSNorm(4)
+        out = ops.sum(norm(Tensor(rng.normal(size=(2, 4)))))
+        out.backward()
+        assert norm.gain.grad is not None

@@ -1,0 +1,132 @@
+"""Tests for TransformerBlock and LlamaModel."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import LlamaConfig, LlamaModel
+from repro.nn.transformer import SwiGLU, TransformerBlock
+
+
+class TestConfig:
+    def test_d_head(self):
+        cfg = LlamaConfig(d_model=64, n_heads=4)
+        assert cfg.d_head == 16
+
+    def test_invalid_heads_rejected(self):
+        with pytest.raises(ValueError):
+            LlamaConfig(d_model=64, n_heads=5)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            LlamaConfig(d_model=12, n_heads=4)  # d_head = 3, odd
+
+    def test_nonpositive_fields_rejected(self):
+        with pytest.raises(ValueError):
+            LlamaConfig(vocab_size=0)
+
+    def test_round_trip_dict(self):
+        cfg = LlamaConfig(vocab_size=100, d_model=32, n_heads=4)
+        assert LlamaConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_cache_key_stable_and_distinct(self):
+        a = LlamaConfig(vocab_size=100)
+        b = LlamaConfig(vocab_size=101)
+        assert a.cache_key() == LlamaConfig(vocab_size=100).cache_key()
+        assert a.cache_key() != b.cache_key()
+
+    def test_num_parameters_matches_model(self, micro_model):
+        assert micro_model.config.num_parameters() == micro_model.num_parameters()
+
+
+class TestSwiGLU:
+    def test_paths_agree(self, rng):
+        mlp = SwiGLU(8, 12, rng=rng)
+        x = rng.normal(size=(2, 3, 8))
+        assert np.allclose(mlp(Tensor(x)).data, mlp.forward_array(x))
+
+
+class TestTransformerBlock:
+    def test_paths_agree(self, rng):
+        cfg = LlamaConfig(vocab_size=10, d_model=8, n_layers=1, n_heads=2,
+                          d_ff=12, max_seq_len=8)
+        block = TransformerBlock(cfg, rng=rng)
+        x = rng.normal(size=(2, 5, 8))
+        assert np.allclose(block(Tensor(x)).data, block.forward_array(x))
+
+    def test_capture_passthrough(self, rng):
+        cfg = LlamaConfig(vocab_size=10, d_model=8, n_layers=1, n_heads=2,
+                          d_ff=12, max_seq_len=8)
+        block = TransformerBlock(cfg, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        out, cap = block.forward_array(x, capture=True)
+        assert np.allclose(out, block.forward_array(x))
+        assert cap.x.shape == (1, 4, 8)
+
+
+class TestLlamaModel:
+    def test_logit_shape(self, micro_model, rng):
+        ids = rng.integers(0, 256, size=(2, 10))
+        assert micro_model.forward_array(ids).shape == (2, 10, 256)
+
+    def test_1d_input_promoted(self, micro_model, rng):
+        ids = rng.integers(0, 256, size=10)
+        assert micro_model.forward_array(ids).shape == (1, 10, 256)
+
+    def test_paths_agree(self, micro_model, rng):
+        ids = rng.integers(0, 256, size=(2, 8))
+        assert np.allclose(
+            micro_model.forward(ids).data, micro_model.forward_array(ids)
+        )
+
+    def test_untied_head(self, rng):
+        cfg = LlamaConfig(vocab_size=30, d_model=8, n_layers=1, n_heads=2,
+                          d_ff=12, max_seq_len=8, tie_embeddings=False)
+        model = LlamaModel(cfg, seed=0)
+        ids = rng.integers(0, 30, size=(1, 5))
+        assert np.allclose(model.forward(ids).data, model.forward_array(ids))
+        assert "lm_head" in model.quantizable_linears()
+
+    def test_quantizable_linears_keys(self, micro_model):
+        names = set(micro_model.quantizable_linears())
+        assert "blocks.0.self_attn.k_proj" in names
+        assert "blocks.1.mlp.down_proj" in names
+        assert len(names) == 2 * 7  # 2 blocks x 7 matrices, tied embeddings
+
+    def test_hidden_states_count(self, micro_model, rng):
+        ids = rng.integers(0, 256, size=(1, 6))
+        states = micro_model.hidden_states(ids)
+        assert len(states) == micro_model.config.n_layers + 1
+
+    def test_loss_positive_and_reasonable(self, micro_model, rng):
+        ids = rng.integers(0, 256, size=(2, 9))
+        loss = micro_model.loss(ids[:, :-1], ids[:, 1:])
+        assert 0.0 < loss.item() < 10.0
+
+    def test_loss_gradcheck_micro(self):
+        cfg = LlamaConfig(vocab_size=9, d_model=8, n_layers=1, n_heads=2,
+                          d_ff=10, max_seq_len=6)
+        model = LlamaModel(cfg, seed=1)
+        ids = np.random.default_rng(3).integers(0, 9, size=(1, 5))
+        check_gradients(
+            lambda: model.loss(ids[:, :-1], ids[:, 1:]),
+            list(model.parameters()),
+            epsilon=1e-5,
+            rtol=2e-3,
+        )
+
+    def test_deterministic_construction(self):
+        cfg = LlamaConfig(vocab_size=20, d_model=8, n_layers=1, n_heads=2,
+                          d_ff=12, max_seq_len=8)
+        a = LlamaModel(cfg, seed=5)
+        b = LlamaModel(cfg, seed=5)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_model_causality_end_to_end(self, micro_model, rng):
+        ids = rng.integers(0, 256, size=(1, 8))
+        base = micro_model.forward_array(ids)
+        ids2 = ids.copy()
+        ids2[0, -1] = (ids2[0, -1] + 1) % 256
+        perturbed = micro_model.forward_array(ids2)
+        assert np.allclose(base[0, :-1], perturbed[0, :-1])

@@ -1,0 +1,107 @@
+"""Tests for the packed deployment artifact."""
+
+import numpy as np
+import pytest
+
+from repro.core.aptq import APTQConfig, aptq_quantize_model
+from repro.eval.perplexity import perplexity
+from repro.quant.deploy import PackedModel, pack_model
+from tests.conftest import clone
+
+
+@pytest.fixture(scope="module")
+def packed_setup(trained_micro_model, calibration):
+    model = clone(trained_micro_model)
+    result = aptq_quantize_model(
+        model, calibration,
+        APTQConfig(ratio_4bit=0.75, group_size=8, n_probes=2),
+    )
+    packed = pack_model(
+        model, result.allocation, group_size=8,
+        layer_results=result.layer_results,
+    )
+    return model, result, packed
+
+
+class TestPackModel:
+    def test_all_quantizable_layers_packed(self, packed_setup):
+        model, _, packed = packed_setup
+        assert set(packed.layers) == set(model.quantizable_linears())
+
+    def test_allocation_bits_preserved(self, packed_setup):
+        _, result, packed = packed_setup
+        for name, q in packed.layers.items():
+            assert q.bits == result.allocation[name]
+
+    def test_average_bits_matches_allocation(self, packed_setup):
+        _, result, packed = packed_setup
+        assert packed.average_bits() == pytest.approx(
+            result.average_bits, abs=1e-9
+        )
+
+    def test_norms_and_embeddings_kept(self, packed_setup):
+        _, _, packed = packed_setup
+        assert "embed.weight" in packed.full_precision
+        assert "final_norm.gain" in packed.full_precision
+
+    def test_smaller_than_fp16(self, packed_setup):
+        model, _, packed = packed_setup
+        fp16_bytes = 2 * model.num_parameters()
+        assert packed.storage_bytes() < fp16_bytes
+
+
+class TestRoundTrip:
+    def test_to_model_reproduces_quantized_weights(self, packed_setup):
+        model, _, packed = packed_setup
+        rebuilt = packed.to_model()
+        for name, linear in model.quantizable_linears().items():
+            rebuilt_linear = rebuilt.quantizable_linears()[name]
+            # fp16 grids: small reconstruction tolerance.
+            assert np.allclose(
+                rebuilt_linear.weight.data, linear.weight.data, atol=5e-3
+            )
+
+    def test_save_load_round_trip(self, packed_setup, tmp_path):
+        _, _, packed = packed_setup
+        path = packed.save(tmp_path / "model.npz")
+        loaded = PackedModel.load(path)
+        assert loaded.config == packed.config
+        for name, q in packed.layers.items():
+            assert np.array_equal(loaded.layers[name].codes(), q.codes())
+            assert loaded.layers[name].bits == q.bits
+
+    def test_loaded_model_evaluates_close(
+        self, packed_setup, tmp_path, corpus_splits
+    ):
+        model, _, packed = packed_setup
+        path = packed.save(tmp_path / "model.npz")
+        rebuilt = PackedModel.load(path).to_model()
+        stream = corpus_splits.validation[:1500]
+        original = perplexity(model, stream, seq_len=32)
+        reloaded = perplexity(rebuilt, stream, seq_len=32)
+        # fp16 storage of norms/embeddings/grids perturbs ppl only slightly.
+        assert reloaded == pytest.approx(original, rel=0.02)
+
+    def test_uniform_bits_shortcut(self, trained_micro_model):
+        packed = pack_model(clone(trained_micro_model), bits=4, group_size=8)
+        assert packed.average_bits() == pytest.approx(4.0)
+
+    def test_rerounding_path_bounded_by_grid_step(
+        self, trained_micro_model, calibration
+    ):
+        # Without layer_results, packing re-rounds onto fresh grids: the
+        # error is bounded by half a quantization step per group.
+        model = clone(trained_micro_model)
+        aptq_quantize_model(
+            model, calibration,
+            APTQConfig(ratio_4bit=1.0, group_size=8, n_probes=2),
+        )
+        packed = pack_model(model, bits=4, group_size=8)
+        for name, linear in model.quantizable_linears().items():
+            q = packed.layers[name]
+            error = np.abs(q.dequantize() - linear.weight.data)
+            scales = q.scales.astype(np.float64)
+            group_of_row = np.minimum(
+                np.arange(q.shape[0]) // q.group_size, scales.shape[0] - 1
+            )
+            assert np.all(error <= scales[group_of_row] / 2 + 1e-3)

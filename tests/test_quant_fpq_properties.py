@@ -1,0 +1,39 @@
+"""Property tests on the fp4 (E2M1) quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.fpq import FP4_MAGNITUDES, FP4_VALUES, fp4_quantize_array
+
+weights = arrays(
+    np.float64,
+    (16, 3),
+    elements=st.floats(-8, 8, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestCodebook:
+    def test_codebook_is_signed_e2m1(self):
+        assert FP4_MAGNITUDES.tolist() == [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+        assert FP4_VALUES.size == 15  # +/- 7 magnitudes and one zero
+        assert np.all(np.diff(FP4_VALUES) > 0)
+
+    @given(weights)
+    @settings(max_examples=30, deadline=None)
+    def test_quantization_picks_nearest_value(self, w):
+        scale = np.ones(3)
+        codes = fp4_quantize_array(w, scale)
+        reconstructed = FP4_VALUES[codes]
+        for value, recon in zip(w.reshape(-1), reconstructed.reshape(-1)):
+            best = FP4_VALUES[np.argmin(np.abs(value - FP4_VALUES))]
+            assert recon == pytest.approx(best)
+
+    def test_error_bounded_by_half_gap(self, rng):
+        w = rng.uniform(-6, 6, size=(32, 4))
+        codes = fp4_quantize_array(w, np.ones(4))
+        error = np.abs(FP4_VALUES[codes] - w)
+        max_gap = np.max(np.diff(FP4_VALUES))
+        assert np.all(error <= max_gap / 2 + 1e-12)

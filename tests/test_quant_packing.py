@@ -1,0 +1,53 @@
+"""Round-trip tests for dense bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.packing import pack_codes, unpack_codes
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(1, 16),
+        st.integers(0, 3000),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_sizes_and_bits(self, bits, count, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 1 << bits, size=count)
+        packed = pack_codes(codes, bits)
+        assert np.array_equal(unpack_codes(packed, bits, count), codes)
+
+    def test_word_straddling_codes(self):
+        # 3-bit codes straddle 32-bit word boundaries at index 10, 21, ...
+        codes = np.arange(40) % 8
+        packed = pack_codes(codes, 3)
+        assert np.array_equal(unpack_codes(packed, 3, 40), codes)
+
+    def test_packed_density(self):
+        codes = np.zeros(64, dtype=np.int64)
+        assert pack_codes(codes, 4).size == 8  # 64*4/32
+        assert pack_codes(codes, 2).size == 4
+
+    def test_empty(self):
+        packed = pack_codes(np.array([], dtype=np.int64), 4)
+        assert unpack_codes(packed, 4, 0).size == 0
+
+
+class TestValidation:
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([4]), 2)
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([0]), 0)
+        with pytest.raises(ValueError):
+            unpack_codes(np.zeros(1, dtype=np.uint32), 17, 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_codes(np.zeros(1, dtype=np.uint32), 4, -1)

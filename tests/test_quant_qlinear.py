@@ -1,0 +1,55 @@
+"""Tests for the packed QuantizedLinear representation."""
+
+import numpy as np
+
+from repro.quant.groupwise import quantize_groupwise
+from repro.quant.qlinear import QuantizedLinear
+
+
+class TestRoundTrip:
+    def test_codes_survive_packing(self, rng):
+        w = rng.normal(size=(64, 12))
+        result = quantize_groupwise(w, 4, 16)
+        ql = QuantizedLinear.from_group_result(result)
+        assert np.array_equal(ql.codes(), result.codes)
+
+    def test_dequantize_close_to_float_grids(self, rng):
+        # Grids are stored fp16, so reconstruction differs only by fp16
+        # rounding of scales/zeros.
+        w = rng.normal(size=(64, 12))
+        result = quantize_groupwise(w, 4, 16)
+        ql = QuantizedLinear.from_group_result(result)
+        assert np.allclose(ql.dequantize(), result.dequantize(), atol=1e-2)
+
+    def test_from_weight_convenience(self, rng):
+        w = rng.normal(size=(32, 8))
+        ql = QuantizedLinear.from_weight(w, 2, 16)
+        assert ql.bits == 2
+        assert ql.shape == (32, 8)
+
+    def test_forward_matches_dequantized_matmul(self, rng):
+        w = rng.normal(size=(16, 6))
+        ql = QuantizedLinear.from_weight(w, 4, 8)
+        x = rng.normal(size=(5, 16))
+        assert np.allclose(ql.forward_array(x), x @ ql.dequantize())
+
+
+class TestStorage:
+    def test_4bit_compression_ratio(self, rng):
+        w = rng.normal(size=(256, 256))
+        ql = QuantizedLinear.from_weight(w, 4, 32)
+        # fp16 dense = 128 KiB; 4-bit codes = 32 KiB + grids.
+        assert 3.0 < ql.compression_ratio() < 4.0
+
+    def test_2bit_smaller_than_4bit(self, rng):
+        w = rng.normal(size=(256, 64))
+        q2 = QuantizedLinear.from_weight(w, 2, 32)
+        q4 = QuantizedLinear.from_weight(w, 4, 32)
+        assert q2.storage_bytes() < q4.storage_bytes()
+
+    def test_storage_bytes_accounting(self, rng):
+        w = rng.normal(size=(64, 10))
+        ql = QuantizedLinear.from_weight(w, 4, 32)
+        expected_codes = (64 * 10 * 4 + 31) // 32 * 4
+        expected_grids = 2 * (2 * 10) * 2
+        assert ql.storage_bytes() == expected_codes + expected_grids

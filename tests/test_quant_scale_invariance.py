@@ -1,0 +1,72 @@
+"""Property tests on the solver's structural invariances.
+
+These pin down *why* certain implementation choices are safe:
+
+- the solver is invariant to the overall scale of the Hessian (so the
+  per-head scalar gains collapsed in ``repro.core.hessian`` cannot change
+  the quantization of a layer, only its trace ranking);
+- permuting calibration samples leaves the Hessian (and hence the result)
+  unchanged;
+- duplicating all calibration samples leaves the normalised Hessian
+  unchanged.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.solver import quantize_with_hessian
+
+
+@pytest.fixture
+def problem(rng):
+    w = rng.normal(size=(24, 8))
+    x = rng.normal(size=(300, 24)) * rng.uniform(0.3, 2.0, size=24)
+    return w, 2.0 * x.T @ x / 300, x
+
+
+class TestScaleInvariance:
+    @given(st.floats(1e-3, 1e3))
+    @settings(max_examples=20, deadline=None)
+    def test_hessian_scale_irrelevant(self, factor):
+        rng = np.random.default_rng(42)
+        w = rng.normal(size=(16, 4))
+        x = rng.normal(size=(100, 16))
+        hessian = 2.0 * x.T @ x / 100
+        base = quantize_with_hessian(w, hessian, bits=3, group_size=8)
+        scaled = quantize_with_hessian(w, factor * hessian, bits=3, group_size=8)
+        assert np.allclose(base.quantized_weight, scaled.quantized_weight)
+
+    def test_sample_order_irrelevant(self, problem, rng):
+        w, _, x = problem
+        shuffled = x[rng.permutation(x.shape[0])]
+        h1 = 2.0 * x.T @ x / x.shape[0]
+        h2 = 2.0 * shuffled.T @ shuffled / x.shape[0]
+        a = quantize_with_hessian(w, h1, bits=4, group_size=8)
+        b = quantize_with_hessian(w, h2, bits=4, group_size=8)
+        assert np.allclose(a.quantized_weight, b.quantized_weight)
+
+    def test_duplicated_samples_irrelevant(self, problem):
+        w, _, x = problem
+        doubled = np.concatenate([x, x])
+        h1 = 2.0 * x.T @ x / x.shape[0]
+        h2 = 2.0 * doubled.T @ doubled / doubled.shape[0]
+        a = quantize_with_hessian(w, h1, bits=4, group_size=8)
+        b = quantize_with_hessian(w, h2, bits=4, group_size=8)
+        assert np.allclose(a.quantized_weight, b.quantized_weight)
+
+
+class TestWeightScaleEquivariance:
+    def test_scaling_weights_scales_result(self, problem):
+        # quant grids are min/max-derived, so scaling W scales Q exactly.
+        w, hessian, _ = problem
+        a = quantize_with_hessian(w, hessian, bits=4, group_size=8)
+        b = quantize_with_hessian(2.0 * w, hessian, bits=4, group_size=8)
+        assert np.allclose(2.0 * a.quantized_weight, b.quantized_weight)
+
+    def test_negating_weights_negates_result(self, problem):
+        w, hessian, _ = problem
+        a = quantize_with_hessian(w, hessian, bits=4, group_size=8)
+        b = quantize_with_hessian(-w, hessian, bits=4, group_size=8)
+        assert np.allclose(-a.quantized_weight, b.quantized_weight)

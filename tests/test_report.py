@@ -1,0 +1,90 @@
+"""Tests for table/figure rendering and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.report import (
+    ascii_line_chart,
+    format_markdown_table,
+    format_table,
+    rows_to_csv,
+    write_csv,
+)
+
+ROWS = [
+    {"method": "fp16", "avg_bits": 16.0, "ppl": 5.22},
+    {"method": "aptq-75", "avg_bits": 3.5, "ppl": 5.54},
+]
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        text = format_table(ROWS)
+        assert "fp16" in text and "aptq-75" in text
+        assert "5.22" in text and "3.50" in text
+
+    def test_column_subset_and_order(self):
+        text = format_table(ROWS, columns=["ppl", "method"])
+        header = text.splitlines()[0]
+        assert header.index("ppl") < header.index("method")
+        assert "avg_bits" not in text
+
+    def test_title(self):
+        assert format_table(ROWS, title="Table 1").startswith("Table 1")
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text  # renders without error
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| method")
+        assert set(lines[1]) <= {"|", "-"}
+        assert len(lines) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_markdown_table([])
+
+
+class TestAsciiChart:
+    def test_markers_and_legend(self):
+        chart = ascii_line_chart(
+            {"aptq": [(3.0, 6.2), (4.0, 5.2)], "gptq": [(4.0, 5.6)]},
+            x_label="bits",
+            y_label="ppl",
+        )
+        assert "o aptq" in chart
+        assert "x gptq" in chart
+        assert "bits" in chart
+
+    def test_single_point_no_crash(self):
+        assert ascii_line_chart({"a": [(1.0, 1.0)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+
+
+class TestCSV:
+    def test_round_trip_header_and_rows(self):
+        csv_text = rows_to_csv(ROWS)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "method,avg_bits,ppl"
+        assert lines[1].startswith("fp16")
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "out" / "table.csv", ROWS)
+        assert path.exists()
+        assert "aptq-75" in path.read_text()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rows_to_csv([])

@@ -1,0 +1,131 @@
+"""Tests for optimizers, gradient clipping and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.training import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantSchedule,
+    CosineSchedule,
+    WarmupSchedule,
+    clip_grad_norm,
+)
+
+
+def quadratic_minimisation(optimizer_factory, steps=200):
+    """Minimise ||x - target||^2 and return the final distance."""
+    target = np.array([1.0, -2.0, 3.0])
+    x = Tensor(np.zeros(3), requires_grad=True)
+    opt = optimizer_factory([x])
+    for _ in range(steps):
+        opt.zero_grad()
+        diff = ops.sub(x, Tensor(target))
+        ops.sum(ops.mul(diff, diff)).backward()
+        opt.step()
+    return float(np.abs(x.data - target).max())
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert quadratic_minimisation(lambda p: SGD(p, lr=0.1)) < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert quadratic_minimisation(
+            lambda p: SGD(p, lr=0.05, momentum=0.9), steps=400
+        ) < 1e-6
+
+    def test_adam_converges(self):
+        assert quadratic_minimisation(lambda p: Adam(p, lr=0.1), steps=400) < 1e-4
+
+    def test_adamw_converges_near_target(self):
+        # Weight decay biases slightly toward zero; should still be close.
+        assert quadratic_minimisation(
+            lambda p: AdamW(p, lr=0.1, weight_decay=1e-3), steps=400
+        ) < 0.01
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(1.0, requires_grad=True)], lr=0.0)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(1.0, requires_grad=True)], lr=0.1, momentum=1.0)
+
+    def test_step_skips_gradless_parameters(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        opt = SGD([a, b], lr=0.5)
+        a.grad = np.ones(2)
+        opt.step()
+        assert np.allclose(a.data, 0.5)
+        assert np.allclose(b.data, 1.0)
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        a.grad = np.ones(2)
+        SGD([a], lr=0.1).zero_grad()
+        assert a.grad is None
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        a.grad = np.array([0.3, 0.0, 0.4])
+        norm = clip_grad_norm([a], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        assert np.allclose(a.grad, [0.3, 0.0, 0.4])
+
+    def test_clips_above_threshold(self):
+        a = Tensor(np.zeros(2), requires_grad=True)
+        a.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([a], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(a.grad) == pytest.approx(1.0)
+
+    def test_global_norm_across_parameters(self):
+        a = Tensor(np.zeros(1), requires_grad=True)
+        b = Tensor(np.zeros(1), requires_grad=True)
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        clip_grad_norm([a, b], max_norm=2.5)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(2.5)
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantSchedule(0.5).lr_at(1000) == 0.5
+
+    def test_cosine_endpoints(self):
+        sched = CosineSchedule(1.0, total_steps=100, floor=0.1)
+        assert sched.lr_at(0) == pytest.approx(1.0)
+        assert sched.lr_at(100) == pytest.approx(0.1)
+        assert sched.lr_at(50) == pytest.approx(0.55)
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineSchedule(1.0, total_steps=50)
+        values = [sched.lr_at(s) for s in range(51)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_cosine_clamps_beyond_total(self):
+        sched = CosineSchedule(1.0, total_steps=10, floor=0.2)
+        assert sched.lr_at(99) == pytest.approx(0.2)
+
+    def test_warmup_ramps_linearly(self):
+        sched = WarmupSchedule(ConstantSchedule(1.0), warmup_steps=4)
+        assert sched.lr_at(0) == pytest.approx(0.25)
+        assert sched.lr_at(3) == pytest.approx(1.0)
+        assert sched.lr_at(10) == pytest.approx(1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CosineSchedule(1.0, total_steps=0)
+        with pytest.raises(ValueError):
+            WarmupSchedule(ConstantSchedule(1.0), warmup_steps=-1)

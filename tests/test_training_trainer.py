@@ -1,0 +1,92 @@
+"""Tests for the causal-LM trainer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LlamaConfig, LlamaModel
+from repro.training import Trainer, TrainingConfig
+from repro.training.trainer import sample_batch
+
+
+class TestSampleBatch:
+    def test_shapes(self, rng):
+        tokens = np.arange(100)
+        inputs, targets = sample_batch(tokens, batch_size=4, seq_len=8, rng=rng)
+        assert inputs.shape == (4, 8)
+        assert targets.shape == (4, 8)
+
+    def test_targets_shifted_by_one(self, rng):
+        tokens = np.arange(100)
+        inputs, targets = sample_batch(tokens, batch_size=2, seq_len=5, rng=rng)
+        assert np.array_equal(targets, inputs + 1)
+
+    def test_short_stream_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_batch(np.arange(5), batch_size=1, seq_len=8, rng=rng)
+
+    def test_deterministic_given_seed(self):
+        tokens = np.arange(100)
+        a = sample_batch(tokens, 3, 6, np.random.default_rng(5))
+        b = sample_batch(tokens, 3, 6, np.random.default_rng(5))
+        assert np.array_equal(a[0], b[0])
+
+
+class TestTrainingConfig:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(steps=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=-1)
+
+
+class TestTrainer:
+    def test_overfits_deterministic_cycle(self):
+        cfg = LlamaConfig(vocab_size=12, d_model=16, n_layers=1, n_heads=2,
+                          d_ff=24, max_seq_len=16)
+        model = LlamaModel(cfg, seed=0)
+        tokens = np.tile(np.arange(8), 100)
+        result = Trainer(
+            model,
+            TrainingConfig(steps=150, batch_size=8, seq_len=16, lr=5e-3,
+                           warmup_steps=10),
+        ).fit(tokens)
+        assert result.final_loss < 0.3
+        assert result.loss_history[0] > result.final_loss
+
+    def test_result_metadata(self):
+        cfg = LlamaConfig(vocab_size=10, d_model=8, n_layers=1, n_heads=2,
+                          d_ff=12, max_seq_len=8)
+        model = LlamaModel(cfg, seed=0)
+        tokens = np.tile(np.arange(10), 20)
+        result = Trainer(
+            model, TrainingConfig(steps=5, batch_size=2, seq_len=8)
+        ).fit(tokens)
+        assert result.steps == 5
+        assert len(result.loss_history) == 5
+        assert result.wall_seconds > 0
+
+    def test_on_step_callback(self):
+        cfg = LlamaConfig(vocab_size=10, d_model=8, n_layers=1, n_heads=2,
+                          d_ff=12, max_seq_len=8)
+        model = LlamaModel(cfg, seed=0)
+        tokens = np.tile(np.arange(10), 20)
+        seen = []
+        Trainer(
+            model,
+            TrainingConfig(steps=6, batch_size=2, seq_len=8, log_every=2),
+            on_step=lambda step, loss: seen.append(step),
+        ).fit(tokens)
+        assert seen == [0, 2, 4]
+
+    def test_deterministic_training(self):
+        cfg = LlamaConfig(vocab_size=10, d_model=8, n_layers=1, n_heads=2,
+                          d_ff=12, max_seq_len=8)
+        tokens = np.tile(np.arange(10), 30)
+        results = []
+        for _ in range(2):
+            model = LlamaModel(cfg, seed=0)
+            res = Trainer(
+                model, TrainingConfig(steps=10, batch_size=2, seq_len=8, seed=3)
+            ).fit(tokens)
+            results.append(res.final_loss)
+        assert results[0] == pytest.approx(results[1], rel=1e-12)

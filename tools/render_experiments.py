@@ -1,0 +1,257 @@
+"""Render EXPERIMENTS.md from benchmarks/results/ artifacts.
+
+Usage:  python tools/render_experiments.py
+
+Reads the CSVs written by ``pytest benchmarks/ --benchmark-only`` and emits
+EXPERIMENTS.md with paper-reported and measured values side by side.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+RESULTS = ROOT / "benchmarks" / "results"
+
+PAPER_TABLE1 = {
+    # method -> (avg_bits, c4, wikitext2)
+    "fp16": (16.0, 5.22, 5.68),
+    "gptq": (4.0, 5.62, 8.14),
+    "owq": (4.01, 5.56, 7.15),
+    "llm-qat": (4.0, 7.40, 10.90),
+    "pb-llm-20": (3.4, 20.61, 17.19),
+    "aptq-100": (4.0, 5.23, 6.45),
+    "aptq-75": (3.5, 5.54, 6.54),
+    "aptq-50": (3.0, 6.24, 6.76),
+}
+
+PAPER_TABLE2_MEAN = {
+    # method -> (7B mean acc, 13B mean acc); '-' where the paper has none
+    "fp16": (68.56, 70.94),
+    "rtn": (65.76, 69.10),
+    "smoothquant": (63.48, 68.72),
+    "fpq": (66.60, 69.74),
+    "llm-qat": (66.60, 69.74),
+    "gptq": (64.40, 69.84),
+    "pb-llm-30": (66.66, None),
+    "pb-llm-10": (60.32, None),
+    "aptq-100": (68.08, 70.34),
+    "aptq-90": (68.24, 70.48),
+    "aptq-80": (67.34, 69.92),
+    "aptq-75": (67.02, 69.60),
+    "aptq-70": (65.62, 69.20),
+    "aptq-60": (64.16, 67.20),
+    "aptq-50": (60.48, 63.74),
+}
+
+PAPER_TABLE3 = {
+    "manual-75": 5.84,
+    "aptq-75": 5.54,
+    "manual-50": 7.04,
+    "aptq-50": 6.24,
+}
+
+
+def read_csv(name: str) -> list[dict]:
+    path = RESULTS / name
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{path} missing - run `pytest benchmarks/ --benchmark-only` first"
+        )
+    with path.open() as handle:
+        return list(csv.DictReader(handle))
+
+
+def fmt(value, digits=2) -> str:
+    if value is None or value == "":
+        return "-"
+    return f"{float(value):.{digits}f}"
+
+
+def table1_section() -> str:
+    rows = read_csv("table1_perplexity.csv")
+    lines = [
+        "## Table 1 — Perplexity of quantized LLaMA-7B (stand-in)",
+        "",
+        "Calibration: 128 segments from c4-sim; group size 32; evaluation on",
+        "held-out c4-sim and wikitext2-sim streams.",
+        "",
+        "| method | avg bits (paper / ours) | C4 ppl (paper) | c4-sim ppl (ours) "
+        "| WikiText-2 ppl (paper) | wikitext2-sim ppl (ours) |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        method = row["method"]
+        paper = PAPER_TABLE1.get(method)
+        p_bits, p_c4, p_wt = paper if paper else (None, None, None)
+        lines.append(
+            f"| {method} | {fmt(p_bits, 1)} / {fmt(row['avg_bits'], 1)} "
+            f"| {fmt(p_c4)} | {fmt(row['c4-sim'])} "
+            f"| {fmt(p_wt)} | {fmt(row['wikitext2-sim'])} |"
+        )
+    return "\n".join(lines)
+
+
+def table2_section() -> str:
+    lines = [
+        "## Table 2 — Zero-shot accuracy (mean over the five suites, %)",
+        "",
+        "Suites: piqa_sim / hellaswag_sim / arc_easy_sim / arc_challenge_sim /",
+        "winogrande_sim, scored by length-normalised choice log-likelihood.",
+        "Per-suite numbers are in `benchmarks/results/table2_zeroshot_*.csv`.",
+        "",
+        "| method | avg bits (ours) | 7B paper | 7b-sim ours | 13B paper | "
+        "13b-sim ours |",
+        "|---|---|---|---|---|---|",
+    ]
+    rows7 = {r["method"]: r for r in read_csv("table2_zeroshot_llama-7b-sim.csv")}
+    try:
+        rows13 = {
+            r["method"]: r
+            for r in read_csv("table2_zeroshot_llama-13b-sim.csv")
+        }
+    except FileNotFoundError:
+        rows13 = {}
+    for method in rows7:
+        paper = PAPER_TABLE2_MEAN.get(method, (None, None))
+        ours13 = rows13.get(method, {}).get("mean")
+        lines.append(
+            f"| {method} | {fmt(rows7[method]['avg_bits'], 1)} "
+            f"| {fmt(paper[0])} | {fmt(rows7[method]['mean'])} "
+            f"| {fmt(paper[1])} | {fmt(ours13)} |"
+        )
+    return "\n".join(lines)
+
+
+def table3_section() -> str:
+    rows = read_csv("table3_ablation.csv")
+    lines = [
+        "## Table 3 — APTQ vs manual block-wise allocation (c4-sim ppl)",
+        "",
+        "| method | ratio 4-bit | avg bits (ours) | C4 ppl (paper) | "
+        "c4-sim ppl (ours) |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['method']} | {row['ratio_4bit']} "
+            f"| {fmt(row['avg_bits'], 1)} | {fmt(PAPER_TABLE3.get(row['method']))} "
+            f"| {fmt(row['c4-sim'])} |"
+        )
+    return "\n".join(lines)
+
+
+def figure2_section() -> str:
+    rows = read_csv("figure2_ratio_sweep.csv")
+    lines = [
+        "## Figure 2 — Perplexity vs 4-bit ratio",
+        "",
+        "ASCII rendering in `benchmarks/results/figure2_ratio_sweep.txt`;",
+        "series points (average bits, c4-sim perplexity):",
+        "",
+        "| series | avg bits | ppl |",
+        "|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['series']} | {fmt(row['avg_bits'])} | {fmt(row['ppl'])} |"
+        )
+    return "\n".join(lines)
+
+
+def ablation_sections() -> str:
+    parts = ["## Extra ablations (not in the paper)"]
+    a1 = read_csv("ablation_hessian.csv")
+    parts.append(
+        "\n### A1 — Hessian construction at uniform bits (c4-sim ppl)\n\n"
+        "| Hessian | bits | ppl |\n|---|---|---|\n"
+        + "\n".join(
+            f"| {r['hessian']} | {r['bits']} | {fmt(r['c4-sim'])} |" for r in a1
+        )
+    )
+    a2 = read_csv("ablation_trace.csv")
+    parts.append(
+        "\n### A2 — Exact trace vs Hutchinson estimate\n\n"
+        "| ratio | allocation agreement |\n|---|---|\n"
+        + "\n".join(
+            f"| {r['ratio_4bit']} | {fmt(r['allocation_agreement'])} |"
+            for r in a2
+        )
+    )
+    a3 = read_csv("ablation_groupsize.csv")
+    parts.append(
+        "\n### A3 — Group size at APTQ-75%\n\n"
+        "| group size | c4-sim ppl | packed bytes |\n|---|---|---|\n"
+        + "\n".join(
+            f"| {r['group_size']} | {fmt(r['c4-sim'])} | {r['packed_bytes']} |"
+            for r in a3
+        )
+    )
+    return "\n".join(parts)
+
+
+HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Every table and figure of the paper's evaluation, regenerated with
+`pytest benchmarks/ --benchmark-only` (artifacts in `benchmarks/results/`).
+
+**Reading these numbers.** The substrate is a trained tiny LLaMA-style
+stand-in on synthetic corpora (see DESIGN.md), so absolute values differ
+from the paper by construction; the reproduced claims are the *orderings
+and shapes*:
+
+- APTQ at an average of 4 bits is nearly indistinguishable from FP16 and at
+  least matches GPTQ (Table 1; the attention-aware Hessian's advantage
+  concentrates at ultra-low bits — see ablation A1's 2-bit rows).
+- Mixed 2/4-bit APTQ degrades gracefully as the 4-bit ratio R shrinks
+  (Figure 2), and APTQ-50 (3.0 bits) stays far below PB-LLM at comparable
+  or higher average bits (Table 1).
+- Hessian-trace allocation clearly beats manual block-wise allocation at
+  matched average bits (Table 3) — the paper's central mixed-precision
+  claim.
+- Zero-shot accuracy decays smoothly with R and APTQ at 4 bits sits at or
+  above the other 4-bit PTQ baselines (Table 2).
+"""
+
+
+def main() -> None:
+    sections = [
+        HEADER,
+        table1_section(),
+        "",
+        table2_section(),
+        "",
+        table3_section(),
+        "",
+        figure2_section(),
+        "",
+        ablation_sections(),
+        "",
+        "## Reproduction notes",
+        "",
+        "- PB-LLM average bits are computed honestly as `16f + 1(1-f)` over",
+        "  weight entries; the paper reports lower figures (e.g. 3.4 bits for",
+        "  the 20% row), presumably with a different accounting of the",
+        "  salient fraction. The orderings are unaffected.",
+        "- The paper's LLaMA-13B rows use a deeper/wider stand-in",
+        "  (`llama-13b-sim`); both stand-ins are trained on the same corpus",
+        "  for the same number of steps.",
+        "- LLM-QAT is reproduced as a short straight-through-estimator QAT",
+        "  on self-generated data; as in the paper, it trails the",
+        "  second-order PTQ methods at 4 bits.",
+        "- The zero-shot spread between 4.0 and 3.0 average bits is more",
+        "  compressed than the paper's: the stand-in models tolerate",
+        "  moderate quantization better than billion-parameter LLaMA, so",
+        "  most of the accuracy loss appears below ~2.7 bits (PB-LLM-10's",
+        "  collapse) and in the perplexity metric, where the decay with R is",
+        "  clearly visible (Table 1, Figure 2).",
+    ]
+    out = ROOT / "EXPERIMENTS.md"
+    out.write_text("\n".join(sections) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()
