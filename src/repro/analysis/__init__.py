@@ -1,0 +1,41 @@
+"""Repo-specific static analysis for the APTQ reproduction.
+
+An AST-based lint framework with rules that encode the repo's numeric and
+autograd invariants (stabilized ``exp``/``log``, ``sink``-routed backward
+closures, float64-only differentiation) plus general API hygiene.  See
+``docs/ANALYSIS.md`` for the rule catalogue and suppression syntax.
+
+Usage::
+
+    python -m repro.analysis src/repro            # lint the library
+    repro-lint --format json src/repro            # machine-readable report
+"""
+
+from repro.analysis.core import (
+    Diagnostic,
+    ModuleContext,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    iter_python_files,
+    rule,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Diagnostic",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "get_rule",
+    "iter_python_files",
+    "rule",
+    "render_json",
+    "render_text",
+]

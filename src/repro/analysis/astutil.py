@@ -1,0 +1,110 @@
+"""Small AST helpers shared by the built-in rules.
+
+All helpers treat both ``np`` and ``numpy`` as the numpy module name, since
+the repo imports ``numpy as np`` everywhere but fixtures may not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+__all__ = [
+    "dotted_name",
+    "is_numpy_call",
+    "numpy_call_name",
+    "call_name",
+    "walk_calls",
+    "iter_scopes",
+    "contains",
+    "has_positive_constant_term",
+    "is_public_name",
+]
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Resolve ``a.b.c`` attribute chains to a dotted string, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee (``np.exp`` for ``np.exp(x)``)."""
+    return dotted_name(node.func)
+
+
+def numpy_call_name(node: ast.Call) -> Optional[str]:
+    """The numpy function being called, or ``None`` for non-numpy calls.
+
+    Returns the name without the module prefix: ``np.linalg.norm(x)`` maps
+    to ``linalg.norm``.
+    """
+    name = call_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    if head in _NUMPY_ALIASES and rest:
+        return rest
+    return None
+
+
+def is_numpy_call(node: ast.AST, names: set[str]) -> bool:
+    """Whether ``node`` is a call to one of the given numpy functions."""
+    return isinstance(node, ast.Call) and numpy_call_name(node) in names
+
+
+def walk_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Yield every ``Call`` node in ``node``'s subtree (including itself)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield the module node and every (possibly nested) function/class body.
+
+    Rules that need "the enclosing scope of this expression" walk scopes and
+    then search each scope's direct statements.
+    """
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            yield node
+
+
+def contains(node: ast.AST, predicate) -> bool:
+    """Whether any node in the subtree satisfies ``predicate``."""
+    return any(predicate(child) for child in ast.walk(node))
+
+
+def has_positive_constant_term(node: ast.AST) -> bool:
+    """Whether the expression adds a positive numeric constant or an ``eps``.
+
+    Used as "this quantity is bounded away from zero" evidence: matches
+    ``x + 1e-8``, ``1.0 + z``, ``x + eps`` and ``x + self.eps`` shapes.
+    """
+
+    def _is_eps_term(term: ast.AST) -> bool:
+        if isinstance(term, ast.Constant) and isinstance(term.value, (int, float)):
+            return term.value > 0
+        name = dotted_name(term)
+        return name is not None and "eps" in name.split(".")[-1].lower()
+
+    for child in ast.walk(node):
+        if isinstance(child, ast.BinOp) and isinstance(child.op, ast.Add):
+            if _is_eps_term(child.left) or _is_eps_term(child.right):
+                return True
+    return False
+
+
+def is_public_name(name: str) -> bool:
+    """Public by convention: no leading underscore (dunders are not public)."""
+    return not name.startswith("_")

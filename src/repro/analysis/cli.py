@@ -1,0 +1,79 @@
+"""Command-line driver: ``python -m repro.analysis`` / ``repro-lint``.
+
+Exit status is 0 when the tree is clean, 1 when violations were found, and
+2 on usage errors — so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.core import all_rules, analyze_paths
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-specific static analysis (numeric-safety, "
+        "autograd-contract, and API-hygiene rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule id and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the analyzer; returns the process exit status."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for registered in all_rules():
+            print(f"{registered.id:28s} {registered.summary}")
+        return 0
+
+    missing = [p for p in options.paths if not pathlib.Path(p).exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    select = None
+    if options.select is not None:
+        select = [name.strip() for name in options.select.split(",") if name.strip()]
+    try:
+        diagnostics = analyze_paths(options.paths, select=select)
+    except KeyError as error:
+        print(f"repro-lint: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    renderer = render_json if options.format == "json" else render_text
+    print(renderer(diagnostics))
+    return 1 if diagnostics else 0

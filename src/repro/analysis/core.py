@@ -1,0 +1,279 @@
+"""Core of the static-analysis framework: rules, contexts, and the walker.
+
+The framework is deliberately small: a :class:`Rule` is a named check over
+one parsed module; a :class:`ModuleContext` bundles the parsed AST with the
+source text and per-line suppression comments; :func:`analyze_paths` walks a
+file tree and returns every :class:`Diagnostic` that survives suppression.
+
+Rules register themselves via the :func:`rule` decorator so that importing
+:mod:`repro.analysis.rules` populates the registry as a side effect.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional
+
+__all__ = [
+    "Diagnostic",
+    "ModuleContext",
+    "Rule",
+    "rule",
+    "all_rules",
+    "get_rule",
+    "analyze_source",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+#: Matches ``# lint: disable=rule-a,rule-b`` anywhere in a line.
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\-\s]+)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: rule-id: message`` (one line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id}: {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """Plain-dict form consumed by the JSON reporter."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class ModuleContext:
+    """A parsed module plus the metadata rules need to inspect it.
+
+    Parameters
+    ----------
+    path:
+        Display path of the module (used in diagnostics and for the
+        path-scoped rules, e.g. the in-place-mutation allowlist).
+    source:
+        Full module source text.
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self._suppressions = self._parse_suppressions(self.lines)
+
+    @staticmethod
+    def _parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+        suppressions: dict[int, set[str]] = {}
+        for number, text in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                names = {part.strip() for part in match.group(1).split(",")}
+                suppressions[number] = {name for name in names if name}
+        return suppressions
+
+    @property
+    def module_parts(self) -> tuple[str, ...]:
+        """Path components from the last ``repro`` segment onwards.
+
+        Lets path-scoped rules reason about package membership regardless of
+        where the tree is checked out (``src/repro/quant/rtn.py`` and
+        ``/tmp/fixture/repro/quant/rtn.py`` both map to
+        ``('repro', 'quant', 'rtn.py')``).
+        """
+        parts = Path(self.path).parts
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                return parts[index:]
+        return parts
+
+    def in_package(self, *dotted: str) -> bool:
+        """Whether this module lives under any of the given dotted packages."""
+        module = ".".join(self.module_parts)
+        for prefix in dotted:
+            if module == prefix + ".py" or module.startswith(prefix + "."):
+                return True
+        return False
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled on ``line`` by a lint comment."""
+        return rule_id in self._suppressions.get(line, set())
+
+
+class Rule:
+    """A named static check applied to one :class:`ModuleContext`.
+
+    Subclasses (or plain functions wrapped by :func:`rule`) implement
+    :meth:`check` and yield :class:`Diagnostic` objects; suppression is
+    handled centrally by the driver, not by the rule.
+    """
+
+    id: str = ""
+    summary: str = ""
+
+    def __init__(
+        self,
+        rule_id: str = "",
+        summary: str = "",
+        check: Optional[Callable[["Rule", ModuleContext], Iterable[Diagnostic]]] = None,
+    ):
+        if rule_id:
+            self.id = rule_id
+        if summary:
+            self.summary = summary
+        if check is not None:
+            self._check = check
+
+    def check(self, module: ModuleContext) -> Iterable[Diagnostic]:
+        """Yield diagnostics for ``module`` (before suppression filtering)."""
+        checker = getattr(self, "_check", None)
+        if checker is None:
+            raise NotImplementedError(f"rule {self.id!r} defines no check")
+        return checker(self, module)
+
+    def diagnostic(
+        self, module: ModuleContext, node: ast.AST | None, message: str
+    ) -> Diagnostic:
+        """Build a :class:`Diagnostic` anchored at ``node`` (or line 1)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Diagnostic(self.id, module.path, line, col, message)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str) -> Callable:
+    """Register a rule.  Decorates either a ``Rule`` subclass or a function.
+
+    Function form::
+
+        @rule("api-bare-except", "no bare except clauses")
+        def _bare_except(self, module):
+            ...yield self.diagnostic(...)
+    """
+
+    def decorator(obj):
+        if isinstance(obj, type) and issubclass(obj, Rule):
+            instance = obj()
+            instance.id = rule_id
+            instance.summary = summary
+        else:
+            instance = Rule(rule_id, summary, check=obj)
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = instance
+        return obj
+
+    return decorator
+
+
+def _ensure_rules_loaded() -> None:
+    # Deferred so `import repro.analysis.core` alone has no side effects.
+    from repro.analysis import rules as _rules  # noqa: F401  (registers builtins)
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (raises ``KeyError`` on unknown ids)."""
+    _ensure_rules_loaded()
+    return _REGISTRY[rule_id]
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Run the (optionally ``select``-restricted) rule set over ``source``.
+
+    Returns surviving diagnostics sorted by (line, col, rule id).  Raises
+    ``SyntaxError`` if the source does not parse.
+    """
+    module = ModuleContext(path, source)
+    chosen = all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {r.id for r in chosen}
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+        chosen = [r for r in chosen if r.id in wanted]
+    found: list[Diagnostic] = []
+    for checker in chosen:
+        for diagnostic in checker.check(module):
+            if not module.is_suppressed(diagnostic.rule_id, diagnostic.line):
+                found.append(diagnostic)
+    found.sort(key=lambda d: (d.line, d.col, d.rule_id))
+    return found
+
+
+def analyze_file(
+    path: str | Path, select: Optional[Iterable[str]] = None
+) -> list[Diagnostic]:
+    """Analyze one file on disk (see :func:`analyze_source`)."""
+    path = Path(path)
+    return analyze_source(path.read_text(), str(path), select=select)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files pass through, dirs recurse).
+
+    Hidden directories and ``__pycache__`` are skipped; results are sorted
+    for deterministic reports.
+    """
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for found in sorted(entry.rglob("*.py")):
+                parts = found.relative_to(entry).parts
+                if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                    continue
+                yield found
+        else:
+            yield entry
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], select: Optional[Iterable[str]] = None
+) -> list[Diagnostic]:
+    """Analyze every python file reachable from ``paths``.
+
+    A file that fails to parse contributes a single ``syntax-error``
+    diagnostic rather than aborting the whole run.
+    """
+    found: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        try:
+            found.extend(analyze_file(path, select=select))
+        except SyntaxError as error:
+            found.append(
+                Diagnostic(
+                    "syntax-error",
+                    str(path),
+                    error.lineno or 1,
+                    (error.offset or 1) - 1,
+                    f"could not parse: {error.msg}",
+                )
+            )
+    return found

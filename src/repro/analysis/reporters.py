@@ -1,0 +1,31 @@
+"""Render diagnostics as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import Diagnostic
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """GCC-style ``path:line:col: rule: message`` lines plus a summary."""
+    lines = [d.format() for d in diagnostics]
+    count = len(diagnostics)
+    if count == 0:
+        lines.append("repro-lint: no violations")
+    else:
+        noun = "violation" if count == 1 else "violations"
+        lines.append(f"repro-lint: {count} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """A JSON object with a count and one record per diagnostic."""
+    payload = {
+        "violations": len(diagnostics),
+        "diagnostics": [d.to_json() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

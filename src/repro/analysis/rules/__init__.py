@@ -1,0 +1,5 @@
+"""Built-in rule set; importing this package registers every rule."""
+
+from repro.analysis.rules import autograd, hygiene, numeric
+
+__all__ = ["autograd", "hygiene", "numeric"]

@@ -1,0 +1,127 @@
+"""API-hygiene rules: ``__all__``, docstrings, defaults, exception handling.
+
+These keep the public surface of the package explicit — important for a repo
+whose modules are imported selectively by the experiment runners and whose
+API table is asserted by ``tests/test_api_surface.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.core import Diagnostic, ModuleContext, Rule, rule
+
+__all__ = ["public_toplevel_defs"]
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set"}
+
+
+def public_toplevel_defs(tree: ast.Module) -> list[ast.AST]:
+    """Top-level public function/class definitions of a module."""
+    return [
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        and astutil.is_public_name(node.name)
+    ]
+
+
+def _has_dunder_all(tree: ast.Module) -> bool:
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return True
+    return False
+
+
+@rule(
+    "api-missing-all",
+    "module defines public names but no __all__",
+)
+def _missing_all(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    publics = public_toplevel_defs(module.tree)
+    if publics and not _has_dunder_all(module.tree):
+        names = ", ".join(sorted(n.name for n in publics)[:4])
+        yield self.diagnostic(
+            module,
+            None,
+            f"module defines public names ({names}, ...) but no __all__; "
+            "declare the intended API explicitly",
+        )
+
+
+@rule(
+    "api-missing-docstring",
+    "public module / function / class / method without a docstring",
+)
+def _missing_docstring(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    if ast.get_docstring(module.tree) is None:
+        yield self.diagnostic(module, None, "module has no docstring")
+    for node in public_toplevel_defs(module.tree):
+        if ast.get_docstring(node) is None:
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            yield self.diagnostic(
+                module, node, f"public {kind} {node.name!r} has no docstring"
+            )
+        if isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if not isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if not astutil.is_public_name(member.name):
+                    continue
+                if ast.get_docstring(member) is None:
+                    yield self.diagnostic(
+                        module,
+                        member,
+                        f"public method {node.name}.{member.name!r} has no "
+                        "docstring",
+                    )
+
+
+@rule(
+    "api-mutable-default",
+    "mutable default argument (list/dict/set) shared across calls",
+)
+def _mutable_default(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            )
+            if mutable:
+                yield self.diagnostic(
+                    module,
+                    default,
+                    f"mutable default argument in {node.name}(); default to "
+                    "None and construct inside the body",
+                )
+
+
+@rule(
+    "api-bare-except",
+    "bare `except:` swallows SystemExit/KeyboardInterrupt",
+)
+def _bare_except(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield self.diagnostic(
+                module,
+                node,
+                "bare except clause; catch a specific exception type",
+            )

@@ -1,0 +1,234 @@
+"""Numeric-safety rules.
+
+The repo's quantizers push Hessians through softmax (APTQ Eq. 7) and its
+perplexity numbers through ``exp``/``log`` chains, so unstabilized
+exponentials and logs turn silently into ``inf``/``nan`` long before a test
+notices.  These rules demand *static evidence of stabilization* — a
+max-shift, a clip, a ``-np.abs`` bound, or an epsilon term — at every
+``np.exp`` / ``np.log`` / normalization-division site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis import astutil
+from repro.analysis.core import Diagnostic, ModuleContext, Rule, rule
+
+__all__ = ["scope_chain_of", "exp_argument_is_bounded", "scope_has_shift"]
+
+_CLIP_LIKE = {"clip", "minimum", "abs", "logaddexp", "logaddexp2"}
+_MAX_LIKE = {"max", "amax", "maximum", "nanmax"}
+_REDUCTIONS = {"mean", "sum", "var", "dot", "einsum", "average"}
+
+
+def _scope_parents(tree: ast.Module) -> dict[ast.AST, Optional[ast.AST]]:
+    """Map every function/class scope node to its innermost enclosing scope."""
+    parents: dict[ast.AST, Optional[ast.AST]] = {}
+
+    def visit(node: ast.AST, enclosing: Optional[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                parents[child] = enclosing
+                visit(child, child)
+            else:
+                visit(child, enclosing)
+
+    visit(tree, None)
+    return parents
+
+
+def _innermost_scope(tree: ast.Module, target: ast.AST) -> Optional[ast.AST]:
+    """The innermost function scope whose subtree contains ``target``."""
+    best: Optional[ast.AST] = None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(child is target for child in ast.walk(node)):
+                best = node  # walk() visits outer scopes before inner ones
+    return best
+
+
+def scope_chain_of(module: ModuleContext, target: ast.AST) -> list[ast.AST]:
+    """Enclosing scopes of ``target`` from innermost function to the module."""
+    parents = _scope_parents(module.tree)
+    chain: list[ast.AST] = []
+    scope: Optional[ast.AST] = _innermost_scope(module.tree, target)
+    while scope is not None:
+        chain.append(scope)
+        scope = parents.get(scope)
+    chain.append(module.tree)
+    return chain
+
+
+def _is_max_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    numpy_name = astutil.numpy_call_name(node)
+    if numpy_name in _MAX_LIKE:
+        return True
+    return isinstance(node.func, ast.Attribute) and node.func.attr in _MAX_LIKE
+
+
+def _walk_scope_local(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope's subtree without descending into nested scopes.
+
+    Keeps evidence local: a max-shift inside ``softmax`` must not whitelist a
+    raw ``np.exp`` in a sibling function of the same module.
+    """
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def scope_has_shift(scopes: list[ast.AST]) -> bool:
+    """Whether any enclosing scope performs a max-shift or clip/logaddexp.
+
+    A max-shift is an assignment of the form ``y = x - x.max(...)`` (the
+    softmax stabilization); a bare ``np.clip``/``np.minimum``/``np.logaddexp``
+    call directly in the scope also counts.  Nested sibling scopes do not
+    contribute evidence.
+    """
+    for scope in scopes:
+        for node in _walk_scope_local(scope):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+                if astutil.contains(node.right, _is_max_call):
+                    return True
+            if astutil.is_numpy_call(node, {"clip", "minimum", "logaddexp", "logaddexp2"}):
+                return True
+    return False
+
+
+def exp_argument_is_bounded(arg: ast.AST) -> bool:
+    """Whether an ``np.exp`` argument is visibly bounded above.
+
+    Accepts arguments containing a clip/minimum/``np.abs`` call (the
+    ``np.exp(-np.abs(x))`` stable-sigmoid shape) or plain constants.
+    """
+    if isinstance(arg, ast.Constant):
+        return True
+    return astutil.contains(
+        arg, lambda n: astutil.is_numpy_call(n, _CLIP_LIKE)
+    )
+
+
+def _log_argument_is_positive(arg: ast.AST) -> bool:
+    """Positivity evidence for an ``np.log`` argument.
+
+    ``exp``-of-anything, clip/maximum floors, and ``+ eps`` terms all bound
+    the argument away from zero.
+    """
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, (int, float)):
+        return arg.value > 0
+    if astutil.contains(
+        arg, lambda n: astutil.is_numpy_call(n, {"exp", "clip", "maximum", "exp2"})
+    ):
+        return True
+    return astutil.has_positive_constant_term(arg)
+
+
+@rule(
+    "numeric-unstable-sigmoid",
+    "sigmoid written as 1/(1+exp(-x)) overflows for large |x|",
+)
+def _unstable_sigmoid(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):
+            continue
+        denominator = node.right
+        if not (
+            isinstance(denominator, ast.BinOp)
+            and isinstance(denominator.op, ast.Add)
+        ):
+            continue
+        for side in (denominator.left, denominator.right):
+            if astutil.is_numpy_call(side, {"exp"}):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "unstable sigmoid form x/(1+np.exp(.)); use the sign-split "
+                    "form via np.exp(-np.abs(x))",
+                )
+                break
+
+
+@rule(
+    "numeric-raw-exp",
+    "np.exp without a max-shift, clip, or -abs bound on its argument",
+)
+def _raw_exp(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    for node in astutil.walk_calls(module.tree):
+        if astutil.numpy_call_name(node) != "exp" or not node.args:
+            continue
+        if exp_argument_is_bounded(node.args[0]):
+            continue
+        if scope_has_shift(scope_chain_of(module, node)):
+            continue
+        yield self.diagnostic(
+            module,
+            node,
+            "np.exp on an unbounded argument; shift by the max (softmax "
+            "style), clip, or bound via -np.abs first",
+        )
+
+
+@rule(
+    "numeric-raw-log",
+    "np.log without positivity evidence (exp/clip/maximum/+eps) in argument",
+)
+def _raw_log(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    for node in astutil.walk_calls(module.tree):
+        if astutil.numpy_call_name(node) != "log" or not node.args:
+            continue
+        if _log_argument_is_positive(node.args[0]):
+            continue
+        yield self.diagnostic(
+            module,
+            node,
+            "np.log on a possibly-zero argument; floor it (np.maximum, "
+            "np.clip, or + eps) first",
+        )
+
+
+@rule(
+    "numeric-div-no-eps",
+    "division by a computed sqrt/std/norm statistic without an epsilon",
+)
+def _div_no_eps(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):
+            continue
+        denominator = node.right
+        if not isinstance(denominator, ast.Call):
+            continue
+        name = astutil.numpy_call_name(denominator)
+        if name not in {"sqrt", "std", "linalg.norm"}:
+            continue
+        if not denominator.args:
+            continue
+        argument = denominator.args[0]
+        # sqrt of a plain name/constant (e.g. a head dimension) is fine; only
+        # computed statistics can underflow to zero.
+        def _is_reduction(n: ast.AST) -> bool:
+            if not isinstance(n, ast.Call):
+                return False
+            if astutil.numpy_call_name(n) in _REDUCTIONS:
+                return True
+            return isinstance(n.func, ast.Attribute) and n.func.attr in _REDUCTIONS
+
+        if name == "sqrt" and not astutil.contains(argument, _is_reduction):
+            continue
+        if astutil.has_positive_constant_term(argument):
+            continue
+        yield self.diagnostic(
+            module,
+            node,
+            f"division by np.{name}(...) of a computed statistic without an "
+            "epsilon term; add `+ eps` inside the root",
+        )

@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 
+__all__ = ["numerical_gradient", "check_gradients"]
+
 
 def numerical_gradient(
     func: Callable[[], Tensor],

@@ -49,6 +49,7 @@ __all__ = [
 # Elementwise arithmetic
 # ----------------------------------------------------------------------
 def add(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise sum ``a + b`` with broadcasting."""
     out = a.data + b.data
 
     def backward(grad, sink):
@@ -59,6 +60,7 @@ def add(a: Tensor, b: Tensor) -> Tensor:
 
 
 def sub(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise difference ``a - b`` with broadcasting."""
     out = a.data - b.data
 
     def backward(grad, sink):
@@ -69,6 +71,7 @@ def sub(a: Tensor, b: Tensor) -> Tensor:
 
 
 def mul(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise product ``a * b`` with broadcasting."""
     out = a.data * b.data
 
     def backward(grad, sink):
@@ -79,6 +82,7 @@ def mul(a: Tensor, b: Tensor) -> Tensor:
 
 
 def div(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise quotient ``a / b`` with broadcasting."""
     out = a.data / b.data
 
     def backward(grad, sink):
@@ -89,6 +93,7 @@ def div(a: Tensor, b: Tensor) -> Tensor:
 
 
 def neg(a: Tensor) -> Tensor:
+    """Elementwise negation ``-a``."""
     out = -a.data
 
     def backward(grad, sink):
@@ -98,6 +103,7 @@ def neg(a: Tensor) -> Tensor:
 
 
 def power(a: Tensor, exponent: float) -> Tensor:
+    """Elementwise power ``a ** exponent`` for a constant exponent."""
     out = a.data**exponent
 
     def backward(grad, sink):
@@ -107,7 +113,8 @@ def power(a: Tensor, exponent: float) -> Tensor:
 
 
 def exp(a: Tensor) -> Tensor:
-    out = np.exp(a.data)
+    """Elementwise ``e**a``; stabilizing the argument is the caller's job."""
+    out = np.exp(a.data)  # lint: disable=numeric-raw-exp  (primitive op)
 
     def backward(grad, sink):
         sink(a, grad * out)
@@ -116,7 +123,8 @@ def exp(a: Tensor) -> Tensor:
 
 
 def log(a: Tensor) -> Tensor:
-    out = np.log(a.data)
+    """Elementwise natural log; positivity is the caller's contract."""
+    out = np.log(a.data)  # lint: disable=numeric-raw-log  (primitive op)
 
     def backward(grad, sink):
         sink(a, grad / a.data)
@@ -125,6 +133,7 @@ def log(a: Tensor) -> Tensor:
 
 
 def sqrt(a: Tensor) -> Tensor:
+    """Elementwise square root."""
     out = np.sqrt(a.data)
 
     def backward(grad, sink):
@@ -134,6 +143,7 @@ def sqrt(a: Tensor) -> Tensor:
 
 
 def tanh(a: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
     out = np.tanh(a.data)
 
     def backward(grad, sink):
@@ -142,8 +152,15 @@ def tanh(a: Tensor) -> Tensor:
     return Tensor.make(out, (a,), backward)
 
 
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    # Sign-split logistic: only ever exponentiates -|x|, so no overflow.
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0.0, 1.0 / (1.0 + z), z / (1.0 + z))
+
+
 def sigmoid(a: Tensor) -> Tensor:
-    out = 1.0 / (1.0 + np.exp(-a.data))
+    """Elementwise logistic function (numerically stable form)."""
+    out = _stable_sigmoid(a.data)
 
     def backward(grad, sink):
         sink(a, grad * out * (1.0 - out))
@@ -153,7 +170,7 @@ def sigmoid(a: Tensor) -> Tensor:
 
 def silu(a: Tensor) -> Tensor:
     """SiLU/Swish activation ``x * sigmoid(x)`` (the LLaMA MLP gate)."""
-    sig = 1.0 / (1.0 + np.exp(-a.data))
+    sig = _stable_sigmoid(a.data)
     out = a.data * sig
 
     def backward(grad, sink):
@@ -163,6 +180,7 @@ def silu(a: Tensor) -> Tensor:
 
 
 def relu(a: Tensor) -> Tensor:
+    """Elementwise rectifier ``max(a, 0)``."""
     mask = a.data > 0
     out = np.where(mask, a.data, 0.0)
 
@@ -173,6 +191,7 @@ def relu(a: Tensor) -> Tensor:
 
 
 def abs(a: Tensor) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    """Elementwise absolute value (subgradient ``sign(a)`` at 0)."""
     out = np.abs(a.data)
 
     def backward(grad, sink):
@@ -182,6 +201,7 @@ def abs(a: Tensor) -> Tensor:  # noqa: A001 - mirrors numpy naming
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum; ties route the gradient to ``a``."""
     out = np.maximum(a.data, b.data)
 
     def backward(grad, sink):
@@ -208,6 +228,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 # Linear algebra
 # ----------------------------------------------------------------------
 def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product ``a @ b`` (supports batched and 1-D operands)."""
     out = a.data @ b.data
 
     def backward(grad, sink):
@@ -238,6 +259,7 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
 # Reductions
 # ----------------------------------------------------------------------
 def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over ``axis`` (all elements when ``axis`` is None)."""
     out = a.data.sum(axis=axis, keepdims=keepdims)
 
     def backward(grad, sink):
@@ -252,6 +274,7 @@ def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
 
 
 def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over ``axis`` (all elements when ``axis`` is None)."""
     out = a.data.mean(axis=axis, keepdims=keepdims)
     count = a.data.size / out.size
 
@@ -270,6 +293,7 @@ def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
 # Shape manipulation
 # ----------------------------------------------------------------------
 def reshape(a: Tensor, shape: Sequence[int]) -> Tensor:
+    """View ``a`` with a new ``shape`` (same number of elements)."""
     out = a.data.reshape(shape)
 
     def backward(grad, sink):
@@ -279,6 +303,7 @@ def reshape(a: Tensor, shape: Sequence[int]) -> Tensor:
 
 
 def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
+    """Permute axes (full reversal when ``axes`` is None)."""
     out = a.data.transpose(axes)
 
     def backward(grad, sink):
@@ -292,6 +317,7 @@ def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
 
 
 def swapaxes(a: Tensor, axis1: int, axis2: int) -> Tensor:
+    """Exchange two axes of ``a``."""
     out = np.swapaxes(a.data, axis1, axis2)
 
     def backward(grad, sink):
@@ -301,6 +327,7 @@ def swapaxes(a: Tensor, axis1: int, axis2: int) -> Tensor:
 
 
 def getitem(a: Tensor, index) -> Tensor:
+    """Numpy-style indexing with scatter-add backward."""
     out = a.data[index]
 
     def backward(grad, sink):
@@ -312,6 +339,7 @@ def getitem(a: Tensor, index) -> Tensor:
 
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
     tensors = [Tensor.as_tensor(t) for t in tensors]
     out = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
@@ -328,6 +356,7 @@ def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
     tensors = [Tensor.as_tensor(t) for t in tensors]
     out = np.stack([t.data for t in tensors], axis=axis)
 
@@ -356,6 +385,7 @@ def embedding(table: Tensor, ids: np.ndarray) -> Tensor:
 # Softmax family
 # ----------------------------------------------------------------------
 def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
     shifted = a.data - a.data.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
     out = exps / exps.sum(axis=axis, keepdims=True)
@@ -369,6 +399,7 @@ def softmax(a: Tensor, axis: int = -1) -> Tensor:
 
 
 def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
     shifted = a.data - a.data.max(axis=axis, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out = shifted - log_norm

@@ -12,6 +12,13 @@ from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+__all__ = [
+    "is_grad_enabled",
+    "no_grad",
+    "Tensor",
+    "parameters_of",
+]
+
 _GRAD_ENABLED = True
 
 
@@ -98,18 +105,22 @@ class Tensor:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of array dimensions."""
         return self.data.ndim
 
     @property
     def size(self) -> int:
+        """Total number of elements."""
         return self.data.size
 
     @property
     def dtype(self):
+        """Numpy dtype of the underlying array."""
         return self.data.dtype
 
     def numpy(self) -> np.ndarray:
@@ -117,6 +128,7 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
+        """The single element of a scalar tensor as a python float."""
         return float(self.data.item())
 
     def detach(self) -> "Tensor":
@@ -140,6 +152,7 @@ class Tensor:
             self.grad += grad
 
     def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
         self.grad = None
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
@@ -265,16 +278,19 @@ class Tensor:
 
     # Convenience methods mirroring numpy
     def sum(self, axis=None, keepdims: bool = False):
+        """Differentiable sum over ``axis`` (see :func:`repro.autograd.ops.sum`)."""
         from repro.autograd import ops
 
         return ops.sum(self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False):
+        """Differentiable mean over ``axis`` (see :func:`repro.autograd.ops.mean`)."""
         from repro.autograd import ops
 
         return ops.mean(self, axis=axis, keepdims=keepdims)
 
     def reshape(self, *shape):
+        """Differentiable reshape; accepts a tuple or unpacked dimensions."""
         from repro.autograd import ops
 
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
@@ -282,6 +298,7 @@ class Tensor:
         return ops.reshape(self, shape)
 
     def transpose(self, *axes):
+        """Differentiable axis permutation (full reversal with no arguments)."""
         from repro.autograd import ops
 
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -290,6 +307,7 @@ class Tensor:
 
     @property
     def T(self):
+        """Transposed view (all axes reversed)."""
         return self.transpose()
 
 

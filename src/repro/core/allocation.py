@@ -11,6 +11,12 @@ from __future__ import annotations
 from repro.core.sensitivity import LayerSensitivity
 from repro.nn.transformer import LlamaModel
 
+__all__ = [
+    "allocate_bits_by_sensitivity",
+    "manual_blockwise_allocation",
+    "average_bits",
+]
+
 
 def allocate_bits_by_sensitivity(
     sensitivities: dict[str, LayerSensitivity],

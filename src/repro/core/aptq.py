@@ -35,6 +35,8 @@ from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
 from repro.quant.solver import SolverResult, quantize_with_hessian
 
+__all__ = ["APTQConfig", "APTQResult", "aptq_quantize_model"]
+
 _ATTENTION_PROJECTIONS = ("q_proj", "k_proj", "v_proj", "o_proj")
 
 
@@ -198,7 +200,8 @@ def aptq_quantize_model(
                 bits=allocation[name],
                 config=config,
             )
-            linear.weight.data = quantized
+            # The APTQ core is a quantizer: weight rewrites are its output.
+            linear.weight.data = quantized  # lint: disable=autograd-inplace-data
             layer_results[name] = result
 
         if mlp_names:
@@ -217,7 +220,7 @@ def aptq_quantize_model(
                     group_size=config.group_size,
                     percdamp=config.percdamp,
                 )
-                linear.weight.data = result.quantized_weight
+                linear.weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
                 layer_results[name] = result
 
     # Any non-block layer (untied lm_head) quantizes with the GPTQ Hessian.
@@ -238,7 +241,7 @@ def aptq_quantize_model(
                 group_size=config.group_size,
                 percdamp=config.percdamp,
             )
-            linear.weight.data = result.quantized_weight
+            linear.weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
             layer_results[name] = result
 
     counts = {name: layers[name].weight.size for name in layers}

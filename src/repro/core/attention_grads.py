@@ -29,6 +29,13 @@ import numpy as np
 
 from repro.nn.attention import AttentionCapture, MultiHeadAttention
 
+__all__ = [
+    "AttentionWeights",
+    "rope_adjoint",
+    "softmax_vjp",
+    "attention_seeded_gradients",
+]
+
 
 @dataclasses.dataclass
 class AttentionWeights:
@@ -43,6 +50,7 @@ class AttentionWeights:
     o: np.ndarray
 
     def by_name(self) -> dict[str, np.ndarray]:
+        """The four gradient arrays keyed by projection layer name."""
         return {
             "q_proj": self.q,
             "k_proj": self.k,

@@ -32,6 +32,14 @@ from repro.core.attention_grads import attention_seeded_gradients
 from repro.nn.attention import AttentionCapture, MultiHeadAttention
 from repro.nn.transformer import LlamaModel
 
+__all__ = [
+    "AttentionHessians",
+    "capture_attention",
+    "attention_hessians",
+    "exact_gauss_newton",
+    "head_column_slices",
+]
+
 
 @dataclasses.dataclass
 class AttentionHessians:

@@ -21,6 +21,8 @@ from repro.data.calibration import CalibrationSet
 from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
 
+__all__ = ["LayerSensitivity", "compute_sensitivities"]
+
 _ATTENTION_PROJECTIONS = ("q_proj", "k_proj", "v_proj", "o_proj")
 
 

@@ -12,6 +12,8 @@ from typing import Callable
 
 import numpy as np
 
+__all__ = ["hutchinson_trace"]
+
 
 def hutchinson_trace(
     hvp: Callable[[np.ndarray], np.ndarray] | np.ndarray,

@@ -12,6 +12,8 @@ from __future__ import annotations
 import collections
 from typing import Iterable
 
+__all__ = ["BPETokenizer"]
+
 
 class BPETokenizer:
     """Byte-pair encoding over characters with end-of-word markers."""

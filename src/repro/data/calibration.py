@@ -14,6 +14,8 @@ import numpy as np
 
 from repro.data.corpus import SyntheticCorpus
 
+__all__ = ["CalibrationSet", "sample_calibration"]
+
 
 @dataclasses.dataclass
 class CalibrationSet:
@@ -30,10 +32,12 @@ class CalibrationSet:
 
     @property
     def n_segments(self) -> int:
+        """Number of calibration segments."""
         return self.segments.shape[0]
 
     @property
     def seq_len(self) -> int:
+        """Token length of each segment."""
         return self.segments.shape[1]
 
     def batches(self, batch_size: int):

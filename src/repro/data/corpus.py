@@ -19,6 +19,15 @@ import numpy as np
 from repro.data.grammar import MarkovGrammar
 from repro.data.tokenizer import WordTokenizer, build_lexicon
 
+__all__ = [
+    "CorpusSplits",
+    "SyntheticCorpus",
+    "default_tokenizer",
+    "c4_domains",
+    "c4_sim",
+    "wikitext2_sim",
+]
+
 DEFAULT_N_WORDS = 252  # + 4 specials = 256 vocab
 
 # All domains of the synthetic language share one lexical class structure.

@@ -28,6 +28,13 @@ from repro.data.corpus import SyntheticCorpus, c4_domains
 from repro.data.grammar import MarkovGrammar
 from repro.data.tokenizer import WordTokenizer
 
+__all__ = [
+    "MultipleChoiceExample",
+    "TaskSuite",
+    "build_task_suite",
+    "standard_task_suites",
+]
+
 DistractorKind = Literal["random", "foreign", "low_prob", "corrupt"]
 
 

@@ -11,6 +11,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+__all__ = ["build_lexicon", "WordTokenizer"]
+
 _ONSETS = ["b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z",
            "br", "dr", "gr", "kl", "pl", "st", "tr", "sk"]
 _NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "ou"]
@@ -64,26 +66,32 @@ class WordTokenizer:
     # ------------------------------------------------------------------
     @property
     def vocab_size(self) -> int:
+        """Total vocabulary size including the special tokens."""
         return len(self._vocab)
 
     @property
     def num_specials(self) -> int:
+        """Number of reserved special tokens."""
         return len(self.SPECIALS)
 
     @property
     def pad_id(self) -> int:
+        """Token id of the padding symbol."""
         return self._ids[self.PAD]
 
     @property
     def unk_id(self) -> int:
+        """Token id of the unknown-word symbol."""
         return self._ids[self.UNK]
 
     @property
     def bos_id(self) -> int:
+        """Token id of the beginning-of-sequence symbol."""
         return self._ids[self.BOS]
 
     @property
     def eos_id(self) -> int:
+        """Token id of the end-of-sequence symbol."""
         return self._ids[self.EOS]
 
     # ------------------------------------------------------------------

@@ -7,6 +7,8 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn.transformer import LlamaModel
 
+__all__ = ["token_nll", "perplexity"]
+
 
 def token_nll(
     model: LlamaModel,
@@ -51,5 +53,11 @@ def perplexity(
     seq_len: int | None = None,
     batch_size: int = 16,
 ) -> float:
-    """``exp(mean NLL)`` of ``tokens`` under ``model``."""
-    return float(np.exp(token_nll(model, tokens, seq_len, batch_size)))
+    """``exp(mean NLL)`` of ``tokens`` under ``model``.
+
+    The mean NLL is capped at 700 nats before exponentiation so a
+    catastrophically bad model reports a huge finite perplexity (~1e304)
+    instead of ``inf``, which would poison downstream table averages.
+    """
+    nll = token_nll(model, tokens, seq_len, batch_size)
+    return float(np.exp(np.minimum(nll, 700.0)))

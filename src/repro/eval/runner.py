@@ -12,6 +12,8 @@ from repro.eval.perplexity import perplexity
 from repro.eval.zeroshot import evaluate_suites
 from repro.nn.transformer import LlamaModel
 
+__all__ = ["EvaluationReport", "evaluate_model"]
+
 
 @dataclasses.dataclass
 class EvaluationReport:

@@ -14,6 +14,8 @@ from repro.data.tasks import MultipleChoiceExample, TaskSuite
 from repro.nn import functional as F
 from repro.nn.transformer import LlamaModel
 
+__all__ = ["choice_loglikelihoods", "evaluate_suite", "evaluate_suites"]
+
 
 def choice_loglikelihoods(
     model: LlamaModel,

@@ -26,6 +26,8 @@ from repro.experiments.runners import (
 )
 from repro.report import ascii_line_chart, format_table, write_csv
 
+__all__ = ["main"]
+
 
 def _maybe_write(rows, out: Path | None, name: str) -> None:
     if out is not None:
@@ -34,6 +36,7 @@ def _maybe_write(rows, out: Path | None, name: str) -> None:
 
 
 def main(argv: list[str] | None = None) -> None:
+    """Parse the target table/figure and run the matching experiment."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__
     )

@@ -37,6 +37,8 @@ from repro.quant.pbllm import pbllm_average_bits, pbllm_quantize_model
 from repro.quant.rtn import rtn_quantize_model
 from repro.quant.smoothquant import smoothquant_quantize_model
 
+__all__ = ["AppliedMethod", "available_methods", "apply_method"]
+
 _RATIO_PATTERN = re.compile(r"^(aptq|manual|pb-llm)-(\d+)$")
 
 

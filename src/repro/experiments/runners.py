@@ -22,6 +22,15 @@ from repro.experiments.methods import apply_method
 from repro.models.zoo import clone_model, pretrained
 from repro.nn.transformer import LlamaModel
 
+__all__ = [
+    "ExperimentContext",
+    "build_context",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_figure2",
+]
+
 TABLE1_METHODS = (
     "fp16",
     "gptq",

@@ -11,6 +11,8 @@ from __future__ import annotations
 from repro.data.corpus import DEFAULT_N_WORDS
 from repro.nn.config import LlamaConfig
 
+__all__ = ["model_config"]
+
 _VOCAB = DEFAULT_N_WORDS + 4  # lexicon + special tokens
 
 MODEL_CONFIGS: dict[str, LlamaConfig] = {

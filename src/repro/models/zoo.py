@@ -20,6 +20,8 @@ from repro.nn.serialize import load_state_dict, save_state_dict
 from repro.nn.transformer import LlamaModel
 from repro.training.trainer import Trainer, TrainingConfig
 
+__all__ = ["default_cache_dir", "pretrained", "clone_model"]
+
 _TRAINING_PRESETS: dict[str, TrainingConfig] = {
     "llama-test": TrainingConfig(steps=1500, batch_size=16, seq_len=64, seed=0),
     "llama-7b-sim": TrainingConfig(steps=4000, batch_size=16, seq_len=64, seed=0),

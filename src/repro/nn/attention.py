@@ -24,6 +24,13 @@ from repro.autograd import Tensor, ops
 from repro.nn import functional as F
 from repro.nn.modules import Linear, Module
 
+__all__ = [
+    "RotaryEmbedding",
+    "AttentionCapture",
+    "MultiHeadAttention",
+    "KVCache",
+]
+
 
 class RotaryEmbedding:
     """Precomputed cos/sin tables for rotary position embeddings."""
@@ -35,6 +42,7 @@ class RotaryEmbedding:
         self.cos, self.sin = F.rope_tables(max_seq_len, d_head, base)
 
     def tables(self, seq_len: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cos/sin tables truncated to ``seq_len`` positions."""
         if seq_len > self.max_seq_len:
             raise ValueError(
                 f"sequence length {seq_len} exceeds table size {self.max_seq_len}"
@@ -114,6 +122,7 @@ class MultiHeadAttention(Module):
         )
 
     def forward(self, x: Tensor) -> Tensor:
+        """Causal self-attention over ``x`` (autograd path)."""
         batch, seq, _ = x.shape
         cos, sin = self.rope.tables(seq)
         q = self._split_heads(self.q_proj(x), batch, seq)
@@ -135,6 +144,7 @@ class MultiHeadAttention(Module):
     def forward_array(
         self, x: np.ndarray, capture: bool = False
     ) -> np.ndarray | tuple[np.ndarray, AttentionCapture]:
+        """Numpy attention; optionally captures per-head internals."""
         batch, seq, _ = x.shape
         cos, sin = self.rope.tables(seq)
 
@@ -203,6 +213,7 @@ class KVCache:
 
     @property
     def length(self) -> int:
+        """Number of cached positions."""
         return 0 if self.keys is None else self.keys.shape[2]
 
     def append(

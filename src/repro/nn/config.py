@@ -6,6 +6,8 @@ import dataclasses
 import hashlib
 import json
 
+__all__ = ["LlamaConfig"]
+
 
 @dataclasses.dataclass(frozen=True)
 class LlamaConfig:
@@ -46,10 +48,12 @@ class LlamaConfig:
         return self.d_model // self.n_heads
 
     def to_dict(self) -> dict:
+        """Plain-dict form for serialization."""
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "LlamaConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
         return cls(**payload)
 
     def cache_key(self) -> str:

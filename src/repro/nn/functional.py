@@ -12,6 +12,7 @@ import numpy as np
 __all__ = [
     "softmax",
     "log_softmax",
+    "sigmoid",
     "silu",
     "rms_norm",
     "rotate_half",
@@ -30,12 +31,24 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax (max-shifted)."""
     shifted = x - x.max(axis=axis, keepdims=True)
     return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
 
 
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function.
+
+    The naive ``1/(1+exp(-x))`` overflows for large negative ``x``; the
+    sign-split form only ever exponentiates ``-|x|``.
+    """
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0.0, 1.0 / (1.0 + z), z / (1.0 + z))
+
+
 def silu(x: np.ndarray) -> np.ndarray:
-    return x / (1.0 + np.exp(-x))
+    """SiLU/Swish activation ``x * sigmoid(x)`` (the LLaMA MLP gate)."""
+    return x * sigmoid(x)
 
 
 def rms_norm(x: np.ndarray, gain: np.ndarray, eps: float = 1e-5) -> np.ndarray:

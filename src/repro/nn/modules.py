@@ -16,6 +16,13 @@ import numpy as np
 
 from repro.autograd import Tensor, ops
 
+__all__ = [
+    "Module",
+    "Linear",
+    "Embedding",
+    "RMSNorm",
+]
+
 
 class Module:
     """Minimal module base with parameter/submodule discovery and hooks."""
@@ -29,12 +36,14 @@ class Module:
 
     # ------------------------------------------------------------------
     def register_parameter(self, name: str, tensor: Tensor) -> Tensor:
+        """Adopt ``tensor`` as a trainable parameter named ``name``."""
         tensor.requires_grad = True
         tensor.name = name
         self._parameters[name] = tensor
         return tensor
 
     def register_module(self, name: str, module: "Module") -> "Module":
+        """Attach a child module under ``name`` for recursive traversal."""
         self._modules[name] = module
         return module
 
@@ -45,25 +54,30 @@ class Module:
 
     # ------------------------------------------------------------------
     def parameters(self) -> Iterator[Tensor]:
+        """Yield every parameter tensor, depth first."""
         for _, parameter in self.named_parameters():
             yield parameter
 
     def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
         for name, parameter in self._parameters.items():
             yield (f"{prefix}{name}", parameter)
         for module_name, module in self._modules.items():
             yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
 
     def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` pairs including ``self``."""
         yield (prefix.rstrip("."), self)
         for module_name, module in self._modules.items():
             yield from module.named_modules(prefix=f"{prefix}{module_name}.")
 
     def zero_grad(self) -> None:
+        """Clear the gradients of every parameter."""
         for parameter in self.parameters():
             parameter.zero_grad()
 
     def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
         return sum(p.size for p in self.parameters())
 
     # ------------------------------------------------------------------
@@ -88,12 +102,14 @@ class Module:
                     f"shape mismatch for {name}: "
                     f"{array.shape} != {parameter.data.shape}"
                 )
-            parameter.data = array.copy()
+            # Checkpoint loading replaces parameter payloads by design.
+            parameter.data = array.copy()  # lint: disable=autograd-inplace-data
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
 
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        """Compute the module output (overridden by subclasses)."""
         raise NotImplementedError
 
 
@@ -119,6 +135,7 @@ class Linear(Module):
         self.weight = self.register_parameter("weight", Tensor(weight))
 
     def forward(self, x: Tensor) -> Tensor:
+        """Apply ``x @ W`` (autograd path), feeding any input hooks."""
         if self.input_hooks:
             for hook in self.input_hooks:
                 hook(np.asarray(x.data))
@@ -149,6 +166,7 @@ class Embedding(Module):
         self.weight = self.register_parameter("weight", Tensor(weight))
 
     def forward(self, ids: np.ndarray) -> Tensor:
+        """Look up embedding rows for integer ``ids``."""
         ids = np.asarray(ids)
         if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
             raise IndexError("token id out of range")
@@ -164,11 +182,13 @@ class RMSNorm(Module):
         self.gain = self.register_parameter("gain", Tensor(np.ones(d_model)))
 
     def forward(self, x: Tensor) -> Tensor:
+        """Normalise ``x`` by its RMS and apply the gain (autograd path)."""
         mean_square = ops.mean(ops.mul(x, x), axis=-1, keepdims=True)
         scale = ops.power(mean_square + Tensor(self.eps), -0.5)
         return ops.mul(ops.mul(x, scale), self.gain)
 
     def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Numpy fast path of :meth:`forward`."""
         from repro.nn import functional as F
 
         return F.rms_norm(x, self.gain.data, eps=self.eps)

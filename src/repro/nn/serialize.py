@@ -10,6 +10,8 @@ import numpy as np
 from repro.nn.config import LlamaConfig
 from repro.nn.modules import Module
 
+__all__ = ["save_state_dict", "load_state_dict"]
+
 _CONFIG_KEY = "__config_json__"
 
 

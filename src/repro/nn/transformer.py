@@ -12,6 +12,8 @@ from repro.nn.attention import AttentionCapture, KVCache, MultiHeadAttention
 from repro.nn.config import LlamaConfig
 from repro.nn.modules import Embedding, Linear, Module, RMSNorm
 
+__all__ = ["SwiGLU", "TransformerBlock", "LlamaModel"]
+
 
 class SwiGLU(Module):
     """LLaMA feed-forward block ``down( silu(gate(x)) * up(x) )``."""
@@ -26,10 +28,12 @@ class SwiGLU(Module):
         self.down_proj = Linear(d_ff, d_model, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Gated feed-forward transform (autograd path)."""
         gate = ops.silu(self.gate_proj(x))
         return self.down_proj(ops.mul(gate, self.up_proj(x)))
 
     def forward_array(self, x: np.ndarray) -> np.ndarray:
+        """Gated feed-forward transform (numpy path)."""
         gate = F.silu(self.gate_proj.forward_array(x))
         return self.down_proj.forward_array(gate * self.up_proj.forward_array(x))
 
@@ -54,12 +58,14 @@ class TransformerBlock(Module):
         self.mlp = SwiGLU(config.d_model, config.d_ff, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Attention + MLP with residuals (autograd path)."""
         x = ops.add(x, self.self_attn(self.input_norm(x)))
         return ops.add(x, self.mlp(self.post_attn_norm(x)))
 
     def forward_array(
         self, x: np.ndarray, capture: bool = False
     ) -> np.ndarray | tuple[np.ndarray, AttentionCapture]:
+        """Attention + MLP with residuals (numpy path, optional capture)."""
         normed = self.input_norm.forward_array(x)
         if capture:
             attn_out, captured = self.self_attn.forward_array(normed, capture=True)

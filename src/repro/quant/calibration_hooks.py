@@ -16,6 +16,8 @@ import numpy as np
 from repro.nn.modules import Linear
 from repro.nn.transformer import LlamaModel
 
+__all__ = ["InputStats", "InputCollector", "collect_input_stats"]
+
 
 @dataclasses.dataclass
 class InputStats:

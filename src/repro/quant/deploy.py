@@ -23,6 +23,8 @@ from repro.nn.config import LlamaConfig
 from repro.nn.transformer import LlamaModel
 from repro.quant.qlinear import QuantizedLinear
 
+__all__ = ["PackedModel", "pack_model"]
+
 
 class PackedModel:
     """A quantized model in deployment form."""

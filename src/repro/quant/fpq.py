@@ -14,6 +14,8 @@ import numpy as np
 from repro.nn.transformer import LlamaModel
 from repro.quant.groupwise import resolve_group_size
 
+__all__ = ["FPQResult", "fp4_quantize_array", "fpq_quantize_model"]
+
 # E2M1 positive magnitudes; with sign this is the 16-value fp4 code book.
 FP4_MAGNITUDES = np.array([0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0])
 FP4_VALUES = np.unique(np.concatenate([-FP4_MAGNITUDES, FP4_MAGNITUDES]))
@@ -21,6 +23,8 @@ FP4_VALUES = np.unique(np.concatenate([-FP4_MAGNITUDES, FP4_MAGNITUDES]))
 
 @dataclasses.dataclass
 class FPQResult:
+    """Grouped FP4 codes and per-group scales of one quantized layer."""
+
     codes: np.ndarray
     scales: np.ndarray
     group_size: int

@@ -20,12 +20,34 @@ from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
 from repro.quant.solver import SolverResult, quantize_with_hessian
 
+__all__ = [
+    "layer_block_index",
+    "group_layers_by_block",
+    "gptq_quantize_layer",
+    "GPTQConfig",
+    "gptq_quantize_model",
+]
+
 
 def layer_block_index(layer_name: str) -> int | None:
-    """Transformer block index of a layer name, None for e.g. ``lm_head``."""
+    """Transformer block index of a layer name, None for e.g. ``lm_head``.
+
+    Raises
+    ------
+    ValueError
+        If a ``blocks.``-prefixed name carries a non-integer block index
+        (e.g. ``blocks.attn.q_proj``), which would otherwise silently
+        scramble the sequential quantization order.
+    """
     parts = layer_name.split(".")
     if parts[0] == "blocks" and len(parts) > 1:
-        return int(parts[1])
+        try:
+            return int(parts[1])
+        except ValueError:
+            raise ValueError(
+                f"malformed layer name {layer_name!r}: expected an integer "
+                f"block index after 'blocks.', got {parts[1]!r}"
+            ) from None
     return None
 
 

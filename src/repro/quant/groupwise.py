@@ -14,6 +14,13 @@ import numpy as np
 
 from repro.quant.uniform import QuantParams, dequantize, quantize
 
+__all__ = [
+    "resolve_group_size",
+    "GroupQuantResult",
+    "group_params",
+    "quantize_groupwise",
+]
+
 
 def resolve_group_size(d_in: int, group_size: int | None) -> int:
     """Clamp the requested group size to the layer's input dimension.
@@ -44,6 +51,7 @@ class GroupQuantResult:
 
     @property
     def n_groups(self) -> int:
+        """Number of quantization groups along the input dimension."""
         return self.scales.shape[0]
 
     def dequantize(self) -> np.ndarray:

@@ -17,9 +17,13 @@ import numpy as np
 from repro.quant.solver import prepare_hessian
 from repro.quant.uniform import QuantParams, compute_params, dequantize, quantize
 
+__all__ = ["OBQResult", "obq_quantize_matrix"]
+
 
 @dataclasses.dataclass
 class OBQResult:
+    """Quantized weights, codes, and accumulated error of one OBQ run."""
+
     quantized_weight: np.ndarray
     codes: np.ndarray
     params: QuantParams

@@ -23,14 +23,19 @@ from repro.quant.calibration_hooks import collect_input_stats
 from repro.quant.gptq import group_layers_by_block
 from repro.quant.solver import SolverResult, quantize_with_hessian
 
+__all__ = ["OWQResult", "select_outlier_channels", "owq_quantize_model"]
+
 
 @dataclasses.dataclass
 class OWQResult:
+    """Solver output plus the fp16-kept outlier channel indices."""
+
     solver_result: SolverResult
     outlier_channels: np.ndarray
 
     @property
     def average_bits(self) -> float:
+        """Effective bits per weight with outlier channels kept at fp16."""
         d_in = self.solver_result.quantized_weight.shape[0]
         kept = self.outlier_channels.size
         low = self.solver_result.bits

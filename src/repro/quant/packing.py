@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = ["pack_codes", "unpack_codes"]
+
 _WORD_BITS = 32
 
 

@@ -21,15 +21,20 @@ from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
 from repro.quant.gptq import group_layers_by_block
 
+__all__ = ["PBLLMResult", "pbllm_average_bits", "pbllm_quantize_model"]
+
 
 @dataclasses.dataclass
 class PBLLMResult:
+    """Salient-weight mask and group magnitudes of one PB-LLM layer."""
+
     salient_mask: np.ndarray
     group_magnitudes: np.ndarray
     salient_fraction: float
 
     @property
     def average_bits(self) -> float:
+        """Effective bits per weight at this salient fraction."""
         return 16.0 * self.salient_fraction + 1.0 * (1.0 - self.salient_fraction)
 
 

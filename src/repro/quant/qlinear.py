@@ -15,6 +15,8 @@ import numpy as np
 from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
 from repro.quant.packing import pack_codes, unpack_codes
 
+__all__ = ["QuantizedLinear"]
+
 
 class QuantizedLinear:
     """A linear layer stored as packed group-quantized integer codes."""
@@ -38,6 +40,7 @@ class QuantizedLinear:
     # ------------------------------------------------------------------
     @classmethod
     def from_group_result(cls, result: GroupQuantResult) -> "QuantizedLinear":
+        """Pack an unpacked group-quantization result into storage form."""
         return cls(
             packed=pack_codes(result.codes, result.bits),
             scales=result.scales,
@@ -56,6 +59,7 @@ class QuantizedLinear:
 
     # ------------------------------------------------------------------
     def codes(self) -> np.ndarray:
+        """Unpack the stored codes back to a ``(d_in, d_out)`` int array."""
         d_in, d_out = self.shape
         return unpack_codes(self.packed, self.bits, d_in * d_out).reshape(
             d_in, d_out

@@ -8,6 +8,8 @@ from repro.nn.modules import Linear
 from repro.nn.transformer import LlamaModel
 from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
 
+__all__ = ["rtn_quantize_layer", "rtn_quantize_model"]
+
 
 def rtn_quantize_layer(
     linear: Linear, bits: int, group_size: int | None = None

@@ -23,9 +23,17 @@ from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
 from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
 
+__all__ = [
+    "SmoothQuantResult",
+    "smooth_scales",
+    "smoothquant_quantize_model",
+]
+
 
 @dataclasses.dataclass
 class SmoothQuantResult:
+    """Group-quantized weights plus the per-channel smoothing scales."""
+
     group_result: GroupQuantResult
     channel_scale: np.ndarray
 

@@ -31,6 +31,13 @@ from repro.quant.groupwise import (
 )
 from repro.quant.uniform import QuantParams, dequantize, quantize
 
+__all__ = [
+    "SolverResult",
+    "prepare_hessian",
+    "inverse_cholesky",
+    "quantize_with_hessian",
+]
+
 
 @dataclasses.dataclass
 class SolverResult:
@@ -44,6 +51,7 @@ class SolverResult:
 
     @property
     def bits(self) -> int:
+        """Bit-width the layer was quantized to."""
         return self.group_result.bits
 
 

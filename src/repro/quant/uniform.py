@@ -11,6 +11,14 @@ import dataclasses
 
 import numpy as np
 
+__all__ = [
+    "QuantParams",
+    "compute_params",
+    "quantize",
+    "dequantize",
+    "quantize_dequantize",
+]
+
 
 @dataclasses.dataclass
 class QuantParams:
@@ -33,6 +41,7 @@ class QuantParams:
 
     @property
     def n_levels(self) -> int:
+        """Largest code value of the grid (``2**bits - 1``)."""
         return (1 << self.bits) - 1
 
 

@@ -7,6 +7,8 @@ import io
 from pathlib import Path
 from typing import Mapping, Sequence
 
+__all__ = ["rows_to_csv", "write_csv"]
+
 
 def rows_to_csv(
     rows: Sequence[Mapping[str, object]],

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+__all__ = ["ascii_line_chart"]
+
 _MARKERS = "ox+*#@%&"
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+__all__ = ["format_table", "format_markdown_table"]
+
 
 def _format_cell(value) -> str:
     if isinstance(value, float):

@@ -8,6 +8,14 @@ import numpy as np
 
 from repro.autograd import Tensor
 
+__all__ = [
+    "clip_grad_norm",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+]
+
 
 def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
@@ -36,10 +44,12 @@ class Optimizer:
         self.step_count = 0
 
     def zero_grad(self) -> None:
+        """Clear the gradients of every managed parameter."""
         for p in self.parameters:
             p.zero_grad()
 
     def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
         self.step_count += 1
         for index, p in enumerate(self.parameters):
             if p.grad is None:

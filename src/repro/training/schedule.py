@@ -4,11 +4,19 @@ from __future__ import annotations
 
 import math
 
+__all__ = [
+    "Schedule",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "WarmupSchedule",
+]
+
 
 class Schedule:
     """Maps a step index to a learning rate."""
 
     def lr_at(self, step: int) -> float:  # pragma: no cover - abstract
+        """Learning rate at ``step`` (overridden by subclasses)."""
         raise NotImplementedError
 
 
@@ -19,6 +27,7 @@ class ConstantSchedule(Schedule):
         self.lr = float(lr)
 
     def lr_at(self, step: int) -> float:
+        """The constant rate, independent of ``step``."""
         return self.lr
 
 
@@ -33,6 +42,7 @@ class CosineSchedule(Schedule):
         self.total_steps = int(total_steps)
 
     def lr_at(self, step: int) -> float:
+        """Cosine-interpolated rate at ``step``."""
         progress = min(max(step, 0), self.total_steps) / self.total_steps
         cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
         return self.floor + (self.peak - self.floor) * cosine
@@ -48,6 +58,7 @@ class WarmupSchedule(Schedule):
         self.warmup_steps = int(warmup_steps)
 
     def lr_at(self, step: int) -> float:
+        """Inner schedule's rate, linearly scaled during warmup."""
         base = self.inner.lr_at(step)
         if self.warmup_steps and step < self.warmup_steps:
             return base * (step + 1) / self.warmup_steps

@@ -18,6 +18,13 @@ from repro.nn.transformer import LlamaModel
 from repro.training.optim import AdamW, clip_grad_norm
 from repro.training.schedule import CosineSchedule, WarmupSchedule
 
+__all__ = [
+    "TrainingConfig",
+    "TrainingResult",
+    "sample_batch",
+    "Trainer",
+]
+
 
 @dataclasses.dataclass
 class TrainingConfig:

@@ -1,0 +1,102 @@
+"""Tier-1 gate: the repo's own source tree must lint clean.
+
+Also exercises the CLI end to end: a seeded violation in a scratch file
+must produce a non-zero exit code and a diagnostic naming the rule id,
+file, and line.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis import analyze_paths, render_text
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_TREE = REPO_ROOT / "src" / "repro"
+
+SEEDED_BAD = (
+    '"""Scratch module with a deliberate violation."""\n'
+    "import numpy as np\n\n"
+    '__all__ = ["score"]\n\n\n'
+    "def score(x):\n"
+    '    """Unbounded exponential: should trip numeric-raw-exp."""\n'
+    "    return np.exp(x)\n"
+)
+
+
+def run_cli(*argv):
+    """Run ``python -m repro.analysis`` and return the CompletedProcess."""
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+class TestRepoLintsClean:
+    def test_no_violations_in_source_tree(self):
+        diagnostics = analyze_paths([str(SRC_TREE)])
+        assert diagnostics == [], "\n" + render_text(diagnostics)
+
+    def test_cli_exits_zero_on_clean_tree(self):
+        proc = run_cli(str(SRC_TREE))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no violations" in proc.stdout
+
+
+class TestSeededViolation:
+    def test_cli_exits_nonzero_naming_rule_file_line(self, tmp_path):
+        bad = tmp_path / "scratch.py"
+        bad.write_text(SEEDED_BAD)
+        proc = run_cli(str(bad))
+        assert proc.returncode == 1
+        assert "numeric-raw-exp" in proc.stdout
+        assert f"{bad}:9" in proc.stdout
+        assert "1 violation" in proc.stdout
+
+    def test_json_format_reports_seeded_violation(self, tmp_path):
+        bad = tmp_path / "scratch.py"
+        bad.write_text(SEEDED_BAD)
+        proc = run_cli("--format", "json", str(bad))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["violations"] == 1
+        assert payload["diagnostics"][0]["rule"] == "numeric-raw-exp"
+        assert payload["diagnostics"][0]["line"] == 9
+
+    def test_select_excludes_other_rules(self, tmp_path):
+        bad = tmp_path / "scratch.py"
+        bad.write_text(SEEDED_BAD)
+        proc = run_cli("--select", "api-bare-except", str(bad))
+        assert proc.returncode == 0
+
+    def test_unknown_rule_id_is_usage_error(self, tmp_path):
+        bad = tmp_path / "scratch.py"
+        bad.write_text(SEEDED_BAD)
+        proc = run_cli("--select", "no-such-rule", str(bad))
+        assert proc.returncode == 2
+
+    def test_syntax_error_reported_not_crash(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        proc = run_cli(str(broken))
+        assert proc.returncode == 1
+        assert "syntax-error" in proc.stdout
+
+
+class TestListRules:
+    def test_list_rules_names_every_rule(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in (
+            "numeric-unstable-sigmoid",
+            "autograd-backward-contract",
+            "dtype-drift",
+            "api-missing-all",
+        ):
+            assert rule_id in proc.stdout

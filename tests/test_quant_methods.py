@@ -64,6 +64,12 @@ class TestLayerGrouping:
         assert groups[1] == ["blocks.1.mlp.up_proj"]
         assert groups[2] == ["lm_head"]
 
+    def test_malformed_block_index_raises_clear_error(self):
+        with pytest.raises(ValueError, match="malformed layer name"):
+            layer_block_index("blocks.attn.q_proj")
+        with pytest.raises(ValueError, match="'blocks.oops.w'.*'oops'"):
+            group_layers_by_block(["blocks.0.mlp.up_proj", "blocks.oops.w"])
+
 
 class TestRTN:
     def test_all_layers_quantized(self, trained_micro_model):

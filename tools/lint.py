@@ -1,0 +1,22 @@
+"""Run the repo's static analyzer without installing the package.
+
+Usage:  python tools/lint.py [paths...] [--format json] [--select rule,...]
+
+Thin wrapper around ``repro.analysis.cli`` that puts ``src/`` on the path
+first; exits 0 when clean, 1 on violations, 2 on usage errors.  Equivalent
+to ``PYTHONPATH=src python -m repro.analysis`` or the installed
+``repro-lint`` console script.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
