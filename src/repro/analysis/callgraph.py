@@ -1,0 +1,207 @@
+"""Cross-module import/usage graph and the rules built on it.
+
+Built entirely from :class:`~repro.analysis.project.ModuleSummary` records,
+so these passes run at full speed on warm cache runs (no re-parsing).
+
+Rules registered here:
+
+* ``wp-import-cycle`` — a cycle among top-level imports of project modules
+  (function-local imports are deliberate cycle breakers and are ignored);
+* ``wp-dead-export`` — an ``__all__`` entry no other module (including the
+  consumer trees: tests, examples, benchmarks, tools) ever imports or
+  references;
+* ``wp-all-undefined`` — an ``__all__`` entry that names nothing defined or
+  imported at the module's top level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import Diagnostic, Rule, wprule
+
+__all__ = ["internal_import_edges", "import_cycles"]
+
+
+def internal_import_edges(project) -> dict:
+    """Top-level import edges between non-consumer project modules.
+
+    Returns ``{module: {target_module: first_import_line}}``.  A
+    from-import of a submodule (``from repro.nn import functional``) edges
+    to the submodule when it exists in the project, else to the package.
+    """
+    edges: dict = {}
+    for summary in project.summaries(include_consumers=False):
+        out = edges.setdefault(summary.module, {})
+        for record in summary.imports:
+            if not record.toplevel:
+                continue
+            candidates = []
+            if record.name:
+                candidates.append(f"{record.module}.{record.name}")
+            candidates.append(record.module)
+            for candidate in candidates:
+                target = project.module(candidate)
+                if target is not None and not target.is_consumer:
+                    if candidate != summary.module:
+                        out.setdefault(candidate, record.line)
+                    break
+    return edges
+
+
+def import_cycles(project) -> list:
+    """Strongly-connected components of size > 1 (plus self-loops).
+
+    Each cycle is returned once as a sorted list of module names.
+    """
+    edges = internal_import_edges(project)
+    index: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    counter = [0]
+    cycles: list = []
+
+    def strongconnect(node: str) -> None:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for neighbour in edges.get(node, {}):
+            if neighbour not in index:
+                strongconnect(neighbour)
+                lowlink[node] = min(lowlink[node], lowlink[neighbour])
+            elif neighbour in on_stack:
+                lowlink[node] = min(lowlink[node], index[neighbour])
+        if lowlink[node] == index[node]:
+            component = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1 or node in edges.get(node, {}):
+                cycles.append(sorted(component))
+
+    for node in sorted(edges):
+        if node not in index:
+            strongconnect(node)
+    return sorted(cycles)
+
+
+@wprule(
+    "wp-import-cycle",
+    "top-level import cycle between project modules",
+)
+def _import_cycle(self: Rule, project) -> Iterator[Diagnostic]:
+    edges = internal_import_edges(project)
+    for cycle in import_cycles(project):
+        anchor = cycle[0]
+        summary = project.module(anchor)
+        inside = set(cycle)
+        line = min(
+            (ln for target, ln in edges.get(anchor, {}).items() if target in inside),
+            default=1,
+        )
+        chain = " -> ".join(cycle + [anchor])
+        yield Diagnostic(
+            self.id,
+            summary.path,
+            line,
+            0,
+            f"import cycle: {chain}; break it with a function-local import "
+            "or by moving the shared piece into a leaf module",
+        )
+
+
+def _alive_definitions(project) -> dict:
+    """Per-module sets of definitions reachable from outside the module.
+
+    A definition is alive when another module references it, or when an
+    alive definition of the same module names it in an annotation or base
+    class (``-> OWQResult`` on a used function keeps ``OWQResult`` alive,
+    ``class Adam(Optimizer)`` keeps ``Optimizer`` alive).
+    """
+    usage = project.usage_index()
+    alive: dict = {}
+    for summary in project.summaries(include_consumers=False):
+        defined = set(summary.definitions)
+        seeds = {
+            name
+            for name in defined
+            if any(
+                user != summary.module
+                for user in usage.get(f"{summary.module}.{name}", [])
+            )
+        }
+        worklist = list(seeds)
+        while worklist:
+            name = worklist.pop()
+            for referenced in summary.annotations.get(name, []):
+                if referenced in defined and referenced not in seeds:
+                    seeds.add(referenced)
+                    worklist.append(referenced)
+        alive[summary.module] = seeds
+    return alive
+
+
+@wprule(
+    "wp-dead-export",
+    "__all__ entry never imported or referenced by any other module",
+)
+def _dead_export(self: Rule, project) -> Iterator[Diagnostic]:
+    usage = project.usage_index()
+    alive = _alive_definitions(project)
+    for summary in project.summaries(include_consumers=False):
+        if summary.module.rsplit(".", 1)[-1] == "__main__":
+            continue  # script entry points are invoked, not imported
+        star = usage.get(summary.module + ".*")
+        if star and any(user != summary.module for user in star):
+            continue
+        re_exports = {
+            record.alias: record.target()
+            for record in summary.imports
+            if record.name and record.name != "*"
+        }
+        for name, line in summary.exports:
+            if name in alive.get(summary.module, set()):
+                continue
+            if name in re_exports:
+                # A facade re-export is alive when its underlying symbol is
+                # reachable through any path (tests import submodules
+                # directly, or the symbol rides on a used annotation).
+                target = re_exports[name]
+                target_module, _, target_name = target.rpartition(".")
+                if any(
+                    user != summary.module for user in usage.get(target, [])
+                ) or target_name in alive.get(target_module, set()):
+                    continue
+            yield Diagnostic(
+                self.id,
+                summary.path,
+                line,
+                0,
+                f"export {name!r} is never imported or referenced outside "
+                f"{summary.module}; drop it from __all__ or delete the "
+                "definition",
+            )
+
+
+@wprule(
+    "wp-all-undefined",
+    "__all__ entry that names nothing defined in the module",
+)
+def _all_undefined(self: Rule, project) -> Iterator[Diagnostic]:
+    for summary in project.summaries(include_consumers=False):
+        defined = set(summary.definitions)
+        for name, line in summary.exports:
+            if name not in defined:
+                yield Diagnostic(
+                    self.id,
+                    summary.path,
+                    line,
+                    0,
+                    f"__all__ lists {name!r} but the module defines no such "
+                    "top-level name",
+                )

@@ -1,7 +1,16 @@
 """Command-line driver: ``python -m repro.analysis`` / ``repro-lint``.
 
 Exit status is 0 when the tree is clean, 1 when violations were found, and
-2 on usage errors — so CI can gate on it directly.
+2 on usage errors — so CI can gate on it directly.  Warnings (e.g. stale
+suppression pragmas) are reported but only fail the run under ``--strict``.
+
+Two analysis modes:
+
+* per-module (default) — each file is linted in isolation;
+* ``--whole-program`` — files are loaded into a project, enabling the
+  cross-module passes (import cycles, dead exports, symbolic shape/dtype
+  dataflow, autograd op contracts) plus an incremental cache keyed by
+  content hash, so warm runs re-analyze only modified files.
 """
 
 from __future__ import annotations
@@ -11,10 +20,33 @@ import pathlib
 import sys
 from typing import Optional, Sequence
 
-from repro.analysis.core import all_rules, analyze_paths
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.core import (
+    all_rule_ids,
+    all_rules,
+    all_wp_rules,
+    analyze_paths,
+)
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_text,
+    severity_counts,
+)
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "DEFAULT_CONSUMERS", "DEFAULT_CACHE_PATH"]
+
+#: Trees whose references count as API usage but which are never linted.
+DEFAULT_CONSUMERS = ("tests", "examples", "benchmarks", "tools")
+
+#: Default location of the incremental whole-program cache.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+_SYNTHETIC_DOCS = {
+    "syntax-error": "file does not parse; reported instead of aborting",
+    "lint-unused-suppression": (
+        "stale # lint: disable= pragma that suppressed nothing (warning)"
+    ),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -22,7 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Repo-specific static analysis (numeric-safety, "
-        "autograd-contract, and API-hygiene rules).",
+        "autograd-contract, API-hygiene, and whole-program rules).",
     )
     parser.add_argument(
         "paths",
@@ -32,7 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -45,9 +77,55 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print every registered rule id and exit",
+        help="print every registered rule id with its one-line doc and exit",
+    )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="enable the cross-module passes (import graph, symbolic "
+        "shapes, autograd contracts) and the incremental cache",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (e.g. stale suppressions) as failures",
+    )
+    parser.add_argument(
+        "--consumers",
+        metavar="PATHS",
+        default=",".join(DEFAULT_CONSUMERS),
+        help="comma-separated trees whose references count as API usage "
+        "but are never linted (whole-program mode; nonexistent entries "
+        f"are skipped; default: {','.join(DEFAULT_CONSUMERS)})",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=DEFAULT_CACHE_PATH,
+        help="incremental cache file for whole-program runs "
+        f"(default: {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analyzed/cached file counts to stderr "
+        "(whole-program mode)",
     )
     return parser
+
+
+def _list_rules() -> None:
+    for registered in all_rules():
+        print(f"{registered.id:28s} {registered.summary}")
+    for registered in all_wp_rules():
+        print(f"{registered.id:28s} [whole-program] {registered.summary}")
+    for rule_id, doc in sorted(_SYNTHETIC_DOCS.items()):
+        print(f"{rule_id:28s} [synthetic] {doc}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -56,8 +134,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     options = parser.parse_args(argv)
 
     if options.list_rules:
-        for registered in all_rules():
-            print(f"{registered.id:28s} {registered.summary}")
+        _list_rules()
         return 0
 
     missing = [p for p in options.paths if not pathlib.Path(p).exists()]
@@ -68,12 +145,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     select = None
     if options.select is not None:
         select = [name.strip() for name in options.select.split(",") if name.strip()]
-    try:
-        diagnostics = analyze_paths(options.paths, select=select)
-    except KeyError as error:
-        print(f"repro-lint: {error.args[0]}", file=sys.stderr)
-        return 2
+        known = all_rule_ids(whole_program=options.whole_program)
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(
+                f"repro-lint: unknown rule ids: {unknown} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
 
-    renderer = render_json if options.format == "json" else render_text
+    if options.whole_program:
+        from repro.analysis.cache import AnalysisCache
+        from repro.analysis.project import Project
+
+        cache = None
+        if not options.no_cache:
+            cache = AnalysisCache(options.cache)
+        consumers = [
+            entry.strip()
+            for entry in options.consumers.split(",")
+            if entry.strip() and pathlib.Path(entry.strip()).exists()
+        ]
+        project = Project.load(options.paths, consumers, cache=cache)
+        diagnostics = project.analyze(select=select)
+        if options.stats:
+            print(
+                "repro-lint: analyzed {analyzed} files "
+                "({cached} from cache)".format(**project.stats),
+                file=sys.stderr,
+            )
+    else:
+        try:
+            diagnostics = analyze_paths(options.paths, select=select)
+        except KeyError as error:
+            print(f"repro-lint: {error.args[0]}", file=sys.stderr)
+            return 2
+
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[options.format]
     print(renderer(diagnostics))
-    return 1 if diagnostics else 0
+    errors, warnings = severity_counts(diagnostics)
+    if errors or (options.strict and warnings):
+        return 1
+    return 0

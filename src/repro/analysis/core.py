@@ -21,42 +21,78 @@ __all__ = [
     "Diagnostic",
     "ModuleContext",
     "Rule",
+    "WholeProgramRule",
     "rule",
+    "wprule",
     "all_rules",
+    "all_wp_rules",
+    "all_rule_ids",
     "get_rule",
     "analyze_source",
     "analyze_file",
     "analyze_paths",
     "iter_python_files",
+    "unused_suppression_diagnostics",
+    "UNUSED_SUPPRESSION_RULE",
 ]
 
-#: Matches ``# lint: disable=rule-a,rule-b`` anywhere in a line.
-_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\-\s]+)")
+#: Rule id of the synthesized "stale # lint: disable= pragma" warning.
+UNUSED_SUPPRESSION_RULE = "lint-unused-suppression"
+
+#: Diagnostic ids that are synthesized by the driver rather than registered.
+_SYNTHETIC_RULE_IDS = frozenset({"syntax-error", UNUSED_SUPPRESSION_RULE})
+
+#: Matches the per-line disable pragma (``lint: disable=`` plus a
+#: comma-separated rule list) anywhere in a line.  The rule list must start
+#: immediately after ``=`` so prose *describing* the pragma never parses.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
 
 
 @dataclasses.dataclass(frozen=True)
 class Diagnostic:
-    """One rule violation at a specific source location."""
+    """One rule violation at a specific source location.
+
+    ``severity`` is ``"error"`` for contract violations and ``"warning"``
+    for advisories (currently only stale-suppression notices); warnings do
+    not fail the CLI unless ``--strict`` is given.
+    """
 
     rule_id: str
     path: str
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def format(self) -> str:
         """Render as ``path:line:col: rule-id: message`` (one line)."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id}: {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id}:{tag} {self.message}"
 
     def to_json(self) -> dict[str, object]:
-        """Plain-dict form consumed by the JSON reporter."""
+        """Plain-dict form consumed by the JSON/SARIF reporters and cache."""
         return {
             "rule": self.rule_id,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
+
+    @staticmethod
+    def from_json(record: dict) -> "Diagnostic":
+        """Rebuild a diagnostic from its :meth:`to_json` form."""
+        return Diagnostic(
+            record["rule"],
+            record["path"],
+            int(record["line"]),
+            int(record["col"]),
+            record["message"],
+            record.get("severity", "error"),
+        )
 
 
 class ModuleContext:
@@ -77,6 +113,7 @@ class ModuleContext:
         self.tree = ast.parse(source, filename=path)
         self.lines = source.splitlines()
         self._suppressions = self._parse_suppressions(self.lines)
+        self._used_suppressions: set[tuple[int, str]] = set()
 
     @staticmethod
     def _parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
@@ -111,9 +148,40 @@ class ModuleContext:
                 return True
         return False
 
+    @property
+    def module_name(self) -> str:
+        """Dotted module name derived from the path (``repro.quant.rtn``)."""
+        parts = list(self.module_parts)
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][:-3]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
     def is_suppressed(self, rule_id: str, line: int) -> bool:
-        """Whether ``rule_id`` is disabled on ``line`` by a lint comment."""
-        return rule_id in self._suppressions.get(line, set())
+        """Whether ``rule_id`` is disabled on ``line`` by a lint comment.
+
+        A positive answer marks the pragma as *used* so the driver can warn
+        about stale suppressions afterwards.
+        """
+        if rule_id in self._suppressions.get(line, set()):
+            self._used_suppressions.add((line, rule_id))
+            return True
+        return False
+
+    def suppression_items(self) -> Iterator[tuple[int, str]]:
+        """Every ``(line, rule_id)`` pair named by a suppression pragma."""
+        for line, names in sorted(self._suppressions.items()):
+            for name in sorted(names):
+                yield line, name
+
+    def mark_suppression_used(self, line: int, rule_id: str) -> None:
+        """Record that the pragma on ``line`` for ``rule_id`` did suppress."""
+        self._used_suppressions.add((line, rule_id))
+
+    def used_suppressions(self) -> set[tuple[int, str]]:
+        """The ``(line, rule_id)`` pragmas that suppressed a diagnostic."""
+        return set(self._used_suppressions)
 
 
 class Rule:
@@ -156,7 +224,19 @@ class Rule:
         return Diagnostic(self.id, module.path, line, col, message)
 
 
+class WholeProgramRule(Rule):
+    """A static check over a whole :class:`~repro.analysis.project.Project`.
+
+    Whole-program rules see every module summary at once (import graph,
+    exports, shape-annotated signatures, op records) and so can express
+    cross-module invariants that a :class:`Rule` cannot.  Their ``check``
+    receives a ``Project`` instead of a :class:`ModuleContext`; suppression
+    filtering is still per line, driven by the owning module's pragmas.
+    """
+
+
 _REGISTRY: dict[str, Rule] = {}
+_WP_REGISTRY: dict[str, WholeProgramRule] = {}
 
 
 def rule(rule_id: str, summary: str) -> Callable:
@@ -184,32 +264,110 @@ def rule(rule_id: str, summary: str) -> Callable:
     return decorator
 
 
+def wprule(rule_id: str, summary: str) -> Callable:
+    """Register a whole-program rule (see :func:`rule` for the two forms)."""
+
+    def decorator(obj):
+        if isinstance(obj, type) and issubclass(obj, WholeProgramRule):
+            instance = obj()
+            instance.id = rule_id
+            instance.summary = summary
+        else:
+            instance = WholeProgramRule(rule_id, summary, check=obj)
+        if rule_id in _WP_REGISTRY or rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _WP_REGISTRY[rule_id] = instance
+        return obj
+
+    return decorator
+
+
 def _ensure_rules_loaded() -> None:
     # Deferred so `import repro.analysis.core` alone has no side effects.
     from repro.analysis import rules as _rules  # noqa: F401  (registers builtins)
 
 
 def all_rules() -> list[Rule]:
-    """Every registered rule, sorted by id."""
+    """Every registered per-module rule, sorted by id."""
     _ensure_rules_loaded()
     return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def all_wp_rules() -> list[WholeProgramRule]:
+    """Every registered whole-program rule, sorted by id."""
+    _ensure_rules_loaded()
+    return [_WP_REGISTRY[key] for key in sorted(_WP_REGISTRY)]
+
+
+def all_rule_ids(whole_program: bool = True) -> set[str]:
+    """Every valid rule id, including the driver-synthesized ones."""
+    _ensure_rules_loaded()
+    ids = set(_REGISTRY) | set(_SYNTHETIC_RULE_IDS)
+    if whole_program:
+        ids |= set(_WP_REGISTRY)
+    return ids
 
 
 def get_rule(rule_id: str) -> Rule:
     """Look up one rule by id (raises ``KeyError`` on unknown ids)."""
     _ensure_rules_loaded()
-    return _REGISTRY[rule_id]
+    if rule_id in _REGISTRY:
+        return _REGISTRY[rule_id]
+    return _WP_REGISTRY[rule_id]
+
+
+def unused_suppression_diagnostics(
+    module: ModuleContext, ran_rule_ids: Iterable[str]
+) -> list[Diagnostic]:
+    """Warnings for ``# lint: disable=`` pragmas that suppressed nothing.
+
+    Only pragmas naming a rule that actually *ran* are judged — a pragma for
+    a whole-program rule is left alone during a per-module run.  Pragmas
+    naming a rule id that does not exist at all are always flagged.
+    """
+    ran = set(ran_rule_ids)
+    known = all_rule_ids()
+    warnings: list[Diagnostic] = []
+    for line, rule_id in module.suppression_items():
+        if rule_id == UNUSED_SUPPRESSION_RULE:
+            continue
+        if (line, rule_id) in module.used_suppressions():
+            continue
+        if rule_id not in known:
+            message = (
+                f"suppression names unknown rule {rule_id!r}; "
+                "remove it or fix the rule id"
+            )
+        elif rule_id in ran:
+            message = (
+                f"unused suppression: {rule_id!r} reports nothing on this "
+                "line; remove the stale pragma"
+            )
+        else:
+            continue
+        if module.is_suppressed(UNUSED_SUPPRESSION_RULE, line):
+            continue
+        warnings.append(
+            Diagnostic(
+                UNUSED_SUPPRESSION_RULE, module.path, line, 0, message, "warning"
+            )
+        )
+    return warnings
 
 
 def analyze_source(
     source: str,
     path: str = "<string>",
     select: Optional[Iterable[str]] = None,
+    report_unused_suppressions: bool = True,
 ) -> list[Diagnostic]:
     """Run the (optionally ``select``-restricted) rule set over ``source``.
 
     Returns surviving diagnostics sorted by (line, col, rule id).  Raises
-    ``SyntaxError`` if the source does not parse.
+    ``SyntaxError`` if the source does not parse.  When the full rule set
+    runs, stale ``# lint: disable=`` pragmas are reported as warnings unless
+    ``report_unused_suppressions`` is False (the whole-program driver defers
+    that judgement until its own passes have also consumed pragmas).
     """
     module = ModuleContext(path, source)
     chosen = all_rules()
@@ -224,6 +382,10 @@ def analyze_source(
         for diagnostic in checker.check(module):
             if not module.is_suppressed(diagnostic.rule_id, diagnostic.line):
                 found.append(diagnostic)
+    if select is None and report_unused_suppressions:
+        found.extend(
+            unused_suppression_diagnostics(module, (r.id for r in chosen))
+        )
     found.sort(key=lambda d: (d.line, d.col, d.rule_id))
     return found
 

@@ -1,0 +1,792 @@
+"""Abstract interpretation of ``Shapes:``-annotated function bodies.
+
+For every function carrying a ``Shapes:`` docstring section (see
+:mod:`repro.analysis.shapes`), the interpreter binds the declared symbolic
+dims to the parameters and walks the body, propagating shapes and dtypes
+through the numpy subset the repo actually uses: ``@``, elementwise
+arithmetic, ``reshape``/``transpose``/``swapaxes``, reductions, ``astype``,
+``np.zeros``-style constructors, and — interprocedurally — calls to other
+annotated functions, resolved through the project's import graph.
+
+The domain is deliberately one-sided: anything the interpreter does not
+understand becomes *unknown* and produces no diagnostic.  Findings are
+emitted only when two **known** facts conflict:
+
+* ``wp-shape-mismatch`` — incompatible matmul inner dims, a reshape that
+  changes the symbolic element count, a call argument that cannot unify
+  with the callee's declared shape (the transposed-Hessian class of bug),
+  or a return value contradicting the function's own declaration;
+* ``wp-dtype-narrowing`` — a float64 value passed into a parameter declared
+  ``f32``/``f16``, or a call into another module whose declared return
+  dtype is sub-f64, outside the storage-layer allowlist;
+* ``wp-bad-shape-spec`` — a ``Shapes:`` section that does not parse (so
+  annotation typos fail loudly instead of disabling checks).
+
+Distinct symbols are semantically distinct: ``(d_in, d_out)`` never unifies
+with ``(d_out, d_in)`` even though both dims may be equal at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator, Optional
+
+from repro.analysis import astutil
+from repro.analysis.core import Diagnostic, Rule, WholeProgramRule, wprule
+from repro.analysis.shapes import (
+    DTYPE_ORDER,
+    Dim,
+    TensorSpec,
+    format_shape,
+    instantiate,
+    is_narrowing,
+    unify_dim,
+    unify_shape,
+)
+
+__all__ = ["AbstractValue", "analyze_module_dataflow", "module_in_packages"]
+
+_DTYPE_NAMES = {
+    "float64": "f64",
+    "double": "f64",
+    "float32": "f32",
+    "single": "f32",
+    "float16": "f16",
+    "half": "f16",
+    "int64": "i64",
+    "int32": "i32",
+    "bool": "bool",
+    "bool_": "bool",
+}
+
+_ELEMENTWISE_NP = {
+    "exp", "log", "sqrt", "abs", "sign", "tanh", "cos", "sin", "negative",
+    "clip", "minimum", "maximum", "ascontiguousarray", "atleast_1d",
+}
+
+_PASSTHROUGH_METHODS = {"copy", "astype"}
+
+
+@dataclasses.dataclass(frozen=True)
+class AbstractValue:
+    """One point in the shape/dtype lattice.
+
+    ``shape`` is a dim tuple for tensors (None = unknown tensor/non-tensor);
+    ``dim`` carries the symbolic value of dim-valued scalars; ``items``
+    holds the element values of tuple expressions (``x.shape``, reshape
+    argument tuples).
+    """
+
+    shape: Optional[tuple] = None
+    dtype: Optional[str] = None
+    dim: Dim = None
+    items: Optional[tuple] = None
+
+
+UNKNOWN = AbstractValue()
+
+
+def module_in_packages(module: str, packages) -> bool:
+    """Whether dotted ``module`` lives under any of the dotted ``packages``."""
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in packages
+    )
+
+
+def _dtype_from_node(node: ast.AST) -> Optional[str]:
+    name = astutil.dotted_name(node)
+    if name is not None:
+        return _DTYPE_NAMES.get(name.split(".")[-1])
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _DTYPE_NAMES.get(node.value)
+    return None
+
+
+def _dim_product(left: Dim, right: Dim) -> Dim:
+    if left is None or right is None:
+        return None
+    if isinstance(left, int) and isinstance(right, int):
+        return left * right
+    factors: list = []
+    for part in (left, right):
+        factors.extend(str(part).split("*"))
+    return "*".join(sorted(factors))
+
+
+def _canonical_factors(dims) -> Optional[tuple]:
+    """(int product, sorted symbol factors) of a fully-known shape."""
+    if dims is None:
+        return None
+    number = 1
+    symbols: list = []
+    for dim in dims:
+        if dim is None:
+            return None
+        if isinstance(dim, int):
+            if dim < 0:
+                return None
+            number *= dim
+        else:
+            symbols.extend(str(dim).split("*"))
+    return number, tuple(sorted(symbols))
+
+
+def _broadcast(a: Optional[tuple], b: Optional[tuple]) -> Optional[tuple]:
+    if a is None or b is None:
+        return None
+    if len(a) < len(b):
+        a, b = b, a
+    padded = (None,) * (len(a) - len(b)) + tuple(b)
+    out: list = []
+    for da, db in zip(a, padded):
+        if da == db:
+            out.append(da)
+        elif db in (1, None):
+            out.append(da)
+        elif da in (1, None):
+            out.append(db)
+        else:
+            out.append(None)  # conflicting dims: stay silent, lose precision
+    return tuple(out)
+
+
+def _value_from_spec(spec: TensorSpec) -> AbstractValue:
+    if spec.dim_value is not None:
+        return AbstractValue(dim=spec.dim_value)
+    if spec.dims is not None and len(spec.dims) > 0:
+        return AbstractValue(shape=tuple(spec.dims), dtype=spec.dtype)
+    if spec.dims is None and spec.dtype is not None:
+        return AbstractValue(dtype=spec.dtype)  # dtype-only contract
+    return UNKNOWN
+
+
+class _FunctionAnalyzer:
+    """Interprets one annotated function body."""
+
+    def __init__(self, project, summary, context, qualname, spec, node):
+        self.project = project
+        self.summary = summary
+        self.context = context
+        self.qualname = qualname
+        self.spec = spec
+        self.node = node
+        self.env: dict[str, AbstractValue] = {}
+        self.diagnostics: list[Diagnostic] = []
+        self._call_counter = 0
+
+    # ------------------------------------------------------------------
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", self.node.lineno)
+        col = getattr(node, "col_offset", 0)
+        if self.context.is_suppressed(rule_id, line):
+            return
+        self.diagnostics.append(
+            Diagnostic(rule_id, self.summary.path, line, col, message)
+        )
+
+    def run(self) -> None:
+        """Bind parameter specs and interpret the body."""
+        params = self.spec.param_map()
+        arg_nodes = list(self.node.args.posonlyargs) + list(self.node.args.args)
+        arg_nodes += list(self.node.args.kwonlyargs)
+        for arg in arg_nodes:
+            spec = params.get(arg.arg)
+            if spec is not None:
+                self.env[arg.arg] = _value_from_spec(spec)
+        self.exec_body(self.node.body)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def exec_body(self, body) -> None:
+        for statement in body:
+            self.exec_stmt(statement)
+
+    def exec_stmt(self, statement: ast.AST) -> None:
+        if isinstance(statement, ast.Assign):
+            value = self.eval(statement.value)
+            for target in statement.targets:
+                self.assign(target, value, statement.value)
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            self.assign(
+                statement.target, self.eval(statement.value), statement.value
+            )
+        elif isinstance(statement, ast.AugAssign):
+            value = self.eval(
+                ast.BinOp(statement.target, statement.op, statement.value)
+            )
+            self.assign(statement.target, value, statement.value)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self.check_return(statement)
+        elif isinstance(statement, ast.Expr):
+            self.eval(statement.value)
+        elif isinstance(statement, (ast.If, ast.For, ast.While, ast.With)):
+            if isinstance(statement, ast.For):
+                self.assign(statement.target, UNKNOWN, statement.iter)
+                self.eval(statement.iter)
+            if isinstance(statement, ast.While):
+                self.eval(statement.test)
+            if isinstance(statement, ast.If):
+                self.eval(statement.test)
+            self.exec_body(statement.body)
+            self.exec_body(getattr(statement, "orelse", []))
+        elif isinstance(statement, ast.Try):
+            self.exec_body(statement.body)
+            for handler in statement.handlers:
+                self.exec_body(handler.body)
+            self.exec_body(statement.orelse)
+            self.exec_body(statement.finalbody)
+        # Nested defs/classes are opaque: their calls evaluate to unknown.
+
+    def assign(self, target: ast.AST, value: AbstractValue, source: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            items = value.items
+            if items is None and isinstance(source, ast.Tuple):
+                items = tuple(self.eval(element) for element in source.elts)
+            for index, element in enumerate(target.elts):
+                if isinstance(element, ast.Name):
+                    if items is not None and index < len(items):
+                        self.env[element.id] = items[index]
+                    else:
+                        self.env[element.id] = UNKNOWN
+
+    def check_return(self, statement: ast.Return) -> None:
+        declared = self.spec.returns
+        value = self.eval(statement.value)
+        if (
+            declared is None
+            or declared.dims is None
+            or len(declared.dims) == 0
+            or value.shape is None
+        ):
+            return
+        if not unify_shape(tuple(declared.dims), value.shape, {}):
+            self.report(
+                "wp-shape-mismatch",
+                statement,
+                f"{self.qualname} returns {format_shape(value.shape)} but its "
+                f"Shapes section declares {format_shape(tuple(declared.dims))}",
+            )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.AST) -> AbstractValue:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, int) and not isinstance(node.value, bool):
+                return AbstractValue(dim=node.value)
+            return UNKNOWN
+        if isinstance(node, ast.Tuple):
+            return AbstractValue(
+                items=tuple(self.eval(element) for element in node.elts)
+            )
+        if isinstance(node, ast.Attribute):
+            return self.eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self.eval_subscript(node)
+        if isinstance(node, ast.BinOp):
+            return self.eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.eval(node.operand)
+            if isinstance(node.op, ast.USub) and isinstance(inner.dim, int):
+                return AbstractValue(dim=-inner.dim)
+            return inner if inner.shape is not None else UNKNOWN
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, ast.IfExp):
+            left, right = self.eval(node.body), self.eval(node.orelse)
+            if left.shape is not None and left.shape == right.shape:
+                return left
+            return UNKNOWN
+        return UNKNOWN
+
+    def eval_attribute(self, node: ast.Attribute) -> AbstractValue:
+        base = self.eval(node.value)
+        if node.attr == "data":
+            return base
+        if node.attr == "T" and base.shape is not None:
+            return AbstractValue(tuple(reversed(base.shape)), base.dtype)
+        if node.attr == "shape" and base.shape is not None:
+            return AbstractValue(
+                items=tuple(AbstractValue(dim=d) for d in base.shape)
+            )
+        return UNKNOWN
+
+    def eval_subscript(self, node: ast.Subscript) -> AbstractValue:
+        base = self.eval(node.value)
+        index = node.slice
+        if base.items is not None:
+            if isinstance(index, ast.Constant) and isinstance(index.value, int):
+                if -len(base.items) <= index.value < len(base.items):
+                    return base.items[index.value]
+            return UNKNOWN
+        if base.shape is not None:
+            if isinstance(index, ast.Constant) and isinstance(index.value, int):
+                return AbstractValue(base.shape[1:], base.dtype)
+        return UNKNOWN
+
+    def eval_binop(self, node: ast.BinOp) -> AbstractValue:
+        left, right = self.eval(node.left), self.eval(node.right)
+        if isinstance(node.op, ast.MatMult):
+            return self.eval_matmul(node, left, right)
+        if isinstance(node.op, ast.Mult) and left.dim is not None and right.dim is not None:
+            return AbstractValue(dim=_dim_product(left.dim, right.dim))
+        if left.shape is not None or right.shape is not None:
+            if left.shape is not None and right.shape is not None:
+                shape = _broadcast(left.shape, right.shape)
+            else:
+                shape = left.shape if left.shape is not None else right.shape
+            dtype = left.dtype if left.dtype is not None else right.dtype
+            return AbstractValue(shape, dtype)
+        if isinstance(node.op, (ast.FloorDiv, ast.Div)) and (
+            left.dim is not None and right.dim is not None
+        ):
+            if isinstance(left.dim, int) and isinstance(right.dim, int):
+                if right.dim != 0 and left.dim % right.dim == 0:
+                    return AbstractValue(dim=left.dim // right.dim)
+                return UNKNOWN
+            return AbstractValue(dim=f"({left.dim}//{right.dim})")
+        return UNKNOWN
+
+    def eval_matmul(
+        self, node: ast.BinOp, left: AbstractValue, right: AbstractValue
+    ) -> AbstractValue:
+        a, b = left.shape, right.shape
+        if a is None or b is None or len(a) == 0 or len(b) == 0:
+            return UNKNOWN
+        dtype = left.dtype if left.dtype is not None else right.dtype
+        if len(a) == 1 and len(b) == 1:
+            self.check_inner(node, a[0], b[0])
+            return AbstractValue((), dtype)
+        if len(a) == 1:
+            self.check_inner(node, a[0], b[-2])
+            return AbstractValue(b[:-2] + (b[-1],), dtype)
+        if len(b) == 1:
+            self.check_inner(node, a[-1], b[0])
+            return AbstractValue(a[:-1], dtype)
+        self.check_inner(node, a[-1], b[-2])
+        batch = _broadcast(a[:-2], b[:-2]) or ()
+        return AbstractValue(batch + (a[-2], b[-1]), dtype)
+
+    def check_inner(self, node: ast.AST, inner_a: Dim, inner_b: Dim) -> None:
+        if not unify_dim(inner_a, inner_b, {}):
+            self.report(
+                "wp-shape-mismatch",
+                node,
+                f"matmul inner dimensions disagree: {inner_a} vs {inner_b} "
+                "(left operand's last dim must equal right operand's "
+                "second-to-last)",
+            )
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _dims_from_args(self, nodes) -> Optional[tuple]:
+        """Dim tuple from reshape/zeros-style arguments, None if opaque."""
+        if len(nodes) == 1:
+            single = self.eval(nodes[0])
+            if single.items is not None:
+                values = single.items
+            elif single.dim is not None:
+                values = (single,)
+            else:
+                return None
+        else:
+            values = tuple(self.eval(item) for item in nodes)
+        dims: list = []
+        for value in values:
+            if isinstance(value.dim, int) and value.dim < 0:
+                dims.append(None)  # -1: inferred by numpy, unknown to us
+            else:
+                dims.append(value.dim)
+        return tuple(dims)
+
+    def eval_call(self, node: ast.Call) -> AbstractValue:
+        numpy_name = astutil.numpy_call_name(node)
+        if numpy_name is not None:
+            return self.eval_numpy_call(node, numpy_name)
+        # Method calls first: the receiver may itself be a call
+        # (``np.zeros(...).astype(...)``), which has no dotted name.
+        if isinstance(node.func, ast.Attribute):
+            method = self.eval_method_call(node)
+            if method is not None:
+                return method
+        name = astutil.call_name(node)
+        if name is None:
+            return UNKNOWN
+        # Tensor(x) and Tensor.as_tensor(x) wrap without reshaping.
+        if name.split(".")[-1] in {"Tensor", "as_tensor"} and node.args:
+            return self.eval(node.args[0])
+        resolved = self.project.resolve_function(self.summary.module, name)
+        if resolved is not None:
+            return self.check_project_call(node, *resolved)
+        return UNKNOWN
+
+    def eval_numpy_call(self, node: ast.Call, numpy_name: str) -> AbstractValue:
+        args = node.args
+        if numpy_name in {"zeros", "ones", "empty", "full"} and args:
+            dims = self._dims_from_args(args[:1])
+            dtype = "f64"
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    dtype = _dtype_from_node(keyword.value) or None
+            return AbstractValue(dims, dtype) if dims is not None else UNKNOWN
+        if numpy_name in {"zeros_like", "ones_like", "empty_like"} and args:
+            return self.eval(args[0])
+        if numpy_name in {"asarray", "array"} and args:
+            value = self.eval(args[0])
+            for keyword in node.keywords:
+                if keyword.arg == "dtype":
+                    converted = _dtype_from_node(keyword.value)
+                    if converted:
+                        return AbstractValue(value.shape, converted)
+            return value
+        if numpy_name in _ELEMENTWISE_NP and args:
+            return self.eval(args[0])
+        if numpy_name == "where" and len(args) == 3:
+            left, right = self.eval(args[1]), self.eval(args[2])
+            if left.shape is not None and right.shape is not None:
+                return AbstractValue(
+                    _broadcast(left.shape, right.shape), left.dtype or right.dtype
+                )
+            return UNKNOWN
+        if numpy_name == "matmul" and len(args) == 2:
+            return self.eval_matmul(
+                ast.BinOp(args[0], ast.MatMult(), args[1]),
+                self.eval(args[0]),
+                self.eval(args[1]),
+            )
+        if numpy_name == "swapaxes" and len(args) == 3:
+            return self._swapaxes(self.eval(args[0]), args[1], args[2])
+        if numpy_name == "transpose" and args:
+            return self._transpose(node, self.eval(args[0]), args[1:])
+        if numpy_name == "outer" and len(args) == 2:
+            left, right = self.eval(args[0]), self.eval(args[1])
+            if (
+                left.shape is not None
+                and right.shape is not None
+                and len(left.shape) == 1
+                and len(right.shape) == 1
+            ):
+                return AbstractValue(
+                    (left.shape[0], right.shape[0]), left.dtype or right.dtype
+                )
+            return UNKNOWN
+        if numpy_name == "broadcast_to" and len(args) == 2:
+            dims = self._dims_from_args(args[1:2])
+            value = self.eval(args[0])
+            return AbstractValue(dims, value.dtype) if dims else UNKNOWN
+        if numpy_name in {"sum", "mean"} and args:
+            return self._reduce(node, self.eval(args[0]), node_args=args[1:])
+        if numpy_name == "trace" and args:
+            return AbstractValue((), self.eval(args[0]).dtype)
+        if numpy_name == "expand_dims" and len(args) == 2:
+            value = self.eval(args[0])
+            axis = self.eval(args[1]).dim
+            if value.shape is not None and isinstance(axis, int):
+                rank = len(value.shape) + 1
+                if -rank <= axis < rank:
+                    position = axis % rank
+                    shape = (
+                        value.shape[:position] + (1,) + value.shape[position:]
+                    )
+                    return AbstractValue(shape, value.dtype)
+            return UNKNOWN
+        if numpy_name in _DTYPE_NAMES and args:
+            value = self.eval(args[0])
+            return AbstractValue(value.shape, _DTYPE_NAMES[numpy_name])
+        return UNKNOWN
+
+    def _swapaxes(self, value: AbstractValue, ax1: ast.AST, ax2: ast.AST):
+        a1, a2 = self.eval(ax1).dim, self.eval(ax2).dim
+        if (
+            value.shape is None
+            or not isinstance(a1, int)
+            or not isinstance(a2, int)
+        ):
+            return UNKNOWN
+        rank = len(value.shape)
+        if not (-rank <= a1 < rank and -rank <= a2 < rank):
+            return UNKNOWN
+        dims = list(value.shape)
+        dims[a1], dims[a2] = dims[a2], dims[a1]
+        return AbstractValue(tuple(dims), value.dtype)
+
+    def _transpose(self, node: ast.AST, value: AbstractValue, axis_nodes):
+        if value.shape is None:
+            return UNKNOWN
+        if not axis_nodes:
+            return AbstractValue(tuple(reversed(value.shape)), value.dtype)
+        dims = self._dims_from_args(list(axis_nodes))
+        if dims is None or not all(isinstance(d, int) for d in dims):
+            return UNKNOWN
+        rank = len(value.shape)
+        if sorted(d % rank for d in dims if -rank <= d < rank) != list(range(rank)):
+            return UNKNOWN
+        return AbstractValue(
+            tuple(value.shape[d % rank] for d in dims), value.dtype
+        )
+
+    def _reduce(self, node: ast.Call, value: AbstractValue, node_args=()):
+        if value.shape is None:
+            return UNKNOWN
+        axis = None
+        keepdims = False
+        positional = list(node_args)
+        if positional:
+            axis_value = self.eval(positional[0]).dim
+            axis = axis_value if isinstance(axis_value, int) else "opaque"
+        for keyword in node.keywords:
+            if keyword.arg == "axis":
+                if isinstance(keyword.value, ast.Constant):
+                    axis = (
+                        keyword.value.value
+                        if isinstance(keyword.value.value, int)
+                        else "opaque"
+                    )
+                elif isinstance(keyword.value, ast.Tuple):
+                    axis = "tuple"
+                else:
+                    axis = "opaque"
+            elif keyword.arg == "keepdims":
+                keepdims = (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                )
+        if axis is None:
+            return AbstractValue((), value.dtype)
+        if not isinstance(axis, int):
+            return UNKNOWN
+        rank = len(value.shape)
+        if not -rank <= axis < rank:
+            return UNKNOWN
+        position = axis % rank
+        if keepdims:
+            shape = value.shape[:position] + (1,) + value.shape[position + 1 :]
+        else:
+            shape = value.shape[:position] + value.shape[position + 1 :]
+        return AbstractValue(shape, value.dtype)
+
+    def eval_method_call(self, node: ast.Call) -> Optional[AbstractValue]:
+        method = node.func.attr
+        base = self.eval(node.func.value)
+        if base.shape is None and base.items is None:
+            return None
+        if method == "astype" and node.args:
+            converted = _dtype_from_node(node.args[0])
+            return AbstractValue(base.shape, converted or base.dtype)
+        if method == "copy":
+            return base
+        if method == "reshape":
+            dims = self._dims_from_args(node.args)
+            if dims is None:
+                return UNKNOWN
+            before = _canonical_factors(base.shape)
+            after = _canonical_factors(dims)
+            if before is not None and after is not None and before != after:
+                self.report(
+                    "wp-shape-mismatch",
+                    node,
+                    f"reshape from {format_shape(base.shape)} to "
+                    f"{format_shape(dims)} changes the symbolic element count",
+                )
+            return AbstractValue(dims, base.dtype)
+        if method == "transpose":
+            return self._transpose(node, base, node.args)
+        if method == "swapaxes" and len(node.args) == 2:
+            return self._swapaxes(base, node.args[0], node.args[1])
+        if method in {"sum", "mean", "max", "min"}:
+            return self._reduce(node, base, node_args=node.args)
+        if method == "ravel":
+            factors = _canonical_factors(base.shape)
+            if factors is None:
+                return UNKNOWN
+            number, symbols = factors
+            if not symbols:
+                return AbstractValue((number,), base.dtype)
+            if number == 1:
+                return AbstractValue(("*".join(symbols),), base.dtype)
+            return AbstractValue((None,), base.dtype)
+        if method == "item":
+            return AbstractValue((), base.dtype)
+        return None
+
+    def check_project_call(
+        self, node: ast.Call, callee_module: str, qualname: str, spec
+    ) -> AbstractValue:
+        from repro.analysis.rules.autograd import DTYPE_NARROWING_ALLOWED
+
+        self._call_counter += 1
+        prefix = f"{node.lineno}.{self._call_counter}"
+        bindings: dict = {}
+        params = list(spec.params)
+        supplied: list = []
+        for position, arg in enumerate(node.args):
+            if position < len(params):
+                supplied.append((params[position][0], params[position][1], arg))
+        by_name = spec.param_map()
+        for keyword in node.keywords:
+            if keyword.arg in by_name:
+                supplied.append((keyword.arg, by_name[keyword.arg], keyword.value))
+
+        caller_allowed = module_in_packages(
+            self.summary.module, DTYPE_NARROWING_ALLOWED
+        )
+        for param_name, param_spec, arg_node in supplied:
+            value = self.eval(arg_node)
+            if param_spec.dims is not None and len(param_spec.dims) > 0:
+                if value.shape is not None:
+                    declared = instantiate(param_spec.dims, prefix)
+                    if not unify_shape(declared, value.shape, bindings):
+                        self.report(
+                            "wp-shape-mismatch",
+                            arg_node,
+                            f"argument {param_name!r} to {qualname}: declared "
+                            f"{format_shape(tuple(param_spec.dims))}, got "
+                            f"{format_shape(value.shape)} (dims must agree "
+                            "across arguments)",
+                        )
+            elif param_spec.dim_value is not None and value.dim is not None:
+                unify_dim(
+                    instantiate((param_spec.dim_value,), prefix)[0],
+                    value.dim,
+                    bindings,
+                )
+            if (
+                not caller_allowed
+                and value.dtype in DTYPE_ORDER
+                and param_spec.dtype in DTYPE_ORDER
+                and value.dtype != param_spec.dtype
+            ):
+                if is_narrowing(value.dtype, param_spec.dtype):
+                    detail = (
+                        "keep the autograd-visible pipeline float64 and "
+                        "narrow only at the storage boundary"
+                    )
+                else:
+                    detail = (
+                        "the value was narrowed upstream; convert back to "
+                        f"{param_spec.dtype} before crossing this boundary"
+                    )
+                self.report(
+                    "wp-dtype-narrowing",
+                    arg_node,
+                    f"passing {value.dtype} data into parameter "
+                    f"{param_name!r} of {qualname}, declared "
+                    f"{param_spec.dtype}; {detail}",
+                )
+
+        returns = spec.returns
+        if returns is None:
+            return UNKNOWN
+        if (
+            callee_module != self.summary.module
+            and not caller_allowed
+            and returns.dtype in ("f32", "f16")
+        ):
+            self.report(
+                "wp-dtype-narrowing",
+                node,
+                f"call to {qualname} (module {callee_module}) returns "
+                f"{returns.dtype} into float64 autograd-visible code; "
+                "convert back or move this call behind the storage boundary",
+            )
+        if returns.dim_value is not None:
+            value = self._concretize(
+                instantiate((returns.dim_value,), prefix)[0], bindings
+            )
+            return AbstractValue(dim=value)
+        if returns.dims is None:
+            if returns.dtype is not None:
+                return AbstractValue(dtype=returns.dtype)
+            return UNKNOWN
+        resolved = instantiate(returns.dims, prefix)
+        concrete = tuple(
+            self._concretize(dim, bindings) for dim in resolved
+        )
+        return AbstractValue(concrete, returns.dtype)
+
+    @staticmethod
+    def _concretize(dim: Dim, bindings: dict) -> Dim:
+        from repro.analysis.shapes import _resolve, _is_var
+
+        resolved = _resolve(dim, bindings)
+        if isinstance(resolved, str) and _is_var(resolved):
+            return None
+        if isinstance(resolved, str) and "$" in resolved:
+            return None
+        return resolved
+
+
+def analyze_module_dataflow(project, summary, context):
+    """Interpret every annotated function in one module.
+
+    Returns ``(diagnostics, used_suppressions)``; diagnostics carry the
+    driver-managed ids ``wp-shape-mismatch`` / ``wp-dtype-narrowing``.
+    """
+    diagnostics: list = []
+    index = {}
+
+    def collect(body, prefix):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                index[prefix + node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                collect(node.body, prefix + node.name + ".")
+
+    collect(context.tree.body, "")
+    for qualname, spec in summary.specs.items():
+        node = index.get(qualname)
+        if node is None:
+            continue
+        analyzer = _FunctionAnalyzer(
+            project, summary, context, qualname, spec, node
+        )
+        analyzer.run()
+        diagnostics.extend(analyzer.diagnostics)
+    return diagnostics, context.used_suppressions()
+
+
+class _DriverManagedRule(WholeProgramRule):
+    """Registered for identity/--list-rules; executed by the project driver.
+
+    The dataflow pass runs per module inside :meth:`Project.analyze` so its
+    results can be cached incrementally; these registry entries only give
+    its diagnostics first-class rule ids.
+    """
+
+    driver_managed = True
+
+    def check(self, project) -> Iterator[Diagnostic]:
+        """Yield nothing; the driver emits this rule's diagnostics."""
+        return iter(())
+
+
+for _rule_id, _summary in (
+    (
+        "wp-shape-mismatch",
+        "symbolic shape conflict: matmul/reshape/call-signature disagreement",
+    ),
+    (
+        "wp-dtype-narrowing",
+        "float64 pipeline value narrowed to f32/f16 across a function boundary",
+    ),
+):
+    wprule(_rule_id, _summary)(_DriverManagedRule)
+
+
+@wprule(
+    "wp-bad-shape-spec",
+    "Shapes: docstring section that does not parse",
+)
+def _bad_shape_spec(self: Rule, project) -> Iterator[Diagnostic]:
+    for summary in project.summaries(include_consumers=False):
+        for line, message in summary.spec_errors:
+            yield Diagnostic(self.id, summary.path, line, 0, message)

@@ -1,4 +1,10 @@
-"""Render diagnostics as human-readable text or machine-readable JSON."""
+"""Render diagnostics as text, JSON, or SARIF.
+
+The SARIF output targets the 2.1.0 schema consumed by code-scanning UIs
+(GitHub, VS Code SARIF viewer): one run, one ``repro-lint`` driver, one
+result per diagnostic, with warning/error levels mirroring diagnostic
+severity.
+"""
 
 from __future__ import annotations
 
@@ -7,25 +13,96 @@ from typing import Sequence
 
 from repro.analysis.core import Diagnostic
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif", "severity_counts"]
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def severity_counts(diagnostics: Sequence[Diagnostic]) -> tuple[int, int]:
+    """``(errors, warnings)`` over a diagnostic list."""
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    return errors, len(diagnostics) - errors
 
 
 def render_text(diagnostics: Sequence[Diagnostic]) -> str:
     """GCC-style ``path:line:col: rule: message`` lines plus a summary."""
     lines = [d.format() for d in diagnostics]
-    count = len(diagnostics)
-    if count == 0:
+    errors, warnings = severity_counts(diagnostics)
+    if not diagnostics:
         lines.append("repro-lint: no violations")
     else:
-        noun = "violation" if count == 1 else "violations"
-        lines.append(f"repro-lint: {count} {noun}")
+        noun = "violation" if errors == 1 else "violations"
+        summary = f"repro-lint: {errors} {noun}"
+        if warnings:
+            noun = "warning" if warnings == 1 else "warnings"
+            summary += f", {warnings} {noun}"
+        lines.append(summary)
     return "\n".join(lines)
 
 
 def render_json(diagnostics: Sequence[Diagnostic]) -> str:
-    """A JSON object with a count and one record per diagnostic."""
+    """A JSON object with counts and one record per diagnostic."""
+    errors, warnings = severity_counts(diagnostics)
     payload = {
-        "violations": len(diagnostics),
+        "violations": errors,
+        "warnings": warnings,
         "diagnostics": [d.to_json() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    """A SARIF 2.1.0 log with one result per diagnostic."""
+    from repro.analysis.core import all_rule_ids, get_rule
+
+    known = all_rule_ids()
+    seen_ids = sorted({d.rule_id for d in diagnostics})
+    rules = []
+    for rule_id in seen_ids:
+        descriptor: dict = {"id": rule_id}
+        if rule_id in known:
+            try:
+                summary = get_rule(rule_id).summary
+            except KeyError:
+                summary = ""  # synthetic ids have no registry entry
+            if summary:
+                descriptor["shortDescription"] = {"text": summary}
+        rules.append(descriptor)
+    rule_index = {rule_id: i for i, rule_id in enumerate(seen_ids)}
+    results = [
+        {
+            "ruleId": d.rule_id,
+            "ruleIndex": rule_index[d.rule_id],
+            "level": d.severity,
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.path},
+                        "region": {
+                            "startLine": d.line,
+                            # SARIF columns are 1-based; diagnostics are 0-based.
+                            "startColumn": d.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diagnostics
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,5 +1,15 @@
-"""Built-in rule set; importing this package registers every rule."""
+"""Built-in rule set; importing this package registers every rule.
 
-from repro.analysis.rules import autograd, hygiene, numeric
+Per-module rules live in :mod:`autograd`, :mod:`hygiene`, and
+:mod:`numeric`; whole-program rules are registered by :mod:`interproc`
+(autograd contracts), :mod:`repro.analysis.callgraph` (import/export
+graph), and :mod:`repro.analysis.dataflow` (symbolic shapes/dtypes).
+``autograd`` must import before ``dataflow``, which borrows its
+narrowing allowlist.
+"""
 
-__all__ = ["autograd", "hygiene", "numeric"]
+from repro.analysis.rules import autograd, hygiene, numeric  # noqa: F401
+from repro.analysis.rules import interproc  # noqa: F401
+from repro.analysis import callgraph, dataflow  # noqa: F401
+
+__all__ = ["autograd", "hygiene", "numeric", "interproc"]

@@ -1,0 +1,122 @@
+"""Interprocedural autograd-contract rules.
+
+These passes pair every op *exported* from an autograd op module (an
+``__all__`` entry whose function body calls ``Tensor.make``) with:
+
+* a backward closure that credits each differentiable parent — an op that
+  lists a tensor in its parents tuple but never calls ``sink(parent, ...)``
+  silently drops that parent's gradient (``wp-op-parent-credit``);
+* gradcheck coverage — every exported op must be exercised by the
+  finite-difference suite in ``tests/test_autograd_gradcheck.py``
+  (``wp-gradcheck-coverage``), so a new op cannot merge without a
+  numerical gradient check.
+
+Both rules read the ``Tensor.make`` op records and import/reference tables
+collected into module summaries (see
+:meth:`repro.analysis.project.build_summary`), so they are interprocedural
+— the evidence for one diagnostic spans the op module and the test tree —
+yet still cheap on warm cache runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.core import Diagnostic, Rule, wprule
+
+__all__ = ["GRADCHECK_TEST_FILENAME"]
+
+#: The consumer module expected to exercise every exported op.
+GRADCHECK_TEST_FILENAME = "test_autograd_gradcheck.py"
+
+
+def _exported_ops(summary):
+    """(name, export_line, records) for exported functions calling Tensor.make."""
+    by_func: dict = {}
+    for record in summary.ops:
+        by_func.setdefault(record.func, []).append(record)
+    for name, line in summary.exports:
+        if name in by_func:
+            yield name, line, by_func[name]
+
+
+@wprule(
+    "wp-op-parent-credit",
+    "exported op whose backward closure never credits one of its parents",
+)
+def _op_parent_credit(self: Rule, project) -> Iterator[Diagnostic]:
+    for summary in project.summaries(include_consumers=False):
+        for name, _line, records in _exported_ops(summary):
+            for record in records:
+                if not record.has_backward:
+                    if record.parents:
+                        yield Diagnostic(
+                            self.id,
+                            summary.path,
+                            record.make_line,
+                            0,
+                            f"op {name!r} builds a node with parents "
+                            f"{tuple(record.parents)} but passes no "
+                            "analyzable backward closure to Tensor.make",
+                        )
+                    continue
+                if record.parents is None or record.dynamic_credit:
+                    continue  # dynamic parent list: checked by gradcheck only
+                missing = [
+                    parent
+                    for parent in record.parents
+                    if parent not in record.credited
+                ]
+                for parent in missing:
+                    yield Diagnostic(
+                        self.id,
+                        summary.path,
+                        record.make_line,
+                        0,
+                        f"op {name!r} lists parent {parent!r} in Tensor.make "
+                        "but its backward never calls "
+                        f"sink({parent}, ...); that parent's gradient is "
+                        "silently dropped",
+                    )
+
+
+@wprule(
+    "wp-gradcheck-coverage",
+    "exported autograd op not exercised by the gradcheck test suite",
+)
+def _gradcheck_coverage(self: Rule, project) -> Iterator[Diagnostic]:
+    suites = [
+        summary
+        for summary in project.summaries(include_consumers=True)
+        if summary.is_consumer
+        and Path(summary.path).name == GRADCHECK_TEST_FILENAME
+    ]
+    if not suites:
+        return  # consumer tree not loaded: coverage is unknowable here
+    covered: set = set()
+    bare_names: set = set()
+    star_modules: set = set()
+    for suite in suites:
+        uses = suite.resolved_uses()
+        covered |= uses
+        bare_names |= set(suite.references)
+        star_modules |= {
+            use[: -len(".*")] for use in uses if use.endswith(".*")
+        }
+    for summary in project.summaries(include_consumers=False):
+        for name, line, _records in _exported_ops(summary):
+            target = f"{summary.module}.{name}"
+            if target in covered:
+                continue
+            if summary.module in star_modules and name in bare_names:
+                continue
+            yield Diagnostic(
+                self.id,
+                summary.path,
+                line,
+                0,
+                f"op {name!r} is exported but never exercised by "
+                f"{GRADCHECK_TEST_FILENAME}; add a finite-difference case "
+                "before shipping it",
+            )

@@ -1,0 +1,316 @@
+"""Symbolic tensor shape/dtype specifications and their unification.
+
+Functions opt into shape checking by carrying a ``Shapes:`` section in their
+docstring, one line per parameter plus an optional ``return`` line::
+
+    def rms_norm(x, gain, eps=1e-5):
+        '''Root-mean-square layer norm.
+
+        Shapes:
+            x: (B, T, D) f64
+            gain: (D,) f64
+            return: (B, T, D) f64
+        '''
+
+The grammar of one entry is ``name: spec`` where ``spec`` is
+
+* ``(dim, dim, ...)`` followed by an optional dtype token — a tensor;
+* ``scalar`` — a non-dim scalar (epsilons, flags);
+* a bare identifier — a scalar whose *value* is that symbolic dim
+  (``seq_len: T`` lets ``causal_mask`` return ``(T, T)``);
+* ``any`` — explicitly unchecked.
+
+A ``dim`` is a symbolic identifier (``B``, ``d_model``), an integer, ``*``
+(wildcard, matches anything), or a ``*``-separated product of identifiers
+(``B*T`` — the flattened token axis).  Dtypes are ``f64``/``f32``/``f16``/
+``i64``/``i32``/``bool``/``any``.
+
+Two distinct symbols never unify: declaring ``(d_in, d_out)`` asserts the
+dims are *semantically* different even if they happen to be equal at
+runtime, which is exactly what catches a transposed-Hessian matmul.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterable, Optional, Union
+
+__all__ = [
+    "Dim",
+    "TensorSpec",
+    "FunctionSpec",
+    "parse_spec_entry",
+    "parse_docstring_spec",
+    "instantiate",
+    "unify_dim",
+    "unify_shape",
+    "format_shape",
+    "DTYPE_ORDER",
+    "is_narrowing",
+]
+
+#: A dimension: an int (concrete), a str (rigid symbol or ``a*b`` product),
+#: or None (unknown / wildcard — unifies with anything).
+Dim = Union[int, str, None]
+
+#: Recognised dtype tokens, widest float first.  Integer and bool dtypes are
+#: tracked but never participate in narrowing judgements.
+DTYPE_ORDER = ("f64", "f32", "f16")
+
+_DTYPE_TOKENS = {"f64", "f32", "f16", "i64", "i32", "bool", "any"}
+
+_ENTRY_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*:\s*(.+?)\s*$")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclasses.dataclass(frozen=True)
+class TensorSpec:
+    """Declared shape/dtype of one parameter or return value.
+
+    ``dims`` is None for non-tensor entries; ``dim_value`` carries the
+    symbol for dim-valued scalars (``seq_len: T``).
+    """
+
+    dims: Optional[tuple[Dim, ...]] = None
+    dtype: Optional[str] = None
+    dim_value: Optional[str] = None
+
+    def to_json(self) -> dict:
+        """Serializable form (cache storage)."""
+        return {
+            "dims": list(self.dims) if self.dims is not None else None,
+            "dtype": self.dtype,
+            "dim_value": self.dim_value,
+        }
+
+    @staticmethod
+    def from_json(record: dict) -> "TensorSpec":
+        """Rebuild from :meth:`to_json` output."""
+        dims = record.get("dims")
+        return TensorSpec(
+            tuple(dims) if dims is not None else None,
+            record.get("dtype"),
+            record.get("dim_value"),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionSpec:
+    """The full ``Shapes:`` contract of one function."""
+
+    name: str
+    line: int
+    params: tuple[tuple[str, TensorSpec], ...]
+    returns: Optional[TensorSpec] = None
+
+    def param_map(self) -> dict[str, TensorSpec]:
+        """Parameter specs keyed by name."""
+        return dict(self.params)
+
+    def to_json(self) -> dict:
+        """Serializable form (cache storage)."""
+        return {
+            "name": self.name,
+            "line": self.line,
+            "params": [[n, s.to_json()] for n, s in self.params],
+            "returns": self.returns.to_json() if self.returns else None,
+        }
+
+    @staticmethod
+    def from_json(record: dict) -> "FunctionSpec":
+        """Rebuild from :meth:`to_json` output."""
+        returns = record.get("returns")
+        return FunctionSpec(
+            record["name"],
+            int(record["line"]),
+            tuple(
+                (name, TensorSpec.from_json(spec))
+                for name, spec in record["params"]
+            ),
+            TensorSpec.from_json(returns) if returns else None,
+        )
+
+
+def _parse_dim(token: str) -> Dim:
+    token = token.strip()
+    if not token:
+        raise ValueError("empty dimension")
+    if token == "*":
+        return None
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    factors = [part.strip() for part in token.split("*")]
+    if not all(_IDENT_RE.match(part) for part in factors):
+        raise ValueError(f"bad dimension token {token!r}")
+    if len(factors) == 1:
+        return factors[0]
+    return "*".join(sorted(factors))
+
+
+def parse_spec_entry(text: str) -> TensorSpec:
+    """Parse one entry body (everything after ``name:``)."""
+    text = text.strip()
+    if text == "any":
+        return TensorSpec()
+    if text == "scalar":
+        return TensorSpec(dims=())
+    if text in _DTYPE_TOKENS:
+        # Bare dtype: a tensor of any rank with a fixed dtype — the form
+        # rank-polymorphic autograd ops use to state the float64 contract.
+        return TensorSpec(dims=None, dtype=None if text == "any" else text)
+    if text.startswith("("):
+        close = text.index(")")
+        inner = text[1:close]
+        rest = text[close + 1 :].strip()
+        dims: list[Dim] = []
+        if inner.strip():
+            dims = [_parse_dim(part) for part in inner.split(",") if part.strip()]
+        dtype = None
+        if rest:
+            if rest not in _DTYPE_TOKENS:
+                raise ValueError(f"unknown dtype token {rest!r}")
+            if rest != "any":
+                dtype = rest
+        return TensorSpec(dims=tuple(dims), dtype=dtype)
+    if _IDENT_RE.match(text):
+        return TensorSpec(dims=(), dim_value=text)
+    raise ValueError(f"cannot parse shape spec {text!r}")
+
+
+def parse_docstring_spec(
+    docstring: Optional[str], name: str, line: int
+) -> Optional[FunctionSpec]:
+    """Extract the ``Shapes:`` section of a docstring, if present.
+
+    Raises ``ValueError`` on a malformed section so that typos in
+    annotations fail loudly instead of silently disabling checks.
+    """
+    if not docstring or "Shapes:" not in docstring:
+        return None
+    lines = docstring.splitlines()
+    start = next(
+        (i for i, ln in enumerate(lines) if ln.strip() == "Shapes:"), None
+    )
+    if start is None:
+        return None  # incidental prose mention, not a section header
+    params: list[tuple[str, TensorSpec]] = []
+    returns: Optional[TensorSpec] = None
+    for ln in lines[start + 1 :]:
+        if not ln.strip():
+            break
+        match = _ENTRY_RE.match(ln)
+        if not match:
+            raise ValueError(f"{name}: bad Shapes entry {ln.strip()!r}")
+        entry_name, body = match.group(1), match.group(2)
+        spec = parse_spec_entry(body)
+        if entry_name == "return":
+            returns = spec
+        else:
+            params.append((entry_name, spec))
+    return FunctionSpec(name, line, tuple(params), returns)
+
+
+# ----------------------------------------------------------------------
+# Unification
+# ----------------------------------------------------------------------
+#: Sentinel prefix marking a dim symbol as a bindable unification variable
+#: (produced by :func:`instantiate`); all other symbols are rigid.
+VAR_PREFIX = "$"
+
+
+def instantiate(dims: Iterable[Dim], prefix: str) -> tuple[Dim, ...]:
+    """Rename symbols into callee-unique ``$``-variables.
+
+    Used at call boundaries: the callee's symbols become fresh variables
+    distinct from any caller symbol, then unify against the caller's rigid
+    dims.  ``prefix`` disambiguates call sites (``$3:d_in``).
+    """
+    fresh: list[Dim] = []
+    for dim in dims:
+        if isinstance(dim, str):
+            fresh.append(
+                "*".join(
+                    f"{VAR_PREFIX}{prefix}:{part}" for part in dim.split("*")
+                )
+            )
+        else:
+            fresh.append(dim)
+    return tuple(fresh)
+
+
+def _is_var(dim: Dim) -> bool:
+    return isinstance(dim, str) and dim.startswith(VAR_PREFIX)
+
+
+def _resolve(dim: Dim, bindings: dict[str, Dim]) -> Dim:
+    seen = set()
+    while isinstance(dim, str) and dim in bindings and dim not in seen:
+        seen.add(dim)
+        dim = bindings[dim]
+    if isinstance(dim, str) and "*" in dim:
+        factors = [_resolve(part, bindings) for part in dim.split("*")]
+        if any(f is None for f in factors):
+            return None
+        if all(isinstance(f, int) for f in factors):
+            product = 1
+            for f in factors:
+                product *= f
+            return product
+        if any(_is_var(f) for f in factors):
+            return "*".join(str(f) for f in factors)
+        return "*".join(sorted(str(f) for f in factors))
+    return dim
+
+
+def unify_dim(var: Dim, value: Dim, bindings: dict[str, Dim]) -> bool:
+    """Unify two dims under ``bindings``.
+
+    Only ``$``-variables (from :func:`instantiate`) may bind; rigid symbols
+    unify solely with themselves.  None (unknown) unifies with everything,
+    as do products still containing unresolved variables — the engine stays
+    silent rather than guessing.
+    """
+    var = _resolve(var, bindings)
+    value = _resolve(value, bindings)
+    if var is None or value is None:
+        return True
+    if var == value:
+        return True
+    for left, right in ((var, value), (value, var)):
+        if _is_var(left):
+            if "*" in left:  # a product of variables: too weak to refute
+                return True
+            bindings[left] = right
+            return True
+    return False
+
+
+def unify_shape(
+    declared: tuple[Dim, ...],
+    actual: tuple[Dim, ...],
+    bindings: dict[str, Dim],
+) -> bool:
+    """Unify two shapes elementwise; rank mismatch fails immediately."""
+    if len(declared) != len(actual):
+        return False
+    return all(
+        unify_dim(d, a, bindings) for d, a in zip(declared, actual)
+    )
+
+
+def format_shape(dims: Optional[tuple[Dim, ...]]) -> str:
+    """Human-readable ``(B, T, D)`` rendering (``?`` for unknown dims)."""
+    if dims is None:
+        return "(?)"
+    rendered = ", ".join("?" if d is None else str(d) for d in dims)
+    if len(dims) == 1:
+        rendered += ","
+    return f"({rendered})"
+
+
+def is_narrowing(src: Optional[str], dst: Optional[str]) -> bool:
+    """Whether converting ``src`` to ``dst`` loses float precision."""
+    if src not in DTYPE_ORDER or dst not in DTYPE_ORDER:
+        return False
+    return DTYPE_ORDER.index(dst) > DTYPE_ORDER.index(src)

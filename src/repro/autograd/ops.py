@@ -49,7 +49,13 @@ __all__ = [
 # Elementwise arithmetic
 # ----------------------------------------------------------------------
 def add(a: Tensor, b: Tensor) -> Tensor:
-    """Elementwise sum ``a + b`` with broadcasting."""
+    """Elementwise sum ``a + b`` with broadcasting.
+
+    Shapes:
+        a: f64
+        b: f64
+        return: f64
+    """
     out = a.data + b.data
 
     def backward(grad, sink):
@@ -71,7 +77,13 @@ def sub(a: Tensor, b: Tensor) -> Tensor:
 
 
 def mul(a: Tensor, b: Tensor) -> Tensor:
-    """Elementwise product ``a * b`` with broadcasting."""
+    """Elementwise product ``a * b`` with broadcasting.
+
+    Shapes:
+        a: f64
+        b: f64
+        return: f64
+    """
     out = a.data * b.data
 
     def backward(grad, sink):
@@ -228,7 +240,13 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 # Linear algebra
 # ----------------------------------------------------------------------
 def matmul(a: Tensor, b: Tensor) -> Tensor:
-    """Matrix product ``a @ b`` (supports batched and 1-D operands)."""
+    """Matrix product ``a @ b`` (supports batched and 1-D operands).
+
+    Shapes:
+        a: f64
+        b: f64
+        return: f64
+    """
     out = a.data @ b.data
 
     def backward(grad, sink):
@@ -369,7 +387,13 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 
 def embedding(table: Tensor, ids: np.ndarray) -> Tensor:
-    """Row lookup ``table[ids]`` with scatter-add backward."""
+    """Row lookup ``table[ids]`` with scatter-add backward.
+
+    Shapes:
+        table: (V, D) f64
+        ids: any
+        return: f64
+    """
     ids = np.asarray(ids)
     out = table.data[ids]
 

@@ -168,6 +168,12 @@ def exact_gauss_newton(
     ``O(batch·seq·D)`` backward passes — viable only on micro models; used
     by the test-suite to certify that the Rademacher probe estimator in
     :func:`attention_hessians` is unbiased.
+
+    Shapes:
+        capture: any
+        projection: scalar
+        head: scalar
+        return: (D, D) f64
     """
     if projection not in ("q_proj", "k_proj"):
         raise ValueError("exact enumeration provided for q/k projections")
@@ -189,6 +195,12 @@ def exact_gauss_newton(
 
 
 def head_column_slices(d_model: int, n_heads: int) -> Sequence[slice]:
-    """Column slice of each head inside a ``(D, D)`` projection weight."""
+    """Column slice of each head inside a ``(D, D)`` projection weight.
+
+    Shapes:
+        d_model: D
+        n_heads: scalar
+        return: any
+    """
     d_head = d_model // n_heads
     return [slice(h * d_head, (h + 1) * d_head) for h in range(n_heads)]

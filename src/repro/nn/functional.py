@@ -66,7 +66,14 @@ def rotate_half(x: np.ndarray) -> np.ndarray:
 def rope_tables(
     seq_len: int, d_head: int, base: float = 10000.0
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Cos/sin tables of shape ``(seq_len, d_head)`` for rotary embeddings."""
+    """Cos/sin tables of shape ``(seq_len, d_head)`` for rotary embeddings.
+
+    Shapes:
+        seq_len: T
+        d_head: Dh
+        base: scalar
+        return: any
+    """
     if d_head % 2 != 0:
         raise ValueError("d_head must be even for rotary embeddings")
     inv_freq = 1.0 / (base ** (np.arange(0, d_head, 2, dtype=np.float64) / d_head))
@@ -82,7 +89,12 @@ def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
 
 
 def causal_mask(seq_len: int) -> np.ndarray:
-    """Additive mask: 0 on/below diagonal, ``-inf`` above."""
+    """Additive mask: 0 on/below diagonal, ``-inf`` above.
+
+    Shapes:
+        seq_len: T
+        return: (T, T) f64
+    """
     mask = np.zeros((seq_len, seq_len))
     mask[np.triu_indices(seq_len, k=1)] = -np.inf
     return mask

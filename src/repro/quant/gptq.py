@@ -72,7 +72,13 @@ def gptq_quantize_layer(
     percdamp: float = 0.01,
     actorder: bool = False,
 ) -> SolverResult:
-    """Quantize one layer in place with the GPTQ solver."""
+    """Quantize one layer in place with the GPTQ solver.
+
+    Shapes:
+        hessian: (d_in, d_in) f64
+        bits: scalar
+        return: any
+    """
     result = quantize_with_hessian(
         linear.weight.data,
         hessian,

@@ -1,0 +1,142 @@
+"""Incremental cache semantics: warm runs reanalyze only modified files."""
+
+import json
+
+from repro.analysis.cache import (
+    ANALYSIS_VERSION,
+    AnalysisCache,
+    rules_fingerprint,
+)
+from repro.analysis.project import Project
+
+FILES = {
+    "repro/__init__.py": '"""Pkg."""\n__all__ = []\n',
+    "repro/one.py": (
+        '"""One."""\n\n'
+        '__all__ = ["one"]\n\n\n'
+        "def one():\n"
+        '    """One."""\n'
+        "    return 1\n"
+    ),
+    "repro/two.py": (
+        '"""Two."""\n'
+        "from repro.one import one\n\n"
+        '__all__ = ["two"]\n\n\n'
+        "def two():\n"
+        '    """Two."""\n'
+        "    return one() + one()\n"
+    ),
+}
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+class TestAnalysisCacheUnit:
+    def test_fingerprint_covers_version_and_rule_ids(self):
+        assert ANALYSIS_VERSION >= 2
+        assert rules_fingerprint() == rules_fingerprint()
+
+    def test_store_then_lookup_roundtrip(self, tmp_path):
+        target = tmp_path / "file.py"
+        target.write_text("x = 1\n")
+        cache = AnalysisCache(tmp_path / "cache.json")
+        cache.store(str(target), None, {"payload": "summary"})
+        cache.save()
+        reloaded = AnalysisCache(tmp_path / "cache.json")
+        entry, digest = reloaded.lookup(str(target))
+        assert entry is not None and entry["payload"] == "summary"
+        assert digest == entry["sha256"]
+
+    def test_edited_file_misses(self, tmp_path):
+        target = tmp_path / "file.py"
+        target.write_text("x = 1\n")
+        cache = AnalysisCache(tmp_path / "cache.json")
+        cache.store(str(target), None, {"payload": "summary"})
+        cache.save()
+        target.write_text("x = 2\n")
+        entry, _ = AnalysisCache(tmp_path / "cache.json").lookup(str(target))
+        assert entry is None
+
+    def test_touched_but_unchanged_file_still_hits(self, tmp_path):
+        target = tmp_path / "file.py"
+        target.write_text("x = 1\n")
+        cache = AnalysisCache(tmp_path / "cache.json")
+        cache.store(str(target), None, {"payload": "summary"})
+        cache.save()
+        # Rewrite identical bytes: mtime drifts, the content hash saves it.
+        target.write_text("x = 1\n")
+        entry, _ = AnalysisCache(tmp_path / "cache.json").lookup(str(target))
+        assert entry is not None
+
+    def test_corrupt_cache_file_is_treated_as_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        cache = AnalysisCache(path)
+        entry, _ = cache.lookup(str(path))
+        assert entry is None
+
+    def test_foreign_fingerprint_discards_entries(self, tmp_path):
+        target = tmp_path / "file.py"
+        target.write_text("x = 1\n")
+        cache = AnalysisCache(tmp_path / "cache.json")
+        cache.store(str(target), None, {"payload": "summary"})
+        cache.save()
+        payload = json.loads((tmp_path / "cache.json").read_text())
+        payload["fingerprint"] = "stale"
+        (tmp_path / "cache.json").write_text(json.dumps(payload))
+        entry, _ = AnalysisCache(tmp_path / "cache.json").lookup(str(target))
+        assert entry is None
+
+
+class TestIncrementalProjectRuns:
+    def load(self, root, cache_path):
+        return Project.load(
+            [str(root / "repro")], cache=AnalysisCache(cache_path)
+        )
+
+    def test_warm_run_reanalyzes_only_the_modified_file(self, tmp_path):
+        root = write_tree(tmp_path, FILES)
+        cache_path = tmp_path / "cache.json"
+
+        cold = self.load(root, cache_path)
+        assert cold.stats == {"analyzed": 3, "cached": 0}
+        cold.analyze()  # populates and saves the cache
+
+        warm = self.load(root, cache_path)
+        assert warm.stats == {"analyzed": 0, "cached": 3}
+        warm.analyze()
+
+        (root / "repro" / "one.py").write_text(
+            FILES["repro/one.py"].replace("return 1", "return 1.0")
+        )
+        partial = self.load(root, cache_path)
+        assert partial.stats == {"analyzed": 1, "cached": 2}
+
+    def test_warm_run_reports_identical_diagnostics(self, tmp_path):
+        files = dict(FILES)
+        # Seed a per-module violation so the cached run has something to say.
+        files["repro/two.py"] = files["repro/two.py"].replace(
+            "    return one() + one()\n",
+            "    import numpy as np\n    return np.exp(one())\n",
+        )
+        root = write_tree(tmp_path, files)
+        cache_path = tmp_path / "cache.json"
+
+        cold = self.load(root, cache_path)
+        cold_diags = [
+            (d.rule_id, d.path, d.line) for d in cold.analyze()
+        ]
+        assert any(rule == "numeric-raw-exp" for rule, _, _ in cold_diags)
+
+        warm = self.load(root, cache_path)
+        warm_diags = [
+            (d.rule_id, d.path, d.line) for d in warm.analyze()
+        ]
+        assert warm.stats["cached"] == 3
+        assert warm_diags == cold_diags

@@ -1,0 +1,160 @@
+"""Whole-program import-graph rules: cycles, dead exports, bogus __all__.
+
+Fixture projects are written to ``tmp_path/repro`` so module names resolve
+to ``repro.*``; assertions pin (rule-id, file, line) so diagnostics cannot
+drift to different anchors.
+"""
+
+from repro.analysis.callgraph import import_cycles, internal_import_edges
+from repro.analysis.project import Project
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def load(tmp_path, files, consumers=()):
+    root = write_tree(tmp_path, files)
+    consumer_paths = [str(root / entry) for entry in consumers]
+    return root, Project.load([str(root / "repro")], consumer_paths)
+
+
+def hits(diagnostics, rule_id):
+    return [
+        (d.rule_id, d.path, d.line)
+        for d in diagnostics
+        if d.rule_id == rule_id
+    ]
+
+
+CYCLE_FILES = {
+    "repro/__init__.py": '"""Pkg."""\n__all__ = []\n',
+    "repro/alpha.py": (
+        '"""Alpha."""\n'
+        "from repro.beta import helper\n\n"
+        '__all__ = ["entry"]\n\n\n'
+        "def entry():\n"
+        '    """Entry."""\n'
+        "    return helper()\n"
+    ),
+    "repro/beta.py": (
+        '"""Beta."""\n'
+        "from repro.alpha import entry\n\n"
+        '__all__ = ["helper"]\n\n\n'
+        "def helper():\n"
+        '    """Helper."""\n'
+        "    return entry\n"
+    ),
+}
+
+
+class TestImportCycles:
+    def test_edges_record_first_import_line(self, tmp_path):
+        _, project = load(tmp_path, CYCLE_FILES)
+        edges = internal_import_edges(project)
+        assert edges["repro.alpha"]["repro.beta"] == 2
+        assert edges["repro.beta"]["repro.alpha"] == 2
+
+    def test_cycle_is_reported_once_sorted(self, tmp_path):
+        _, project = load(tmp_path, CYCLE_FILES)
+        assert import_cycles(project) == [["repro.alpha", "repro.beta"]]
+
+    def test_wp_import_cycle_pins_file_and_line(self, tmp_path):
+        root, project = load(tmp_path, CYCLE_FILES)
+        found = hits(project.analyze(select=["wp-import-cycle"]), "wp-import-cycle")
+        assert found == [("wp-import-cycle", str(root / "repro/alpha.py"), 2)]
+
+    def test_function_local_import_breaks_the_cycle(self, tmp_path):
+        files = dict(CYCLE_FILES)
+        files["repro/beta.py"] = (
+            '"""Beta."""\n\n'
+            '__all__ = ["helper"]\n\n\n'
+            "def helper():\n"
+            '    """Helper."""\n'
+            "    from repro.alpha import entry\n"
+            "    return entry\n"
+        )
+        _, project = load(tmp_path, files)
+        assert import_cycles(project) == []
+
+
+DEAD_EXPORT_FILES = {
+    "repro/__init__.py": '"""Pkg."""\n__all__ = []\n',
+    "repro/lib.py": (
+        '"""Lib."""\n\n'
+        '__all__ = ["used", "unused", "Result"]\n\n\n'
+        "class Result:\n"
+        '    """Only ever named in used()\'s return annotation."""\n\n\n'
+        "def used(x) -> Result:\n"
+        '    """Used; returns a Result."""\n'
+        "    return Result()\n\n\n"
+        "def unused(x):\n"
+        '    """Nobody calls this."""\n'
+        "    return x\n"
+    ),
+    "repro/app.py": (
+        '"""App."""\n'
+        "from repro.lib import used\n\n"
+        '__all__ = ["run"]\n\n\n'
+        "def run(x):\n"
+        '    """Run."""\n'
+        "    return used(x)\n"
+    ),
+    "tests/test_app.py": (
+        '"""Consumer."""\n'
+        "from repro.app import run\n\n\n"
+        "def test_run():\n"
+        "    assert run(1) is not None\n"
+    ),
+}
+
+
+class TestDeadExports:
+    def test_only_the_dead_export_is_flagged_at_its_all_entry(self, tmp_path):
+        root, project = load(tmp_path, DEAD_EXPORT_FILES, consumers=["tests"])
+        found = hits(project.analyze(select=["wp-dead-export"]), "wp-dead-export")
+        # 'used' is imported by app, 'run' by the test consumer; 'Result'
+        # rides on an annotation of a used function. Only 'unused' is dead.
+        assert found == [("wp-dead-export", str(root / "repro/lib.py"), 3)]
+
+    def test_consumer_reference_keeps_an_export_alive(self, tmp_path):
+        files = dict(DEAD_EXPORT_FILES)
+        files["tests/test_lib.py"] = (
+            '"""Second consumer."""\n'
+            "from repro.lib import unused\n\n\n"
+            "def test_unused():\n"
+            "    assert unused(1) == 1\n"
+        )
+        _, project = load(tmp_path, files, consumers=["tests"])
+        assert hits(project.analyze(select=["wp-dead-export"]), "wp-dead-export") == []
+
+
+class TestAllUndefined:
+    def test_phantom_all_entry_is_flagged(self, tmp_path):
+        files = {
+            "repro/__init__.py": '"""Pkg."""\n__all__ = []\n',
+            "repro/ghost.py": (
+                '"""Ghost."""\n\n'
+                '__all__ = ["real", "phantom"]\n\n\n'
+                "def real():\n"
+                '    """Real."""\n'
+                "    return 1\n"
+            ),
+            "repro/user.py": (
+                '"""User."""\n'
+                "from repro.ghost import real\n\n"
+                '__all__ = ["go"]\n\n\n'
+                "def go():\n"
+                '    """Go."""\n'
+                "    return real()\n"
+            ),
+        }
+        root, project = load(tmp_path, files)
+        found = hits(
+            project.analyze(select=["wp-all-undefined"]), "wp-all-undefined"
+        )
+        assert found == [("wp-all-undefined", str(root / "repro/ghost.py"), 3)]

@@ -48,6 +48,15 @@ class TestRepoLintsClean:
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "no violations" in proc.stdout
 
+    def test_whole_program_passes_are_clean_too(self):
+        # --strict also fails on warnings (e.g. stale suppressions), and
+        # --no-cache keeps this run independent of any on-disk state.
+        proc = run_cli(
+            "--whole-program", "--strict", "--no-cache", str(SRC_TREE)
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no violations" in proc.stdout
+
 
 class TestSeededViolation:
     def test_cli_exits_nonzero_naming_rule_file_line(self, tmp_path):

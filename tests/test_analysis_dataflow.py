@@ -1,0 +1,254 @@
+"""Symbolic shape/dtype dataflow: seeded violations with pinned anchors.
+
+Each fixture plants exactly one bug class named in the analyzer's contract —
+a transposed-Hessian call, a cross-module float16 narrowing, a symbolic
+element-count-changing reshape — and the assertions pin (rule-id, file,
+line) so the interpreter cannot silently move or drop the finding.
+"""
+
+from repro.analysis.dataflow import AbstractValue, module_in_packages
+from repro.analysis.project import Project
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def load(tmp_path, files):
+    root = write_tree(tmp_path, files)
+    return root, Project.load([str(root / "repro")])
+
+
+def hits(diagnostics, rule_id):
+    return [
+        (d.rule_id, d.path, d.line)
+        for d in diagnostics
+        if d.rule_id == rule_id
+    ]
+
+
+SOLVER = (
+    '"""Solver fixture."""\n\n'
+    '__all__ = ["solve"]\n\n\n'
+    "def solve(weight, hessian):\n"
+    '    """Quantize rows of ``weight`` against ``hessian``.\n\n'
+    "    Shapes:\n"
+    "        weight: (d_in, d_out) f64\n"
+    "        hessian: (d_in, d_in) f64\n"
+    "        return: (d_in, d_out) f64\n"
+    '    """\n'
+    "    return weight + 0.0 * (hessian @ weight)\n"
+)
+
+PKG = '"""Pkg."""\n__all__ = []\n'
+
+
+class TestAbstractValue:
+    def test_unknown_by_default(self):
+        value = AbstractValue()
+        assert value.shape is None and value.dtype is None
+
+    def test_module_in_packages_matches_dotted_prefixes(self):
+        assert module_in_packages("repro.quant.packing", ("repro.quant.packing",))
+        assert module_in_packages(
+            "repro.quant.packing.sub", ("repro.quant.packing",)
+        )
+        assert not module_in_packages("repro.quanti", ("repro.quant",))
+
+
+class TestTransposedHessian:
+    FILES = {
+        "repro/__init__.py": PKG,
+        "repro/solver.py": SOLVER,
+        "repro/driver.py": (
+            '"""Driver fixture with a transposed weight at the call site."""\n'
+            "from repro.solver import solve\n\n"
+            '__all__ = ["run"]\n\n\n'
+            "def run(weight, hessian):\n"
+            '    """Transposed: weight.T makes d_in/d_out swap roles.\n\n'
+            "    Shapes:\n"
+            "        weight: (d_in, d_out) f64\n"
+            "        hessian: (d_in, d_in) f64\n"
+            "        return: any\n"
+            '    """\n'
+            "    return solve(weight.T, hessian)\n"
+        ),
+    }
+
+    def test_cross_argument_dims_refute_the_call(self, tmp_path):
+        root, project = load(tmp_path, self.FILES)
+        found = hits(
+            project.analyze(select=["wp-shape-mismatch"]), "wp-shape-mismatch"
+        )
+        assert found == [
+            ("wp-shape-mismatch", str(root / "repro/driver.py"), 15)
+        ]
+
+    def test_untransposed_call_is_clean(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/driver.py"] = files["repro/driver.py"].replace(
+            "solve(weight.T, hessian)", "solve(weight, hessian)"
+        )
+        _, project = load(tmp_path, files)
+        assert hits(
+            project.analyze(select=["wp-shape-mismatch"]), "wp-shape-mismatch"
+        ) == []
+
+
+class TestMatmulAndReshape:
+    FILES = {
+        "repro/__init__.py": PKG,
+        "repro/kernels.py": (
+            '"""Kernels fixture."""\n\n'
+            '__all__ = ["gram", "flatten_tokens"]\n\n\n'
+            "def gram(weight, hessian):\n"
+            '    """Inner dims disagree: hessian @ weight.T is (d_in,)x(d_out,).\n\n'
+            "    Shapes:\n"
+            "        weight: (d_in, d_out) f64\n"
+            "        hessian: (d_in, d_in) f64\n"
+            "        return: any\n"
+            '    """\n'
+            "    return hessian @ weight.T\n\n\n"
+            "def flatten_tokens(x):\n"
+            '    """Reshape drops the D axis: element count changes.\n\n'
+            "    Shapes:\n"
+            "        x: (B, T, D) f64\n"
+            "        return: any\n"
+            '    """\n'
+            "    b, t, d = x.shape\n"
+            "    return x.reshape(t, d)\n"
+        ),
+    }
+
+    def test_matmul_inner_dim_conflict_is_pinned(self, tmp_path):
+        root, project = load(tmp_path, self.FILES)
+        found = hits(
+            project.analyze(select=["wp-shape-mismatch"]), "wp-shape-mismatch"
+        )
+        path = str(root / "repro/kernels.py")
+        assert ("wp-shape-mismatch", path, 14) in found
+
+    def test_element_count_changing_reshape_is_pinned(self, tmp_path):
+        root, project = load(tmp_path, self.FILES)
+        found = hits(
+            project.analyze(select=["wp-shape-mismatch"]), "wp-shape-mismatch"
+        )
+        path = str(root / "repro/kernels.py")
+        assert ("wp-shape-mismatch", path, 25) in found
+
+    def test_token_flattening_reshape_is_clean(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/kernels.py"] = files["repro/kernels.py"].replace(
+            "x.reshape(t, d)", "x.reshape(b * t, d)"
+        )
+        root, project = load(tmp_path, files)
+        found = hits(
+            project.analyze(select=["wp-shape-mismatch"]), "wp-shape-mismatch"
+        )
+        assert (
+            "wp-shape-mismatch",
+            str(root / "repro/kernels.py"),
+            25,
+        ) not in found
+
+
+class TestDtypeNarrowing:
+    FILES = {
+        "repro/__init__.py": PKG,
+        "repro/storage.py": (
+            '"""Storage fixture: declares a half-precision return."""\n\n'
+            '__all__ = ["to_half"]\n\n\n'
+            "def to_half(x):\n"
+            '    """Pack to float16.\n\n'
+            "    Shapes:\n"
+            "        x: f64\n"
+            "        return: f16\n"
+            '    """\n'
+            '    return x.astype("float16")\n'
+        ),
+        "repro/pipeline.py": (
+            '"""Autograd-visible fixture calling into the f16 boundary."""\n'
+            "import numpy as np\n\n"
+            "from repro.storage import to_half\n\n"
+            '__all__ = ["run"]\n\n\n'
+            "def run(n):\n"
+            '    """Cross-module f16 narrowing at the return below.\n\n'
+            "    Shapes:\n"
+            "        n: N\n"
+            "        return: any\n"
+            '    """\n'
+            "    x = np.zeros((n,))\n"
+            "    return to_half(x)\n"
+        ),
+    }
+
+    def test_cross_module_f16_return_is_pinned(self, tmp_path):
+        root, project = load(tmp_path, self.FILES)
+        found = hits(
+            project.analyze(select=["wp-dtype-narrowing"]), "wp-dtype-narrowing"
+        )
+        assert found == [
+            ("wp-dtype-narrowing", str(root / "repro/pipeline.py"), 17)
+        ]
+
+    def test_narrow_value_into_f64_parameter_is_flagged(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/pipeline.py"] = (
+            '"""Passes already-narrowed data into a float64-declared op."""\n'
+            "import numpy as np\n\n"
+            "from repro.mathops import accumulate\n\n"
+            '__all__ = ["run"]\n\n\n'
+            "def run(n):\n"
+            '    """Shapes:\n'
+            "        n: N\n"
+            "        return: any\n"
+            '    """\n'
+            '    x = np.zeros((n,)).astype("float16")\n'
+            "    return accumulate(x)\n"
+        )
+        files["repro/mathops.py"] = (
+            '"""Float64-contract op."""\n\n'
+            '__all__ = ["accumulate"]\n\n\n'
+            "def accumulate(x):\n"
+            '    """Shapes:\n'
+            "        x: f64\n"
+            "        return: f64\n"
+            '    """\n'
+            "    return x\n"
+        )
+        del files["repro/storage.py"]
+        root, project = load(tmp_path, files)
+        found = hits(
+            project.analyze(select=["wp-dtype-narrowing"]), "wp-dtype-narrowing"
+        )
+        assert found == [
+            ("wp-dtype-narrowing", str(root / "repro/pipeline.py"), 15)
+        ]
+
+
+class TestBadShapeSpec:
+    def test_unparseable_section_is_reported_not_swallowed(self, tmp_path):
+        files = {
+            "repro/__init__.py": PKG,
+            "repro/broken.py": (
+                '"""Broken spec fixture."""\n\n'
+                '__all__ = ["f"]\n\n\n'
+                "def f(x):\n"
+                '    """Docstring.\n\n'
+                "    Shapes:\n"
+                "        x: (B, T f64\n"
+                '    """\n'
+                "    return x\n"
+            ),
+        }
+        root, project = load(tmp_path, files)
+        found = hits(
+            project.analyze(select=["wp-bad-shape-spec"]), "wp-bad-shape-spec"
+        )
+        assert found == [
+            ("wp-bad-shape-spec", str(root / "repro/broken.py"), 6)
+        ]

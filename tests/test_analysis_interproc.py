@@ -1,0 +1,138 @@
+"""Interprocedural autograd-contract rules: parent credit and gradcheck
+coverage, with seeded violations pinned to (rule-id, file, line)."""
+
+from repro.analysis.project import Project
+from repro.analysis.rules.interproc import GRADCHECK_TEST_FILENAME
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def load(tmp_path, files, consumers=()):
+    root = write_tree(tmp_path, files)
+    consumer_paths = [str(root / entry) for entry in consumers]
+    return root, Project.load([str(root / "repro")], consumer_paths)
+
+
+def hits(diagnostics, rule_id):
+    return [
+        (d.rule_id, d.path, d.line)
+        for d in diagnostics
+        if d.rule_id == rule_id
+    ]
+
+
+OPS_FILES = {
+    "repro/__init__.py": '"""Pkg."""\n__all__ = []\n',
+    "repro/myops.py": (
+        '"""Toy op module with one broken backward."""\n'
+        "from repro.engine import Tensor\n\n"
+        '__all__ = ["goodmul", "badmul"]\n\n\n'
+        "def goodmul(a, b):\n"
+        '    """Correct op: both parents credited."""\n'
+        "    out = a.data * b.data\n\n"
+        "    def backward(grad, sink):\n"
+        "        sink(a, grad * b.data)\n"
+        "        sink(b, grad * a.data)\n\n"
+        "    return Tensor.make(out, (a, b), backward)\n\n\n"
+        "def badmul(a, b):\n"
+        '    """Broken op: parent ``b`` never receives a gradient."""\n'
+        "    out = a.data * b.data\n\n"
+        "    def backward(grad, sink):\n"
+        "        sink(a, grad * b.data)\n\n"
+        "    return Tensor.make(out, (a, b), backward)\n"
+    ),
+    "repro/engine.py": (
+        '"""Tensor stand-in."""\n\n'
+        '__all__ = ["Tensor"]\n\n\n'
+        "class Tensor:\n"
+        '    """Stub."""\n\n'
+        "    @staticmethod\n"
+        "    def make(out, parents, backward):\n"
+        '        """Stub make."""\n'
+        "        return out\n"
+    ),
+}
+
+
+class TestOpParentCredit:
+    def test_uncredited_parent_is_pinned_at_make_line(self, tmp_path):
+        root, project = load(tmp_path, OPS_FILES)
+        found = hits(
+            project.analyze(select=["wp-op-parent-credit"]),
+            "wp-op-parent-credit",
+        )
+        assert found == [
+            ("wp-op-parent-credit", str(root / "repro/myops.py"), 25)
+        ]
+
+    def test_crediting_the_parent_clears_the_diagnostic(self, tmp_path):
+        files = dict(OPS_FILES)
+        files["repro/myops.py"] = files["repro/myops.py"].replace(
+            "        sink(a, grad * b.data)\n\n"
+            "    return Tensor.make(out, (a, b), backward)\n",
+            "        sink(a, grad * b.data)\n"
+            "        sink(b, grad * a.data)\n\n"
+            "    return Tensor.make(out, (a, b), backward)\n",
+        )
+        _, project = load(tmp_path, files)
+        assert (
+            hits(
+                project.analyze(select=["wp-op-parent-credit"]),
+                "wp-op-parent-credit",
+            )
+            == []
+        )
+
+
+class TestGradcheckCoverage:
+    def consumer(self, covered):
+        imports = ", ".join(covered)
+        return (
+            '"""Gradcheck suite fixture."""\n'
+            f"from repro.myops import {imports}\n\n\n"
+            "def test_ops():\n"
+            f"    assert {covered[0]} is not None\n"
+        )
+
+    def test_uncovered_op_is_pinned_at_its_export_entry(self, tmp_path):
+        files = dict(OPS_FILES)
+        files[f"tests/{GRADCHECK_TEST_FILENAME}"] = self.consumer(["goodmul"])
+        root, project = load(tmp_path, files, consumers=["tests"])
+        found = hits(
+            project.analyze(select=["wp-gradcheck-coverage"]),
+            "wp-gradcheck-coverage",
+        )
+        # 'badmul' is exported but the suite only imports 'goodmul'.
+        assert found == [
+            ("wp-gradcheck-coverage", str(root / "repro/myops.py"), 4)
+        ]
+
+    def test_full_coverage_is_clean(self, tmp_path):
+        files = dict(OPS_FILES)
+        files[f"tests/{GRADCHECK_TEST_FILENAME}"] = self.consumer(
+            ["goodmul", "badmul"]
+        )
+        _, project = load(tmp_path, files, consumers=["tests"])
+        assert (
+            hits(
+                project.analyze(select=["wp-gradcheck-coverage"]),
+                "wp-gradcheck-coverage",
+            )
+            == []
+        )
+
+    def test_without_a_suite_coverage_is_unknowable(self, tmp_path):
+        _, project = load(tmp_path, OPS_FILES)
+        assert (
+            hits(
+                project.analyze(select=["wp-gradcheck-coverage"]),
+                "wp-gradcheck-coverage",
+            )
+            == []
+        )

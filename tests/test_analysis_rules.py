@@ -320,4 +320,8 @@ class TestReporters:
         assert "np.exp" in record["message"]
 
     def test_json_reporter_clean(self):
-        assert json.loads(render_json([])) == {"violations": 0, "diagnostics": []}
+        assert json.loads(render_json([])) == {
+            "violations": 0,
+            "warnings": 0,
+            "diagnostics": [],
+        }

@@ -1,0 +1,138 @@
+"""Unit tests for the symbolic shape spec grammar and unification."""
+
+import pytest
+
+from repro.analysis.shapes import (
+    DTYPE_ORDER,
+    FunctionSpec,
+    TensorSpec,
+    format_shape,
+    instantiate,
+    is_narrowing,
+    parse_docstring_spec,
+    parse_spec_entry,
+    unify_dim,
+    unify_shape,
+)
+
+
+class TestParseSpecEntry:
+    def test_plain_shape_with_dtype(self):
+        spec = parse_spec_entry("(d_in, d_out) f64")
+        assert spec.dims == ("d_in", "d_out")
+        assert spec.dtype == "f64"
+
+    def test_scalar(self):
+        assert parse_spec_entry("scalar").dims == ()
+
+    def test_any_is_unchecked(self):
+        spec = parse_spec_entry("any")
+        assert spec.dims is None and spec.dtype is None
+
+    def test_bare_dtype_is_rank_polymorphic(self):
+        spec = parse_spec_entry("f64")
+        assert spec.dims is None
+        assert spec.dtype == "f64"
+
+    def test_dim_valued_scalar(self):
+        spec = parse_spec_entry("T")
+        assert spec.dim_value == "T"
+        assert spec.dims == ()
+
+    def test_product_dims_are_canonicalized(self):
+        assert parse_spec_entry("(T*B, D)").dims == ("B*T", "D")
+
+    def test_wildcard_and_integer_dims(self):
+        assert parse_spec_entry("(*, 4)").dims == (None, 4)
+
+    def test_unknown_dtype_token_raises(self):
+        with pytest.raises(ValueError):
+            parse_spec_entry("(B, T) f8")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_spec_entry("(B, T")
+
+
+class TestParseDocstringSpec:
+    def test_full_section(self):
+        doc = (
+            "Solve.\n\n"
+            "Shapes:\n"
+            "    weight: (d_in, d_out) f64\n"
+            "    bits: scalar\n"
+            "    return: (d_in, d_out) f64\n"
+        )
+        spec = parse_docstring_spec(doc, "solve", 10)
+        assert isinstance(spec, FunctionSpec)
+        assert spec.param_map()["weight"].dims == ("d_in", "d_out")
+        assert spec.returns.dtype == "f64"
+
+    def test_absent_section_is_none(self):
+        assert parse_docstring_spec("Just prose.", "f", 1) is None
+
+    def test_prose_mention_is_not_a_section(self):
+        # "Shapes:" appearing mid-sentence must not trip the parser.
+        doc = "Functions declare Shapes: sections in their docstrings."
+        assert parse_docstring_spec(doc, "f", 1) is None
+
+    def test_malformed_entry_raises(self):
+        doc = "F.\n\nShapes:\n    x: (B,) f64\n    !!bad line\n"
+        with pytest.raises(ValueError):
+            parse_docstring_spec(doc, "f", 1)
+
+    def test_json_roundtrip(self):
+        doc = "F.\n\nShapes:\n    x: (B, T) f32\n    n: T\n    return: f64\n"
+        spec = parse_docstring_spec(doc, "f", 3)
+        rebuilt = FunctionSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+
+
+class TestUnification:
+    def test_rigid_symbols_only_unify_with_themselves(self):
+        assert unify_dim("d_in", "d_in", {})
+        assert not unify_dim("d_in", "d_out", {})
+
+    def test_variables_bind_and_stay_bound(self):
+        bindings = {}
+        fresh = instantiate(("d_in", "d_in"), "1")
+        assert unify_shape(fresh, ("rows", "rows"), bindings)
+        # The same variable cannot later rebind to a different rigid dim.
+        assert not unify_dim(fresh[0], "cols", bindings)
+
+    def test_transposed_hessian_shape_is_refuted(self):
+        # weight (d_in, d_out) + hessian (d_out, d_out): the shared callee
+        # symbol $d_in cannot be both.
+        bindings = {}
+        weight = instantiate(("d_in", "d_out"), "c")
+        hessian = instantiate(("d_in", "d_in"), "c")
+        assert unify_shape(weight, ("rows", "cols"), bindings)
+        assert not unify_shape(hessian, ("cols", "cols"), bindings)
+
+    def test_rank_mismatch_fails(self):
+        assert not unify_shape(("B", "T"), ("B", "T", "D"), {})
+
+    def test_unknown_unifies_with_anything(self):
+        assert unify_dim(None, "d_in", {})
+        assert unify_dim(7, None, {})
+
+    def test_format_shape(self):
+        assert format_shape(("B", None, 4)) == "(B, ?, 4)"
+        assert format_shape(("T",)) == "(T,)"
+        assert format_shape(None) == "(?)"
+
+
+class TestDtypes:
+    def test_order_is_widest_first(self):
+        assert DTYPE_ORDER == ("f64", "f32", "f16")
+
+    def test_narrowing_judgements(self):
+        assert is_narrowing("f64", "f16")
+        assert is_narrowing("f32", "f16")
+        assert not is_narrowing("f16", "f64")
+        assert not is_narrowing("i64", "f16")
+        assert not is_narrowing(None, "f16")
+
+    def test_tensor_spec_roundtrip(self):
+        spec = TensorSpec(dims=("B", 3), dtype="f32")
+        assert TensorSpec.from_json(spec.to_json()) == spec

@@ -36,6 +36,23 @@ class TestSoftmax:
         assert np.allclose(F.log_softmax(x), np.log(F.softmax(x)))
 
 
+class TestSigmoid:
+    def test_extreme_values_stable(self):
+        out = F.sigmoid(np.array([-1e9, 0.0, 1e9]))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+        assert np.all(np.isfinite(out))
+
+    @given(finite_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, x):
+        assert np.allclose(F.sigmoid(x) + F.sigmoid(-x), 1.0)
+
+    @given(finite_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_silu_is_x_times_sigmoid(self, x):
+        assert np.allclose(F.silu(x), x * F.sigmoid(x))
+
+
 class TestRMSNorm:
     def test_unit_gain_output_has_unit_rms(self, rng):
         x = rng.normal(size=(8, 16)) * 5.0

@@ -4,7 +4,7 @@ OWQ, PB-LLM, FPQ, LLM-QAT) and the calibration hook machinery."""
 import numpy as np
 import pytest
 
-from repro.quant.calibration_hooks import collect_input_stats
+from repro.quant.calibration_hooks import InputCollector, collect_input_stats
 from repro.quant.fpq import FP4_VALUES, fpq_quantize_model
 from repro.quant.gptq import (
     GPTQConfig,
@@ -45,6 +45,21 @@ class TestCalibrationHooks:
             layer_names=["blocks.0.mlp.gate_proj"],
         )
         assert np.all(stats["blocks.0.mlp.gate_proj"].abs_max > 0)
+
+    def test_collector_scopes_hooks_to_the_with_block(self, micro_model, calibration):
+        layers = {
+            name: linear
+            for name, linear in micro_model.quantizable_linears().items()
+            if name == "blocks.0.self_attn.q_proj"
+        }
+        with InputCollector(layers) as collector:
+            (linear,) = layers.values()
+            assert len(linear.input_hooks) == 1
+            micro_model.forward_array(calibration.segments[:2])
+        assert linear.input_hooks == []
+        record = collector.stats["blocks.0.self_attn.q_proj"]
+        assert record.n_samples == 2 * calibration.seq_len
+        assert np.all(record.second_moment >= 0)
 
 
 class TestLayerGrouping:

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Repo gate: whole-program lint (strict), then the tier-1 test suite.
+# Run from the repo root: ./tools/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro-lint --whole-program --strict =="
+python -m repro.analysis --whole-program --strict --stats src/repro
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests
