@@ -1,0 +1,52 @@
+"""Fault-tolerance rules for the quantization runtime.
+
+The recovery ladder (:mod:`repro.runtime.recovery`) only protects code that
+routes through it: a stray ``np.linalg.cholesky`` or ``np.linalg.inv`` in an
+experiment runner crashes the whole run the first time calibration produces
+a non-positive-definite Hessian.  The ``runtime-raw-linalg`` rule pins the
+raw factorizations to the two sanctioned modules — the solver itself and the
+recovery ladder that wraps it — so every other caller inherits retry,
+damping escalation, and the RTN/pseudo-inverse fallbacks for free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.core import Diagnostic, ModuleContext, Rule, rule
+
+__all__ = ["RAW_LINALG_ALLOWED"]
+
+#: Modules allowed to call the raw factorizations (dotted, no ``.py``).
+RAW_LINALG_ALLOWED = (
+    "repro.quant.solver",
+    "repro.runtime.recovery",
+)
+
+_RAW_LINALG_CALLS = {"linalg.cholesky", "linalg.inv"}
+
+
+@rule(
+    "runtime-raw-linalg",
+    "raw np.linalg.cholesky/inv outside the sanctioned recovery modules",
+)
+def _raw_linalg(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    if module.in_package(*RAW_LINALG_ALLOWED):
+        return
+    for node in astutil.walk_calls(module.tree):
+        name = astutil.numpy_call_name(node)
+        if name in _RAW_LINALG_CALLS:
+            tail = name.split(".")[-1]
+            replacement = (
+                "repro.runtime.recovery.robust_quantize_layer"
+                if tail == "cholesky"
+                else "repro.runtime.recovery.hessian_inverse"
+            )
+            yield self.diagnostic(
+                module,
+                node,
+                f"raw np.{name}() bypasses the numerical recovery ladder "
+                f"(it raises LinAlgError on ill-conditioned Hessians); "
+                f"route through {replacement}",
+            )

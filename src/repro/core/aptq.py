@@ -1,4 +1,4 @@
-"""End-to-end APTQ: Algorithm 1 of the paper.
+"""End-to-end APTQ: Algorithm 1 of the paper, on a fault-tolerant runtime.
 
 Step 1 — Hessian-attention-based quantization: every attention projection
 is quantized with the error-compensated solver driven by the attention-
@@ -12,11 +12,23 @@ R of weights is kept at 4 bits, the rest dropped to 2 bits (Eq. (18)).
 
 Quantization proceeds block-by-block with calibration inputs recomputed on
 the partially quantized model, as in GPTQ.
+
+Fault tolerance (see ``docs/ROBUSTNESS.md``): every solver call runs behind
+the numerical recovery ladder of :mod:`repro.runtime.recovery`, so a
+non-positive-definite Hessian degrades one layer instead of killing the
+run; with ``checkpoint_path`` set, an atomic checksum-verified checkpoint
+of the partially quantized model and all allocation state lands after
+every block, and ``resume=True`` picks the run up at the first incomplete
+block.  Every retry, fallback, checkpoint, and resume is recorded in the
+:class:`~repro.runtime.journal.RunHealth` report on the result.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
+from pathlib import Path
 
 import numpy as np
 
@@ -33,11 +45,20 @@ from repro.core.sensitivity import LayerSensitivity, compute_sensitivities
 from repro.data.calibration import CalibrationSet
 from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
-from repro.quant.solver import SolverResult, quantize_with_hessian
+from repro.quant.groupwise import GroupQuantResult
+from repro.quant.solver import SolverResult
+from repro.runtime import faults
+from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
+from repro.runtime.errors import CheckpointError
+from repro.runtime.journal import DegradationEvent, RunHealth, RunJournal
+from repro.runtime.recovery import RecoveryPolicy, robust_quantize_layer
 
 __all__ = ["APTQConfig", "APTQResult", "aptq_quantize_model"]
 
 _ATTENTION_PROJECTIONS = ("q_proj", "k_proj", "v_proj", "o_proj")
+
+#: On-disk schema version of APTQ run checkpoints.
+_CHECKPOINT_VERSION = 1
 
 
 @dataclasses.dataclass
@@ -59,6 +80,14 @@ class APTQConfig:
     # Override the sensitivity-driven allocation with an explicit per-layer
     # bit map (used by the manual block-wise ablation of Table 3).
     allocation_override: dict[str, int] | None = None
+    # Fault tolerance: write an atomic per-block checkpoint here, and with
+    # resume=True continue an interrupted run from its first incomplete
+    # block (requires sequential=True; the full-precision Hessian cache of
+    # the non-sequential path is not checkpointed).
+    checkpoint_path: str | Path | None = None
+    resume: bool = False
+    # Recovery-ladder policy applied to every solver call.
+    recovery: RecoveryPolicy = dataclasses.field(default_factory=RecoveryPolicy)
 
 
 @dataclasses.dataclass
@@ -69,6 +98,118 @@ class APTQResult:
     sensitivities: dict[str, LayerSensitivity]
     layer_results: dict[str, SolverResult]
     average_bits: float
+    health: RunHealth = dataclasses.field(
+        default_factory=lambda: RunHealth(events=())
+    )
+
+
+def _run_fingerprint(
+    config: APTQConfig, model: LlamaModel, calibration: CalibrationSet
+) -> str:
+    """Digest of everything that determines a run's numerical trajectory.
+
+    A checkpoint is only resumable by a run with the same fingerprint;
+    runtime-only knobs (``checkpoint_path``, ``resume``) are excluded so
+    toggling them never invalidates a checkpoint.
+    """
+    record = {
+        "config": {
+            key: value
+            for key, value in dataclasses.asdict(config).items()
+            if key not in ("checkpoint_path", "resume")
+        },
+        "model": model.config.to_dict(),
+        "calibration": [
+            calibration.corpus_name,
+            calibration.seed,
+            list(calibration.segments.shape),
+        ],
+    }
+    payload = json.dumps(record, sort_keys=True, default=str).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _save_run_checkpoint(
+    path: Path,
+    fingerprint: str,
+    model: LlamaModel,
+    next_block: int,
+    allocation: dict[str, int],
+    sensitivities: dict[str, LayerSensitivity],
+    layer_results: dict[str, SolverResult],
+    journal: RunJournal,
+) -> None:
+    """Atomically write the full resumable state of a run (one ``.npz``)."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, array in model.state_dict().items():
+        arrays[f"model/{name}"] = array
+    layer_meta: dict[str, dict] = {}
+    for name, result in layer_results.items():
+        prefix = f"layer/{name}/"
+        arrays[prefix + "quantized"] = result.quantized_weight
+        arrays[prefix + "codes"] = result.group_result.codes
+        arrays[prefix + "scales"] = result.group_result.scales
+        arrays[prefix + "zeros"] = result.group_result.zeros
+        if result.permutation is not None:
+            arrays[prefix + "permutation"] = result.permutation
+        layer_meta[name] = {
+            "bits": result.group_result.bits,
+            "group_size": result.group_result.group_size,
+            "compensated_loss": result.compensated_loss,
+            "mse": result.mse,
+        }
+    meta = {
+        "version": _CHECKPOINT_VERSION,
+        "kind": "aptq-run",
+        "fingerprint": fingerprint,
+        "next_block": next_block,
+        "allocation": allocation,
+        "layers": layer_meta,
+        "sensitivities": {
+            name: dataclasses.asdict(record)
+            for name, record in sensitivities.items()
+        },
+        "events": [event.to_json() for event in journal.events],
+    }
+    save_checkpoint(path, arrays, meta)
+
+
+def _unpack_run_checkpoint(
+    arrays: dict[str, np.ndarray], meta: dict
+) -> tuple[dict[str, np.ndarray], dict, int]:
+    """Split a loaded run checkpoint into (model state, run state, next block)."""
+    model_state = {
+        name[len("model/"):]: array
+        for name, array in arrays.items()
+        if name.startswith("model/")
+    }
+    layer_results: dict[str, SolverResult] = {}
+    for name, record in meta["layers"].items():
+        prefix = f"layer/{name}/"
+        group = GroupQuantResult(
+            codes=arrays[prefix + "codes"],
+            scales=arrays[prefix + "scales"],
+            zeros=arrays[prefix + "zeros"],
+            bits=int(record["bits"]),
+            group_size=int(record["group_size"]),
+        )
+        layer_results[name] = SolverResult(
+            quantized_weight=arrays[prefix + "quantized"],
+            group_result=group,
+            compensated_loss=float(record["compensated_loss"]),
+            mse=float(record["mse"]),
+            permutation=arrays.get(prefix + "permutation"),
+        )
+    run_state = {
+        "allocation": {k: int(v) for k, v in meta["allocation"].items()},
+        "sensitivities": {
+            name: LayerSensitivity(**record)
+            for name, record in meta["sensitivities"].items()
+        },
+        "layer_results": layer_results,
+        "events": meta.get("events", []),
+    }
+    return model_state, run_state, int(meta["next_block"])
 
 
 def _quantize_attention_layer(
@@ -76,15 +217,20 @@ def _quantize_attention_layer(
     hessians: list[np.ndarray] | np.ndarray,
     bits: int,
     config: APTQConfig,
+    journal: RunJournal,
+    layer: str,
 ) -> tuple[np.ndarray, SolverResult]:
     """Quantize a projection; per-head slices when given per-head Hessians."""
     if isinstance(hessians, np.ndarray):
-        result = quantize_with_hessian(
+        result = robust_quantize_layer(
             weight,
             hessians,
             bits=bits,
             group_size=config.group_size,
             percdamp=config.percdamp,
+            policy=config.recovery,
+            journal=journal,
+            layer=layer,
         )
         return result.quantized_weight, result
     d_model = weight.shape[0]
@@ -92,19 +238,20 @@ def _quantize_attention_layer(
     quantized = np.empty_like(weight)
     head_results: list[SolverResult] = []
     for head, cols in enumerate(head_column_slices(d_model, n_heads)):
-        result = quantize_with_hessian(
+        result = robust_quantize_layer(
             weight[:, cols],
             hessians[head],
             bits=bits,
             group_size=config.group_size,
             percdamp=config.percdamp,
+            policy=config.recovery,
+            journal=journal,
+            layer=f"{layer}[head {head}]",
         )
         quantized[:, cols] = result.quantized_weight
         head_results.append(result)
     # Heads share d_in and group boundaries, so the per-head grids
     # concatenate along the output dimension into one layer-wide record.
-    from repro.quant.groupwise import GroupQuantResult
-
     merged_group = GroupQuantResult(
         codes=np.hstack([r.group_result.codes for r in head_results]),
         scales=np.hstack([r.group_result.scales for r in head_results]),
@@ -121,6 +268,36 @@ def _quantize_attention_layer(
     return quantized, merged
 
 
+def _try_resume(
+    checkpoint_file: Path, fingerprint: str, journal: RunJournal
+) -> tuple[dict[str, np.ndarray], dict, int] | None:
+    """Load resumable state, or None when the checkpoint is unusable.
+
+    A corrupt checkpoint (truncated, bit-flipped, unreadable) is survivable:
+    it is recorded as a warning and the run restarts from scratch.  A
+    *fingerprint mismatch* is a caller error — the checkpoint belongs to a
+    different run configuration — and raises :class:`CheckpointError`.
+    """
+    try:
+        arrays, meta = load_checkpoint(checkpoint_file)
+    except FileNotFoundError:
+        return None
+    except CheckpointError as error:
+        journal.record(
+            "warning",
+            message=f"ignoring corrupt checkpoint {checkpoint_file}: {error}",
+            path=str(checkpoint_file),
+        )
+        return None
+    if meta.get("kind") != "aptq-run" or meta.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {checkpoint_file} was written by an incompatible "
+            "run (different model/config/calibration); delete it or point "
+            "checkpoint_path elsewhere"
+        )
+    return _unpack_run_checkpoint(arrays, meta)
+
+
 def aptq_quantize_model(
     model: LlamaModel,
     calibration: CalibrationSet,
@@ -130,39 +307,77 @@ def aptq_quantize_model(
     """Quantize ``model`` in place with APTQ; returns the full run record."""
     config = dataclasses.replace(config or APTQConfig(), **overrides)
     layers = model.quantizable_linears()
+    journal = RunJournal()
+    checkpoint_file = (
+        Path(config.checkpoint_path) if config.checkpoint_path else None
+    )
+    fingerprint = _run_fingerprint(config, model, calibration)
+
+    resumed = None
+    if checkpoint_file is not None and config.resume:
+        if not config.sequential:
+            raise CheckpointError(
+                "resume requires sequential=True: the non-sequential path "
+                "depends on a full-precision Hessian cache that is not "
+                "checkpointed"
+            )
+        resumed = _try_resume(checkpoint_file, fingerprint, journal)
 
     # ------------------------------------------------------------------
     # Step 2's sensitivity metric is computed first, on the full-precision
     # model (Algorithm 1 computes traces during the 4-bit pass, before any
-    # requantization decisions are applied).
+    # requantization decisions are applied).  A resumed run restores the
+    # sensitivities, allocation, and partially quantized weights instead.
     # ------------------------------------------------------------------
+    layer_results: dict[str, SolverResult]
     fp_hessian_cache: dict[int, AttentionHessians] = {}
-    sensitivities = compute_sensitivities(
-        model,
-        calibration,
-        n_probes=config.n_probes,
-        batch_size=config.batch_size,
-        seed=config.seed,
-        attention_cache=fp_hessian_cache,
-    )
-    if config.allocation_override is not None:
-        missing = set(layers) - set(config.allocation_override)
-        if missing:
-            raise KeyError(f"allocation override misses layers {sorted(missing)}")
-        allocation = dict(config.allocation_override)
-    else:
-        allocation = allocate_bits_by_sensitivity(
-            sensitivities,
-            config.ratio_4bit,
-            high_bits=config.high_bits,
-            low_bits=config.low_bits,
+    if resumed is not None:
+        model_state, run_state, start_block = resumed
+        model.load_state_dict(model_state)
+        allocation = run_state["allocation"]
+        sensitivities = run_state["sensitivities"]
+        layer_results = run_state["layer_results"]
+        journal.extend(
+            DegradationEvent.from_json(event) for event in run_state["events"]
         )
+        journal.record(
+            "resume",
+            message=f"resumed from {checkpoint_file} at block {start_block} "
+            f"({len(layer_results)} layers already quantized)",
+            next_block=start_block,
+            path=str(checkpoint_file),
+        )
+    else:
+        start_block = 0
+        layer_results = {}
+        sensitivities = compute_sensitivities(
+            model,
+            calibration,
+            n_probes=config.n_probes,
+            batch_size=config.batch_size,
+            seed=config.seed,
+            attention_cache=fp_hessian_cache,
+        )
+        if config.allocation_override is not None:
+            missing = set(layers) - set(config.allocation_override)
+            if missing:
+                raise KeyError(
+                    f"allocation override misses layers {sorted(missing)}"
+                )
+            allocation = dict(config.allocation_override)
+        else:
+            allocation = allocate_bits_by_sensitivity(
+                sensitivities,
+                config.ratio_4bit,
+                high_bits=config.high_bits,
+                low_bits=config.low_bits,
+            )
 
     # ------------------------------------------------------------------
     # Step 1: sequential Hessian-attention-based quantization.
     # ------------------------------------------------------------------
-    layer_results: dict[str, SolverResult] = {}
-    for block_index in range(len(model.blocks)):
+    for block_index in range(start_block, len(model.blocks)):
+        faults.maybe_fault("block-start", str(block_index))
         prefix = f"blocks.{block_index}."
         attention_names = [
             f"{prefix}self_attn.{proj}" for proj in _ATTENTION_PROJECTIONS
@@ -199,6 +414,8 @@ def aptq_quantize_model(
                 per_projection[projection],
                 bits=allocation[name],
                 config=config,
+                journal=journal,
+                layer=name,
             )
             # The APTQ core is a quantizer: weight rewrites are its output.
             linear.weight.data = quantized  # lint: disable=autograd-inplace-data
@@ -213,15 +430,36 @@ def aptq_quantize_model(
             )
             for name in mlp_names:
                 linear = layers[name]
-                result = quantize_with_hessian(
+                result = robust_quantize_layer(
                     linear.weight.data,
                     stats[name].normalised_hessian(),
                     bits=allocation[name],
                     group_size=config.group_size,
                     percdamp=config.percdamp,
+                    policy=config.recovery,
+                    journal=journal,
+                    layer=name,
                 )
                 linear.weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
                 layer_results[name] = result
+
+        if checkpoint_file is not None:
+            journal.record(
+                "checkpoint",
+                message=f"block {block_index} complete; checkpoint written",
+                block=block_index,
+                path=str(checkpoint_file),
+            )
+            _save_run_checkpoint(
+                checkpoint_file,
+                fingerprint,
+                model,
+                block_index + 1,
+                allocation,
+                sensitivities,
+                layer_results,
+                journal,
+            )
 
     # Any non-block layer (untied lm_head) quantizes with the GPTQ Hessian.
     remaining = [name for name in layers if name not in layer_results]
@@ -234,15 +472,35 @@ def aptq_quantize_model(
         )
         for name in remaining:
             linear = layers[name]
-            result = quantize_with_hessian(
+            result = robust_quantize_layer(
                 linear.weight.data,
                 stats[name].normalised_hessian(),
                 bits=allocation[name],
                 group_size=config.group_size,
                 percdamp=config.percdamp,
+                policy=config.recovery,
+                journal=journal,
+                layer=name,
             )
             linear.weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
             layer_results[name] = result
+        if checkpoint_file is not None:
+            journal.record(
+                "checkpoint",
+                message="tail layers complete; final checkpoint written",
+                block=len(model.blocks),
+                path=str(checkpoint_file),
+            )
+            _save_run_checkpoint(
+                checkpoint_file,
+                fingerprint,
+                model,
+                len(model.blocks),
+                allocation,
+                sensitivities,
+                layer_results,
+                journal,
+            )
 
     counts = {name: layers[name].weight.size for name in layers}
     return APTQResult(
@@ -250,4 +508,5 @@ def aptq_quantize_model(
         sensitivities=sensitivities,
         layer_results=layer_results,
         average_bits=average_bits(allocation, counts),
+        health=journal.health(),
     )

@@ -13,8 +13,30 @@ import dataclasses
 import numpy as np
 
 from repro.data.corpus import SyntheticCorpus
+from repro.runtime.errors import CalibrationError
 
-__all__ = ["CalibrationSet", "sample_calibration"]
+__all__ = ["CalibrationSet", "sample_calibration", "screen_finite"]
+
+
+def screen_finite(batch: np.ndarray, context: str) -> None:
+    """Reject NaN/Inf in a calibration array with an actionable error.
+
+    ``context`` names the offending unit ("segment 3", "batch 1 entering
+    layer ...") so the operator can locate the poisoned data; integer
+    arrays pass trivially.
+    """
+    batch = np.asarray(batch)
+    if not np.issubdtype(batch.dtype, np.floating):
+        return
+    finite = np.isfinite(batch)
+    if not finite.all():
+        bad = int(batch.size - int(finite.sum()))
+        first = np.argwhere(~finite)[0]
+        raise CalibrationError(
+            f"{context} contains {bad} non-finite value(s) (first at index "
+            f"{tuple(int(i) for i in first)}); screen the calibration data "
+            "or regenerate the offending batch"
+        )
 
 
 @dataclasses.dataclass
@@ -29,6 +51,8 @@ class CalibrationSet:
         self.segments = np.asarray(self.segments)
         if self.segments.ndim != 2:
             raise ValueError("segments must be a 2-D (n, seq_len) array")
+        for index, segment in enumerate(self.segments):
+            screen_finite(segment, f"calibration segment {index}")
 
     @property
     def n_segments(self) -> int:

@@ -5,11 +5,16 @@ trains it on the c4-sim corpus and caches the checkpoint under a key derived
 from the config, trainer settings and corpus seeds, so every later call
 (including across pytest sessions and benchmark runs) loads instantly and
 identically.
+
+Cache loads are checksum-verified: a truncated, bit-flipped, or otherwise
+corrupt cache entry is detected, deleted, and transparently retrained
+rather than crashing (or worse, silently serving garbage weights).
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -18,6 +23,8 @@ from repro.models.configs import model_config
 from repro.nn.config import LlamaConfig
 from repro.nn.serialize import load_state_dict, save_state_dict
 from repro.nn.transformer import LlamaModel
+from repro.runtime.checkpoint import checksum_path
+from repro.runtime.errors import CheckpointError
 from repro.training.trainer import Trainer, TrainingConfig
 
 __all__ = ["default_cache_dir", "pretrained", "clone_model"]
@@ -58,10 +65,21 @@ def pretrained(
     training = training or _TRAINING_PRESETS.get(name, TrainingConfig())
     path = _checkpoint_path(name, config, training)
     if cache and path.exists():
-        state, stored_config = load_state_dict(path)
-        model = LlamaModel(stored_config, seed=training.seed)
-        model.load_state_dict(state)
-        return model
+        try:
+            state, stored_config = load_state_dict(path)
+            model = LlamaModel(stored_config, seed=training.seed)
+            model.load_state_dict(state)
+            return model
+        except (CheckpointError, KeyError, ValueError) as error:
+            # Corrupt or stale cache entry: drop it and fall through to a
+            # fresh training run that overwrites the cache.
+            warnings.warn(
+                f"discarding corrupt model cache {path}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            path.unlink(missing_ok=True)
+            checksum_path(path).unlink(missing_ok=True)
     model = LlamaModel(config, seed=training.seed)
     corpus = c4_sim()
     tokens = corpus.splits(train_tokens=_TRAIN_TOKENS).train

@@ -1,14 +1,25 @@
-"""Model checkpoint (de)serialisation as ``.npz`` archives with JSON config."""
+"""Model checkpoint (de)serialisation as ``.npz`` archives with JSON config.
+
+Writes go through :mod:`repro.runtime.checkpoint`, so a checkpoint on disk
+is always either the complete old file or the complete new file (tmp-file +
+``os.replace``), never a torn one, and always carries a SHA-256 sidecar
+that loads verify against.  Unreadable or incomplete archives raise
+:class:`~repro.runtime.errors.CheckpointError` instead of leaking raw
+``KeyError``/``zipfile`` internals.
+"""
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.nn.config import LlamaConfig
 from repro.nn.modules import Module
+from repro.runtime.checkpoint import atomic_save_npz, verify_checksum, write_checksum
+from repro.runtime.errors import CheckpointError
 
 __all__ = ["save_state_dict", "load_state_dict"]
 
@@ -16,21 +27,55 @@ _CONFIG_KEY = "__config_json__"
 
 
 def save_state_dict(path: str | Path, model: Module, config: LlamaConfig) -> None:
-    """Write ``model``'s parameters and ``config`` to a single ``.npz``."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Write ``model``'s parameters and ``config`` to a single ``.npz``.
+
+    The write is atomic (tmp file in the destination directory +
+    ``os.replace``) and leaves a ``<path>.sha256`` sidecar; a crash
+    mid-write can never produce a truncated archive that a later
+    :func:`load_state_dict` (or ``repro.models.zoo.pretrained``) loads
+    blindly.
+    """
     payload = dict(model.state_dict())
     payload[_CONFIG_KEY] = np.frombuffer(
         json.dumps(config.to_dict()).encode(), dtype=np.uint8
     )
-    np.savez_compressed(path, **payload)
+    atomic_save_npz(path, payload)
+    write_checksum(path)
 
 
-def load_state_dict(path: str | Path) -> tuple[dict[str, np.ndarray], LlamaConfig]:
-    """Read a checkpoint, returning (state dict, config)."""
+def load_state_dict(
+    path: str | Path, verify: bool = True
+) -> tuple[dict[str, np.ndarray], LlamaConfig]:
+    """Read a checkpoint, returning (state dict, config).
+
+    With ``verify=True`` the SHA-256 sidecar (when present) must match the
+    archive.  Raises :class:`CheckpointError` for a corrupt or truncated
+    archive, a checksum mismatch, or an archive without the
+    ``__config_json__`` entry; a missing file stays ``FileNotFoundError``
+    so "no checkpoint yet" remains distinguishable from "bad checkpoint".
+    """
     path = Path(path)
-    with np.load(path) as archive:
-        raw = {key: archive[key] for key in archive.files}
-    config_bytes = raw.pop(_CONFIG_KEY).tobytes()
-    config = LlamaConfig.from_dict(json.loads(config_bytes.decode()))
+    if not path.exists():
+        raise FileNotFoundError(path)
+    if verify:
+        verify_checksum(path, required=False)
+    try:
+        with np.load(path) as archive:
+            raw = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as error:
+        raise CheckpointError(
+            f"unreadable checkpoint {path}: {error}"
+        ) from error
+    if _CONFIG_KEY not in raw:
+        raise CheckpointError(
+            f"checkpoint {path} carries no {_CONFIG_KEY} entry; it was not "
+            "written by save_state_dict"
+        )
+    try:
+        config_bytes = raw.pop(_CONFIG_KEY).tobytes()
+        config = LlamaConfig.from_dict(json.loads(config_bytes.decode()))
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as error:
+        raise CheckpointError(
+            f"checkpoint {path} carries a corrupt config record: {error}"
+        ) from error
     return raw, config

@@ -13,8 +13,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.data.calibration import screen_finite
 from repro.nn.modules import Linear
 from repro.nn.transformer import LlamaModel
+from repro.runtime import faults
 
 __all__ = ["InputStats", "InputCollector", "collect_input_stats"]
 
@@ -40,6 +42,9 @@ class InputCollector:
 
     def __init__(self, layers: dict[str, Linear]) -> None:
         self.layers = layers
+        #: Index of the calibration batch currently streaming through the
+        #: model; lets activation screening name the offending batch.
+        self.current_batch: int | None = None
         self.stats: dict[str, InputStats] = {
             name: InputStats(
                 hessian=np.zeros((linear.d_in, linear.d_in)),
@@ -55,8 +60,15 @@ class InputCollector:
         for name, linear in self.layers.items():
             stats = self.stats[name]
 
-            def hook(x: np.ndarray, stats: InputStats = stats) -> None:
+            def hook(
+                x: np.ndarray, stats: InputStats = stats, name: str = name
+            ) -> None:
                 flat = x.reshape(-1, x.shape[-1])
+                screen_finite(
+                    flat,
+                    f"activations entering layer {name!r} (calibration "
+                    f"batch {self.current_batch})",
+                )
                 stats.hessian += flat.T @ flat
                 stats.abs_max = np.maximum(
                     stats.abs_max, np.abs(flat).max(axis=0)
@@ -84,6 +96,11 @@ def collect_input_stats(
 
     ``segments`` is a ``(n, seq_len)`` array (or iterable of batches);
     ``layer_names`` restricts collection (default: every quantizable layer).
+
+    Every batch is screened for NaN/Inf before it reaches the model (an
+    active :class:`~repro.runtime.faults.FaultInjector` may poison batches
+    first); a poisoned batch raises
+    :class:`~repro.runtime.errors.CalibrationError` naming its index.
     """
     all_layers = model.quantizable_linears()
     if layer_names is None:
@@ -98,6 +115,10 @@ def collect_input_stats(
     else:
         batches = list(segments)
     with InputCollector(layers) as collector:
-        for batch in batches:
+        for index, batch in enumerate(batches):
+            batch = faults.transform_batch(index, batch)
+            screen_finite(batch, f"calibration batch {index}")
+            collector.current_batch = index
             model.forward_array(batch)
+        collector.current_batch = None
     return collector.stats

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.quant.solver import prepare_hessian
 from repro.quant.uniform import QuantParams, compute_params, dequantize, quantize
+from repro.runtime.recovery import hessian_inverse
 
 __all__ = ["OBQResult", "obq_quantize_matrix"]
 
@@ -50,7 +51,7 @@ def obq_quantize_matrix(
     if hessian.shape != (d_in, d_in):
         raise ValueError("hessian shape mismatch")
     hessian, dead = prepare_hessian(hessian, percdamp)
-    base_inv = np.linalg.inv(hessian)
+    base_inv = hessian_inverse(hessian)
     params = compute_params(weight, bits, axis=1)
 
     quantized = np.empty_like(weight)

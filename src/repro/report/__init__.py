@@ -1,8 +1,9 @@
-"""Reporting: table formatting, ASCII figures and CSV export."""
+"""Reporting: table formatting, ASCII figures, CSV export, run health."""
 
 from repro.report.tables import format_table, format_markdown_table
 from repro.report.figures import ascii_line_chart
 from repro.report.export import rows_to_csv, write_csv
+from repro.report.health import format_run_health
 
 __all__ = [
     "format_table",
@@ -10,4 +11,5 @@ __all__ = [
     "ascii_line_chart",
     "rows_to_csv",
     "write_csv",
+    "format_run_health",
 ]

@@ -1,0 +1,41 @@
+"""Rendering of :class:`~repro.runtime.journal.RunHealth` reports.
+
+Turns the structured event journal of a quantization run into the same
+plain-text table format the experiment tables use, so run-health summaries
+slot straight into experiment logs and CI output.
+"""
+
+from __future__ import annotations
+
+from repro.report.tables import format_table
+from repro.runtime.journal import RunHealth
+
+__all__ = ["format_run_health"]
+
+
+def format_run_health(health: RunHealth, title: str = "run health") -> str:
+    """Render a :class:`RunHealth` journal as an aligned text table.
+
+    The header line carries the overall status and per-category tallies;
+    a clean run (no events at all) renders as a single line.
+    """
+    counts = ", ".join(
+        f"{category}={count}" for category, count in health.counts().items()
+    )
+    header = f"{title}: {health.status}"
+    if not health.events:
+        return f"{header} (no events)"
+    rows = [
+        {
+            "#": index,
+            "category": event.category,
+            "layer": event.layer or "-",
+            "message": event.message,
+        }
+        for index, event in enumerate(health.events)
+    ]
+    return format_table(
+        rows,
+        columns=["#", "category", "layer", "message"],
+        title=f"{header} ({counts})",
+    )

@@ -1,0 +1,57 @@
+"""Exception hierarchy of the fault-tolerant runtime.
+
+Every failure the runtime can recover from (or deliberately inject) gets a
+typed exception so callers can distinguish "the checkpoint on disk is bad"
+from "the numerics degraded past the recovery ladder" from "a fault-injection
+plan fired".  All of them derive from :class:`ReproRuntimeError` so a caller
+that only wants "something runtime-level went wrong" has one type to catch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproRuntimeError",
+    "CheckpointError",
+    "CalibrationError",
+    "NumericalRecoveryError",
+    "InjectedFault",
+]
+
+
+class ReproRuntimeError(Exception):
+    """Base class of every error raised by :mod:`repro.runtime`."""
+
+
+class CheckpointError(ReproRuntimeError):
+    """A checkpoint file is missing pieces, corrupt, or incompatible.
+
+    Raised by checksum-verified loads (truncated/bit-flipped archives), by
+    :func:`repro.nn.serialize.load_state_dict` when the ``__config_json__``
+    entry is absent, and by APTQ resume when the on-disk checkpoint was
+    written by an incompatible run configuration.
+    """
+
+
+class CalibrationError(ReproRuntimeError, ValueError):
+    """Calibration data carries NaN/Inf or otherwise unusable values.
+
+    Subclasses :class:`ValueError` so pre-existing callers that guard
+    calibration plumbing with ``except ValueError`` keep working.
+    """
+
+
+class NumericalRecoveryError(ReproRuntimeError):
+    """The numerical recovery ladder ran out of rungs.
+
+    Only reachable when the terminal RTN rung is disabled by policy —
+    with the full ladder enabled every layer quantizes eventually.
+    """
+
+
+class InjectedFault(ReproRuntimeError):
+    """A deliberate fault fired by :mod:`repro.runtime.faults`.
+
+    Used by the fault-injection harness to simulate process crashes at
+    precise points (e.g. "die when block 2 starts"); never raised outside
+    an active :class:`~repro.runtime.faults.FaultInjector` context.
+    """

@@ -1,0 +1,136 @@
+"""Run journal: structured degradation events and the RunHealth report.
+
+Every retry, fallback, checkpoint write, resume, and validation warning that
+happens during a quantization run is recorded as a :class:`DegradationEvent`
+in a :class:`RunJournal`.  At the end of the run the journal freezes into a
+:class:`RunHealth` report attached to the run result (see
+``repro.core.aptq.APTQResult.health``) and rendered by
+:func:`repro.report.format_run_health`.
+
+Events are plain JSON-serializable records so they survive checkpoint
+round-trips: a resumed run carries the complete event history of the
+interrupted run, not just its own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping
+
+__all__ = ["DegradationEvent", "RunJournal", "RunHealth"]
+
+#: Event categories that mean a layer's numerics were degraded (as opposed
+#: to bookkeeping events such as checkpoint writes and resumes).
+DEGRADATION_CATEGORIES = frozenset(
+    {"retry", "damp-escalation", "eigenvalue-clip", "rtn-fallback",
+     "pinv-fallback"}
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradationEvent:
+    """One structured runtime event.
+
+    ``category`` is a short machine-readable tag (``"retry"``,
+    ``"damp-escalation"``, ``"eigenvalue-clip"``, ``"rtn-fallback"``,
+    ``"checkpoint"``, ``"resume"``, ``"warning"``, ...); ``layer`` names the
+    affected layer ("" for run-level events); ``detail`` carries
+    category-specific JSON-serializable context (attempt numbers, damping
+    values, block indices).
+    """
+
+    category: str
+    layer: str
+    message: str
+    detail: Mapping[str, object] = dataclasses.field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """Plain-dict form stored in checkpoints and reports."""
+        return {
+            "category": self.category,
+            "layer": self.layer,
+            "message": self.message,
+            "detail": dict(self.detail),
+        }
+
+    @staticmethod
+    def from_json(record: Mapping) -> "DegradationEvent":
+        """Rebuild an event from its :meth:`to_json` form."""
+        return DegradationEvent(
+            category=str(record["category"]),
+            layer=str(record["layer"]),
+            message=str(record["message"]),
+            detail=dict(record.get("detail", {})),
+        )
+
+
+class RunJournal:
+    """Accumulates :class:`DegradationEvent` records during a run."""
+
+    def __init__(self, events: Iterable[DegradationEvent] = ()) -> None:
+        self.events: list[DegradationEvent] = list(events)
+
+    def record(
+        self, category: str, layer: str = "", message: str = "", **detail
+    ) -> DegradationEvent:
+        """Append (and return) a new event."""
+        event = DegradationEvent(category, layer, message, detail)
+        self.events.append(event)
+        return event
+
+    def extend(self, events: Iterable[DegradationEvent]) -> None:
+        """Append previously recorded events (checkpoint restore path)."""
+        self.events.extend(events)
+
+    def health(self) -> "RunHealth":
+        """Freeze the journal into an immutable :class:`RunHealth` report."""
+        return RunHealth(events=tuple(self.events))
+
+
+@dataclasses.dataclass(frozen=True)
+class RunHealth:
+    """Immutable health report of one quantization run."""
+
+    events: tuple[DegradationEvent, ...]
+
+    @property
+    def status(self) -> str:
+        """``"clean"`` when no numerical degradation happened, else ``"degraded"``."""
+        return "degraded" if self.degraded_layers else "clean"
+
+    @property
+    def degraded_layers(self) -> tuple[str, ...]:
+        """Sorted names of layers that took at least one recovery-ladder rung."""
+        return tuple(
+            sorted(
+                {
+                    event.layer
+                    for event in self.events
+                    if event.layer and event.category in DEGRADATION_CATEGORIES
+                }
+            )
+        )
+
+    def counts(self) -> dict[str, int]:
+        """Event tally per category, sorted by category name."""
+        tally: dict[str, int] = {}
+        for event in self.events:
+            tally[event.category] = tally.get(event.category, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def by_category(self, category: str) -> tuple[DegradationEvent, ...]:
+        """Every event with the given category, in recording order."""
+        return tuple(e for e in self.events if e.category == category)
+
+    def to_json(self) -> dict:
+        """Plain-dict form (checkpoint storage, report export)."""
+        return {"events": [event.to_json() for event in self.events]}
+
+    @staticmethod
+    def from_json(record: Mapping) -> "RunHealth":
+        """Rebuild a report from its :meth:`to_json` form."""
+        return RunHealth(
+            events=tuple(
+                DegradationEvent.from_json(e) for e in record.get("events", [])
+            )
+        )

@@ -1,0 +1,256 @@
+"""Numerical recovery ladder around the second-order quantization solver.
+
+The solver's hot path — Cholesky of the damped attention Hessian (paper
+Eq. (7) via GPTQ's ``inverse_cholesky`` reformulation) — fails with
+``np.linalg.LinAlgError`` whenever calibration produced a Hessian that is
+not positive definite after damping.  HAWQ-V2 and ADMM-Q both observe that
+such conditioning failures are *the* dominant failure mode of second-order
+PTQ; a production run must degrade a single layer gracefully instead of
+throwing away every block already quantized.
+
+:func:`robust_quantize_layer` therefore escalates through a fixed ladder,
+recording a structured :class:`~repro.runtime.journal.DegradationEvent` at
+every rung:
+
+1. **retry** — re-attempt at the same damping (absorbs transient and
+   injected faults with zero numerical impact);
+2. **damp-escalation** — grow ``percdamp`` geometrically (×10 by default)
+   up to a cap;
+3. **eigenvalue-clip** — eigendecompose the Hessian and floor its spectrum
+   at a small positive fraction of the largest eigenvalue;
+4. **rtn-fallback** — quantize the layer with plain round-to-nearest,
+   which needs no Hessian at all.
+
+With the terminal rung enabled (the default) every layer quantizes
+eventually; a disabled terminal rung turns exhaustion into
+:class:`~repro.runtime.errors.NumericalRecoveryError`.
+
+This module and :mod:`repro.quant.solver` are the only places allowed to
+call ``np.linalg.cholesky`` / ``np.linalg.inv`` directly — the
+``runtime-raw-linalg`` lint rule enforces that everything else routes
+through the ladder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.runtime import faults
+from repro.runtime.errors import NumericalRecoveryError
+from repro.runtime.journal import RunJournal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quant.solver import SolverResult
+
+__all__ = [
+    "LADDER_RUNGS",
+    "RecoveryPolicy",
+    "clip_hessian_eigenvalues",
+    "robust_quantize_layer",
+    "hessian_inverse",
+]
+
+#: Ladder rung names, in escalation order (used by tests and reports).
+LADDER_RUNGS = ("retry", "damp-escalation", "eigenvalue-clip", "rtn-fallback")
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the recovery ladder.
+
+    ``retries`` plain re-attempts run first; then ``percdamp`` is grown by
+    ``damp_factor`` per step (starting from at least ``damp_floor`` so a
+    zero initial damping still escalates) until it would exceed
+    ``damp_cap``; then the eigenvalue-clip rung floors the spectrum at
+    ``eig_floor_scale`` times the largest eigenvalue; finally, unless
+    ``allow_rtn_fallback`` is off, the layer falls back to RTN.
+    """
+
+    retries: int = 1
+    damp_factor: float = 10.0
+    damp_floor: float = 1e-4
+    damp_cap: float = 1.0
+    eig_floor_scale: float = 1e-8
+    allow_rtn_fallback: bool = True
+
+    def escalation_schedule(self, percdamp: float) -> list[float]:
+        """Damping values the escalation rung will try, in order."""
+        schedule: list[float] = []
+        value = max(percdamp, self.damp_floor)
+        while value * self.damp_factor <= self.damp_cap:
+            value *= self.damp_factor
+            schedule.append(value)
+        return schedule
+
+
+def clip_hessian_eigenvalues(
+    hessian: np.ndarray, floor_scale: float = 1e-8
+) -> np.ndarray:
+    """Floor the spectrum of a symmetric matrix at ``floor_scale * max_eig``.
+
+    Returns a symmetric positive-definite reconstruction; the floor falls
+    back to ``floor_scale`` itself when the matrix is (numerically) zero.
+    """
+    hessian = np.asarray(hessian, dtype=np.float64)
+    eigenvalues, eigenvectors = np.linalg.eigh((hessian + hessian.T) / 2.0)
+    top = float(np.abs(eigenvalues).max()) if eigenvalues.size else 0.0
+    floor = floor_scale * top if top > 0 else floor_scale
+    clipped = np.maximum(eigenvalues, floor)
+    rebuilt = (eigenvectors * clipped) @ eigenvectors.T
+    return (rebuilt + rebuilt.T) / 2.0
+
+
+def _rtn_solver_result(
+    weight: np.ndarray, bits: int, group_size: int | None
+) -> "SolverResult":
+    """A :class:`SolverResult`-shaped record for the RTN terminal rung.
+
+    ``compensated_loss`` is 0.0 by construction — RTN performs no error
+    compensation, so the solver's loss accumulator has nothing to count.
+    """
+    # Imported here (not at module top) to keep repro.runtime importable
+    # from leaf modules such as repro.data.calibration without dragging in
+    # the whole repro.quant package (top-level import cycle otherwise).
+    from repro.quant.groupwise import quantize_groupwise
+    from repro.quant.solver import SolverResult
+
+    weight = np.asarray(weight, dtype=np.float64)
+    group_result = quantize_groupwise(weight, bits, group_size)
+    quantized = group_result.dequantize()
+    return SolverResult(
+        quantized_weight=quantized,
+        group_result=group_result,
+        compensated_loss=0.0,
+        mse=float(((weight - quantized) ** 2).mean()),
+    )
+
+
+def robust_quantize_layer(
+    weight: np.ndarray,
+    hessian: np.ndarray,
+    bits: int,
+    group_size: int | None = None,
+    blocksize: int = 128,
+    percdamp: float = 0.01,
+    actorder: bool = False,
+    policy: Optional[RecoveryPolicy] = None,
+    journal: Optional[RunJournal] = None,
+    layer: str = "",
+) -> "SolverResult":
+    """:func:`quantize_with_hessian` behind the numerical recovery ladder.
+
+    On the happy path this is a zero-overhead pass-through returning the
+    solver's result unchanged.  Every ``np.linalg.LinAlgError`` escalates
+    one rung (see the module docstring) and records an event in
+    ``journal``; the ladder's output is always a usable
+    :class:`SolverResult` unless the terminal RTN rung is disabled.
+    """
+    # Lazy for the same import-cycle reason as in _rtn_solver_result.
+    from repro.quant.solver import quantize_with_hessian
+
+    policy = policy or RecoveryPolicy()
+    journal = journal if journal is not None else RunJournal()
+
+    def attempt(matrix: np.ndarray, damp: float) -> "SolverResult":
+        faults.maybe_fault("cholesky", layer)
+        return quantize_with_hessian(
+            weight,
+            matrix,
+            bits=bits,
+            group_size=group_size,
+            blocksize=blocksize,
+            percdamp=damp,
+            actorder=actorder,
+        )
+
+    last_error: Exception | None = None
+
+    # Rung 1: plain retries at the requested damping.
+    for attempt_index in range(1 + policy.retries):
+        try:
+            return attempt(hessian, percdamp)
+        except np.linalg.LinAlgError as error:
+            last_error = error
+            if attempt_index < policy.retries:
+                journal.record(
+                    "retry",
+                    layer=layer,
+                    message=f"Cholesky failed ({error}); retrying at "
+                    f"percdamp={percdamp:g}",
+                    attempt=attempt_index + 1,
+                    percdamp=percdamp,
+                )
+
+    # Rung 2: geometric damping escalation up to the cap.
+    for damp in policy.escalation_schedule(percdamp):
+        journal.record(
+            "damp-escalation",
+            layer=layer,
+            message=f"Cholesky failed ({last_error}); escalating damping to "
+            f"percdamp={damp:g}",
+            percdamp=damp,
+        )
+        try:
+            return attempt(hessian, damp)
+        except np.linalg.LinAlgError as error:
+            last_error = error
+
+    # Rung 3: eigenvalue clipping.
+    journal.record(
+        "eigenvalue-clip",
+        layer=layer,
+        message=f"damping exhausted ({last_error}); clipping Hessian "
+        f"spectrum at {policy.eig_floor_scale:g} of the top eigenvalue",
+        eig_floor_scale=policy.eig_floor_scale,
+    )
+    try:
+        return attempt(
+            clip_hessian_eigenvalues(hessian, policy.eig_floor_scale),
+            percdamp,
+        )
+    except np.linalg.LinAlgError as error:
+        last_error = error
+
+    # Rung 4: Hessian-free RTN.
+    if not policy.allow_rtn_fallback:
+        raise NumericalRecoveryError(
+            f"recovery ladder exhausted for layer {layer or '<unnamed>'}: "
+            f"{last_error}"
+        ) from last_error
+    journal.record(
+        "rtn-fallback",
+        layer=layer,
+        message=f"eigenvalue clip failed ({last_error}); quantizing with "
+        "plain RTN (no error compensation)",
+        bits=bits,
+    )
+    return _rtn_solver_result(weight, bits, group_size)
+
+
+def hessian_inverse(
+    hessian: np.ndarray,
+    journal: Optional[RunJournal] = None,
+    layer: str = "",
+) -> np.ndarray:
+    """Dense Hessian inverse with a pseudo-inverse fallback.
+
+    The sanctioned route for code that needs ``H^{-1}`` explicitly (OBQ's
+    Eq. (4) downdating): a singular Hessian degrades to the Moore-Penrose
+    pseudo-inverse and records a ``pinv-fallback`` event instead of
+    raising.
+    """
+    try:
+        return np.linalg.inv(hessian)
+    except np.linalg.LinAlgError as error:
+        if journal is not None:
+            journal.record(
+                "pinv-fallback",
+                layer=layer,
+                message=f"dense inverse failed ({error}); using the "
+                "Moore-Penrose pseudo-inverse",
+            )
+        return np.linalg.pinv(np.asarray(hessian, dtype=np.float64),
+                              hermitian=True)

@@ -30,6 +30,7 @@ EXPECTED_RULE_IDS = {
     "api-missing-docstring",
     "api-mutable-default",
     "api-bare-except",
+    "runtime-raw-linalg",
 }
 
 
@@ -263,6 +264,40 @@ class TestHygieneRules:
             "    try:\n        return 1\n    except:\n        return 2\n"
         )
         assert hits(src, "api-bare-except") == [("api-bare-except", 8)]
+
+
+class TestRobustnessRules:
+    CHOLESKY = (
+        '"""m."""\nimport numpy as np\n\n\ndef f(h):\n    """D."""\n'
+        "    return np.linalg.cholesky(h)\n"
+    )
+    INV = (
+        '"""m."""\nimport numpy as np\n\n\ndef f(h):\n    """D."""\n'
+        "    return np.linalg.inv(h)\n"
+    )
+
+    def test_raw_cholesky_and_inv_flagged(self):
+        assert hits(self.CHOLESKY, "runtime-raw-linalg") == [
+            ("runtime-raw-linalg", 7)
+        ]
+        assert hits(self.INV, "runtime-raw-linalg") == [
+            ("runtime-raw-linalg", 7)
+        ]
+
+    def test_sanctioned_modules_exempt(self):
+        from repro.analysis.rules.robustness import RAW_LINALG_ALLOWED
+
+        for module in RAW_LINALG_ALLOWED:
+            path = "src/" + module.replace(".", "/") + ".py"
+            assert hits(self.CHOLESKY, "runtime-raw-linalg", path=path) == []
+            assert hits(self.INV, "runtime-raw-linalg", path=path) == []
+
+    def test_other_linalg_calls_clean(self):
+        src = (
+            '"""m."""\nimport numpy as np\n\n\ndef f(h):\n    """D."""\n'
+            "    return np.linalg.eigh(h)\n"
+        )
+        assert hits(src, "runtime-raw-linalg") == []
 
 
 class TestSuppression:

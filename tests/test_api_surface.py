@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.eval",
     "repro.experiments",
     "repro.report",
+    "repro.runtime",
 ]
 
 

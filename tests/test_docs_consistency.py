@@ -26,7 +26,8 @@ def resolves(path: str) -> bool:
 
 
 @pytest.mark.parametrize(
-    "doc", ["README.md", "DESIGN.md", "docs/ALGORITHMS.md"]
+    "doc", ["README.md", "DESIGN.md", "docs/ALGORITHMS.md",
+            "docs/ROBUSTNESS.md"]
 )
 def test_referenced_files_exist(doc):
     text = (ROOT / doc).read_text()

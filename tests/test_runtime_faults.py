@@ -1,0 +1,111 @@
+"""Fault-injection harness tests: determinism, times semantics, poisoning."""
+
+import numpy as np
+import pytest
+
+from repro.data.calibration import CalibrationSet
+from repro.quant.calibration_hooks import collect_input_stats
+from repro.runtime import (
+    CalibrationError,
+    FaultInjector,
+    InjectedFault,
+    ReproRuntimeError,
+    active_injector,
+    maybe_fault,
+    transform_batch,
+)
+
+
+class TestInjectorMechanics:
+    def test_noop_without_active_injector(self):
+        maybe_fault("cholesky", "anything")  # must not raise
+        batch = np.arange(4.0)
+        assert transform_batch(0, batch) is batch
+
+    def test_activation_scoping(self):
+        injector = FaultInjector()
+        assert active_injector() is None
+        with injector:
+            assert active_injector() is injector
+            with pytest.raises(RuntimeError, match="already active"):
+                FaultInjector().__enter__()
+        assert active_injector() is None
+
+    def test_times_semantics(self):
+        with FaultInjector().force_linalg_error("layer.*", times=2) as injector:
+            for _ in range(2):
+                with pytest.raises(np.linalg.LinAlgError, match="injected"):
+                    maybe_fault("cholesky", "layer.q_proj")
+            maybe_fault("cholesky", "layer.q_proj")  # budget spent
+        assert injector.fired == [
+            ("cholesky", "layer.q_proj"),
+            ("cholesky", "layer.q_proj"),
+        ]
+
+    def test_pattern_and_site_must_both_match(self):
+        with FaultInjector().force_linalg_error("blocks.0.*", times=1):
+            maybe_fault("cholesky", "blocks.1.self_attn.q_proj")
+            maybe_fault("block-start", "blocks.0.self_attn.q_proj")
+            with pytest.raises(np.linalg.LinAlgError):
+                maybe_fault("cholesky", "blocks.0.self_attn.q_proj")
+
+    def test_crash_at_block(self):
+        with FaultInjector().crash_at_block(1):
+            maybe_fault("block-start", "0")
+            with pytest.raises(InjectedFault, match="block 1"):
+                maybe_fault("block-start", "1")
+        assert issubclass(InjectedFault, ReproRuntimeError)
+
+    def test_fail_at_custom_site(self):
+        boom = OSError("disk on fire")
+        with FaultInjector().fail_at("io", "write-*", boom):
+            with pytest.raises(OSError, match="disk on fire"):
+                maybe_fault("io", "write-checkpoint")
+
+    def test_poison_batch_modes(self):
+        batch = np.ones((2, 3))
+        with FaultInjector().poison_batch(1, mode="nan"):
+            assert transform_batch(0, batch) is batch
+            poisoned = transform_batch(1, batch)
+            assert np.isnan(poisoned).sum() == 1
+            assert not np.isnan(batch).any()  # original untouched
+        with FaultInjector().poison_batch(0, mode="inf"):
+            assert np.isinf(transform_batch(0, batch)).sum() == 1
+        with pytest.raises(ValueError, match="poison mode"):
+            FaultInjector().poison_batch(0, mode="zero")
+
+
+class TestCalibrationScreening:
+    def test_calibration_set_rejects_nonfinite_segments(self):
+        segments = np.ones((2, 4))
+        segments[1, 2] = np.nan
+        with pytest.raises(CalibrationError, match="segment 1"):
+            CalibrationSet(segments=segments, corpus_name="x", seed=0)
+
+    def test_calibration_error_is_a_value_error(self):
+        assert issubclass(CalibrationError, ValueError)
+        assert issubclass(CalibrationError, ReproRuntimeError)
+
+    def test_integer_token_segments_pass(self, calibration):
+        assert calibration.segments.dtype.kind == "i"
+
+    def test_poisoned_batch_rejected_by_collect_input_stats(self, micro_model):
+        segments = np.ones((4, 8), dtype=np.int64)
+        with FaultInjector().poison_batch(1, mode="nan"):
+            with pytest.raises(CalibrationError, match="calibration batch 1"):
+                collect_input_stats(
+                    micro_model,
+                    segments,
+                    layer_names=["blocks.0.self_attn.q_proj"],
+                    batch_size=2,
+                )
+
+    def test_unpoisoned_collection_unaffected_by_injector_scope(self, micro_model):
+        segments = np.ones((2, 8), dtype=np.int64)
+        stats = collect_input_stats(
+            micro_model,
+            segments,
+            layer_names=["blocks.0.self_attn.q_proj"],
+            batch_size=2,
+        )
+        assert stats["blocks.0.self_attn.q_proj"].n_samples == 16

@@ -10,5 +10,10 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== repro-lint --whole-program --strict =="
 python -m repro.analysis --whole-program --strict --stats src/repro
 
+echo "== fault matrix (runtime robustness) =="
+python -m pytest -x -q tests/test_runtime_recovery.py \
+    tests/test_runtime_faults.py tests/test_runtime_checkpoint.py \
+    tests/test_runtime_integration.py
+
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
