@@ -1,0 +1,44 @@
+"""End-to-end APTQ bench: serial vs multiprocessing executor.
+
+Usage:  python benchmarks/perf/pipeline_speed.py [--workers N]
+
+Times :func:`repro.core.aptq.aptq_quantize_model` on the micro model with
+``workers=0`` and ``workers=N`` and verifies the two runs produced
+bit-identical model states (the contract of
+:mod:`repro.runtime.parallel`).  For the committed perf artifact use
+``tools/bench.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.report.bench import pipeline_bench_record  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the pipeline bench and print its record."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    record = pipeline_bench_record(workers=args.workers)
+    timings = ", ".join(
+        f"{label}={seconds:.4f}s"
+        for label, seconds in sorted(record["timings"].items())
+    )
+    print(
+        f"{record['name']}: {timings}  "
+        f"speedup={record['speedup']:.2f}x  "
+        f"bit_identical={record['bit_identical']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

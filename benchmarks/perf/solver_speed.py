@@ -1,0 +1,47 @@
+"""Solver micro-benchmark: lazy-batch blocked sweep vs the reference loop.
+
+Usage:  python benchmarks/perf/solver_speed.py [--size N] [--repeats K]
+
+Times :func:`repro.quant.solver.quantize_with_hessian_blocked` against
+:func:`~repro.quant.solver.quantize_with_hessian_reference` on a random
+``N x N`` layer, plus the warm/cold factor-cache comparison, and prints
+the records.  For the committed perf artifact use ``tools/bench.py``,
+which wraps the same suite and writes ``BENCH_quantize.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.report.bench import solver_bench_records  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the solver suite and print one line per record."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=512)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    for record in solver_bench_records(
+        d_in=args.size, d_out=args.size, repeats=args.repeats
+    ):
+        timings = ", ".join(
+            f"{label}={seconds:.4f}s"
+            for label, seconds in sorted(record["timings"].items())
+        )
+        print(
+            f"{record['name']}: {timings}  "
+            f"speedup={record['speedup']:.2f}x  "
+            f"bit_identical={record['bit_identical']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

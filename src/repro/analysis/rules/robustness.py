@@ -7,6 +7,14 @@ a non-positive-definite Hessian.  The ``runtime-raw-linalg`` rule pins the
 raw factorizations to the two sanctioned modules — the solver itself and the
 recovery ladder that wraps it — so every other caller inherits retry,
 damping escalation, and the RTN/pseudo-inverse fallbacks for free.
+
+The ``perf-raw-factorization`` rule guards the performance contract the
+same way: ``factorize_hessian``/``inverse_cholesky`` are ``O(d³)``, so
+calling them directly from pipeline code silently re-factorizes Hessians
+that :class:`repro.quant.solver.HessianFactorCache` (or the ``cache``
+parameter of ``quantize_with_hessian``/``robust_quantize_layer``) would
+have deduplicated — exactly the regression this PR's fix removed from
+``quantize_with_hessian`` call sites.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from typing import Iterator
 from repro.analysis import astutil
 from repro.analysis.core import Diagnostic, ModuleContext, Rule, rule
 
-__all__ = ["RAW_LINALG_ALLOWED"]
+__all__ = ["RAW_LINALG_ALLOWED", "RAW_FACTORIZATION_ALLOWED"]
 
 #: Modules allowed to call the raw factorizations (dotted, no ``.py``).
 RAW_LINALG_ALLOWED = (
@@ -49,4 +57,33 @@ def _raw_linalg(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
                 f"raw np.{name}() bypasses the numerical recovery ladder "
                 f"(it raises LinAlgError on ill-conditioned Hessians); "
                 f"route through {replacement}",
+            )
+
+
+#: Modules allowed to factorize Hessians directly (dotted, no ``.py``).
+RAW_FACTORIZATION_ALLOWED = ("repro.quant.solver",)
+
+_RAW_FACTORIZATION_CALLS = {"factorize_hessian", "inverse_cholesky"}
+
+
+@rule(
+    "perf-raw-factorization",
+    "direct Hessian factorization outside the solver bypasses the factor cache",
+)
+def _raw_factorization(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    if module.in_package(*RAW_FACTORIZATION_ALLOWED):
+        return
+    for node in astutil.walk_calls(module.tree):
+        name = astutil.call_name(node)
+        if name is None:
+            continue
+        tail = name.split(".")[-1]
+        if tail in _RAW_FACTORIZATION_CALLS:
+            yield self.diagnostic(
+                module,
+                node,
+                f"direct {tail}() re-factorizes the Hessian on every call "
+                f"(O(d^3)); pass a repro.quant.solver.HessianFactorCache "
+                f"via the cache parameter of quantize_with_hessian / "
+                f"robust_quantize_layer instead",
             )

@@ -20,6 +20,7 @@ from repro.core.attention_grads import (
 )
 from repro.core.hessian import (
     AttentionHessians,
+    SharedGramCache,
     attention_hessians,
     capture_attention,
     exact_gauss_newton,
@@ -38,6 +39,7 @@ __all__ = [
     "attention_seeded_gradients",
     "rope_adjoint",
     "AttentionHessians",
+    "SharedGramCache",
     "attention_hessians",
     "capture_attention",
     "exact_gauss_newton",

@@ -46,12 +46,13 @@ from repro.data.calibration import CalibrationSet
 from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
 from repro.quant.groupwise import GroupQuantResult
-from repro.quant.solver import SolverResult
+from repro.quant.solver import HessianFactorCache, SolverResult
 from repro.runtime import faults
 from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
 from repro.runtime.errors import CheckpointError
 from repro.runtime.journal import DegradationEvent, RunHealth, RunJournal
-from repro.runtime.recovery import RecoveryPolicy, robust_quantize_layer
+from repro.runtime.parallel import SolverTask, run_solver_tasks
+from repro.runtime.recovery import RecoveryPolicy
 
 __all__ = ["APTQConfig", "APTQResult", "aptq_quantize_model"]
 
@@ -88,6 +89,11 @@ class APTQConfig:
     resume: bool = False
     # Recovery-ladder policy applied to every solver call.
     recovery: RecoveryPolicy = dataclasses.field(default_factory=RecoveryPolicy)
+    # Fan independent solver tasks within each protocol stage (attention
+    # heads/projections of a block; its MLP layers; the tail layers) out
+    # over this many worker processes; 0 runs serially.  Results are
+    # bit-identical for every value (see repro.runtime.parallel).
+    workers: int = 0
 
 
 @dataclasses.dataclass
@@ -109,14 +115,15 @@ def _run_fingerprint(
     """Digest of everything that determines a run's numerical trajectory.
 
     A checkpoint is only resumable by a run with the same fingerprint;
-    runtime-only knobs (``checkpoint_path``, ``resume``) are excluded so
+    runtime-only knobs (``checkpoint_path``, ``resume``, ``workers`` —
+    parallel execution is bit-identical to serial) are excluded so
     toggling them never invalidates a checkpoint.
     """
     record = {
         "config": {
             key: value
             for key, value in dataclasses.asdict(config).items()
-            if key not in ("checkpoint_path", "resume")
+            if key not in ("checkpoint_path", "resume", "workers")
         },
         "model": model.config.to_dict(),
         "calibration": [
@@ -212,46 +219,51 @@ def _unpack_run_checkpoint(
     return model_state, run_state, int(meta["next_block"])
 
 
-def _quantize_attention_layer(
+def _projection_tasks(
+    name: str,
     weight: np.ndarray,
     hessians: list[np.ndarray] | np.ndarray,
     bits: int,
     config: APTQConfig,
-    journal: RunJournal,
-    layer: str,
-) -> tuple[np.ndarray, SolverResult]:
-    """Quantize a projection; per-head slices when given per-head Hessians."""
+) -> list[SolverTask]:
+    """Solver tasks of one projection; one per head for per-head Hessians."""
     if isinstance(hessians, np.ndarray):
-        result = robust_quantize_layer(
-            weight,
-            hessians,
-            bits=bits,
-            group_size=config.group_size,
-            percdamp=config.percdamp,
-            policy=config.recovery,
-            journal=journal,
-            layer=layer,
-        )
-        return result.quantized_weight, result
+        return [
+            SolverTask(
+                key=name,
+                weight=weight,
+                hessian=hessians,
+                bits=bits,
+                group_size=config.group_size,
+                percdamp=config.percdamp,
+            )
+        ]
     d_model = weight.shape[0]
-    n_heads = len(hessians)
-    quantized = np.empty_like(weight)
-    head_results: list[SolverResult] = []
-    for head, cols in enumerate(head_column_slices(d_model, n_heads)):
-        result = robust_quantize_layer(
-            weight[:, cols],
-            hessians[head],
+    return [
+        SolverTask(
+            key=f"{name}[head {head}]",
+            weight=weight[:, cols],
+            hessian=hessians[head],
             bits=bits,
             group_size=config.group_size,
             percdamp=config.percdamp,
-            policy=config.recovery,
-            journal=journal,
-            layer=f"{layer}[head {head}]",
         )
+        for head, cols in enumerate(head_column_slices(d_model, len(hessians)))
+    ]
+
+
+def _merge_head_results(
+    weight: np.ndarray, head_results: list[SolverResult], bits: int
+) -> SolverResult:
+    """Stitch per-head solver results into one layer-wide record.
+
+    Heads share d_in and group boundaries, so the per-head grids
+    concatenate along the output dimension into one layer-wide record.
+    """
+    quantized = np.empty_like(weight)
+    slices = head_column_slices(weight.shape[0], len(head_results))
+    for cols, result in zip(slices, head_results):
         quantized[:, cols] = result.quantized_weight
-        head_results.append(result)
-    # Heads share d_in and group boundaries, so the per-head grids
-    # concatenate along the output dimension into one layer-wide record.
     merged_group = GroupQuantResult(
         codes=np.hstack([r.group_result.codes for r in head_results]),
         scales=np.hstack([r.group_result.scales for r in head_results]),
@@ -259,13 +271,12 @@ def _quantize_attention_layer(
         bits=bits,
         group_size=head_results[0].group_result.group_size,
     )
-    merged = SolverResult(
+    return SolverResult(
         quantized_weight=quantized,
         group_result=merged_group,
         compensated_loss=sum(r.compensated_loss for r in head_results),
         mse=float(np.mean([r.mse for r in head_results])),
     )
-    return quantized, merged
 
 
 def _try_resume(
@@ -308,6 +319,9 @@ def aptq_quantize_model(
     config = dataclasses.replace(config or APTQConfig(), **overrides)
     layers = model.quantizable_linears()
     journal = RunJournal()
+    # Q/K/V (and gate/up) Hessians are bit-identical after the shared-Gram
+    # dedup, so their damped Cholesky factors are computed once per block.
+    factor_cache = HessianFactorCache()
     checkpoint_file = (
         Path(config.checkpoint_path) if config.checkpoint_path else None
     )
@@ -406,19 +420,45 @@ def aptq_quantize_model(
             "v_proj": hessians.v,
             "o_proj": hessians.o,
         }
+        # All four projection Hessians were computed above, before any of
+        # the block's weights change, so the per-projection (and per-head)
+        # solves are independent: one executor stage.
+        stage_tasks: list[SolverTask] = []
+        spans: list[tuple[str, slice, bool]] = []
         for projection in _ATTENTION_PROJECTIONS:
             name = f"{prefix}self_attn.{projection}"
-            linear = layers[name]
-            quantized, result = _quantize_attention_layer(
-                linear.weight.data,
+            tasks = _projection_tasks(
+                name,
+                layers[name].weight.data,
                 per_projection[projection],
-                bits=allocation[name],
-                config=config,
-                journal=journal,
-                layer=name,
+                allocation[name],
+                config,
             )
+            spans.append(
+                (
+                    name,
+                    slice(len(stage_tasks), len(stage_tasks) + len(tasks)),
+                    not isinstance(per_projection[projection], np.ndarray),
+                )
+            )
+            stage_tasks.extend(tasks)
+        stage_results = run_solver_tasks(
+            stage_tasks,
+            workers=config.workers,
+            policy=config.recovery,
+            journal=journal,
+            cache=factor_cache,
+        )
+        for name, span, per_head in spans:
+            linear = layers[name]
+            if per_head:
+                result = _merge_head_results(
+                    linear.weight.data, stage_results[span], allocation[name]
+                )
+            else:
+                (result,) = stage_results[span]
             # The APTQ core is a quantizer: weight rewrites are its output.
-            linear.weight.data = quantized  # lint: disable=autograd-inplace-data
+            linear.weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
             layer_results[name] = result
 
         if mlp_names:
@@ -428,19 +468,26 @@ def aptq_quantize_model(
                 layer_names=mlp_names,
                 batch_size=config.batch_size,
             )
-            for name in mlp_names:
-                linear = layers[name]
-                result = robust_quantize_layer(
-                    linear.weight.data,
-                    stats[name].normalised_hessian(),
+            mlp_tasks = [
+                SolverTask(
+                    key=name,
+                    weight=layers[name].weight.data,
+                    hessian=stats[name].normalised_hessian(),
                     bits=allocation[name],
                     group_size=config.group_size,
                     percdamp=config.percdamp,
-                    policy=config.recovery,
-                    journal=journal,
-                    layer=name,
                 )
-                linear.weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
+                for name in mlp_names
+            ]
+            mlp_results = run_solver_tasks(
+                mlp_tasks,
+                workers=config.workers,
+                policy=config.recovery,
+                journal=journal,
+                cache=factor_cache,
+            )
+            for name, result in zip(mlp_names, mlp_results):
+                layers[name].weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
                 layer_results[name] = result
 
         if checkpoint_file is not None:
@@ -470,19 +517,26 @@ def aptq_quantize_model(
             layer_names=remaining,
             batch_size=config.batch_size,
         )
-        for name in remaining:
-            linear = layers[name]
-            result = robust_quantize_layer(
-                linear.weight.data,
-                stats[name].normalised_hessian(),
+        tail_tasks = [
+            SolverTask(
+                key=name,
+                weight=layers[name].weight.data,
+                hessian=stats[name].normalised_hessian(),
                 bits=allocation[name],
                 group_size=config.group_size,
                 percdamp=config.percdamp,
-                policy=config.recovery,
-                journal=journal,
-                layer=name,
             )
-            linear.weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
+            for name in remaining
+        ]
+        tail_results = run_solver_tasks(
+            tail_tasks,
+            workers=config.workers,
+            policy=config.recovery,
+            journal=journal,
+            cache=factor_cache,
+        )
+        for name, result in zip(remaining, tail_results):
+            layers[name].weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
             layer_results[name] = result
         if checkpoint_file is not None:
             journal.record(

@@ -34,11 +34,56 @@ from repro.nn.transformer import LlamaModel
 
 __all__ = [
     "AttentionHessians",
+    "SharedGramCache",
     "capture_attention",
     "attention_hessians",
     "exact_gauss_newton",
     "head_column_slices",
 ]
+
+
+class SharedGramCache:
+    """Deduplicates input Gram matrices across layers sharing one input.
+
+    The calibration Gram ``X^T X`` is the dominant cost of input-statistics
+    collection, and several projections consume the *same* activation
+    tensor — Q/K/V read the post-norm block input, gate/up read the MLP
+    input — so computing the Gram per layer repeats identical GEMMs.  This
+    cache keys on the identity of the activation array feeding a layer and
+    computes each distinct Gram once per calibration batch (call
+    :meth:`reset` at batch boundaries).
+
+    Reuse is bit-identical to recomputation: a hit returns the very array
+    an independent ``flat.T @ flat`` on the same input would produce.  The
+    cache holds a reference to each keyed array so an ``id()`` can never be
+    recycled while its entry is alive.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def gram(self, source: np.ndarray, flat: np.ndarray) -> np.ndarray:
+        """``flat.T @ flat``, memoized by the identity of ``source``.
+
+        ``source`` is the original activation array a hook observed;
+        ``flat`` is its 2-D ``(n_tokens, d_in)`` reshape (a view, so its
+        own ``id`` is not stable across hooks).
+        """
+        key = id(source)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is source:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        value = flat.T @ flat
+        self._entries[key] = (source, value)
+        return value
+
+    def reset(self) -> None:
+        """Drop all entries (call between calibration batches)."""
+        self._entries.clear()
 
 
 @dataclasses.dataclass

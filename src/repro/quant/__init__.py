@@ -32,7 +32,15 @@ from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
 from repro.quant.packing import pack_codes, unpack_codes
 from repro.quant.qlinear import QuantizedLinear
 from repro.quant.deploy import PackedModel, pack_model
-from repro.quant.solver import SolverResult, quantize_with_hessian
+from repro.quant.solver import (
+    HessianFactor,
+    HessianFactorCache,
+    SolverResult,
+    hessian_fingerprint,
+    quantize_with_hessian,
+    quantize_with_hessian_blocked,
+    quantize_with_hessian_reference,
+)
 from repro.quant.rtn import rtn_quantize_layer, rtn_quantize_model
 from repro.quant.gptq import gptq_quantize_layer, gptq_quantize_model
 from repro.quant.obq import obq_quantize_matrix
@@ -56,7 +64,12 @@ __all__ = [
     "PackedModel",
     "pack_model",
     "SolverResult",
+    "HessianFactor",
+    "HessianFactorCache",
+    "hessian_fingerprint",
     "quantize_with_hessian",
+    "quantize_with_hessian_blocked",
+    "quantize_with_hessian_reference",
     "rtn_quantize_layer",
     "rtn_quantize_model",
     "gptq_quantize_layer",

@@ -45,6 +45,15 @@ class InputCollector:
         #: Index of the calibration batch currently streaming through the
         #: model; lets activation screening name the offending batch.
         self.current_batch: int | None = None
+        # Imported here (not at module top): repro.core.sensitivity imports
+        # this module while repro.core is still initializing, so a top-level
+        # import of repro.core.hessian would be circular.
+        from repro.core.hessian import SharedGramCache
+
+        #: Gram matrices are shared across layers fed by the same
+        #: activation tensor (Q/K/V, gate/up) — see
+        #: :class:`repro.core.hessian.SharedGramCache`.
+        self.gram_cache = SharedGramCache()
         self.stats: dict[str, InputStats] = {
             name: InputStats(
                 hessian=np.zeros((linear.d_in, linear.d_in)),
@@ -69,7 +78,7 @@ class InputCollector:
                     f"activations entering layer {name!r} (calibration "
                     f"batch {self.current_batch})",
                 )
-                stats.hessian += flat.T @ flat
+                stats.hessian += self.gram_cache.gram(x, flat)
                 stats.abs_max = np.maximum(
                     stats.abs_max, np.abs(flat).max(axis=0)
                 )
@@ -120,5 +129,8 @@ def collect_input_stats(
             screen_finite(batch, f"calibration batch {index}")
             collector.current_batch = index
             model.forward_array(batch)
+            # Activation arrays are batch-local: reset the Gram cache so
+            # recycled object ids can never alias across batches.
+            collector.gram_cache.reset()
         collector.current_batch = None
     return collector.stats

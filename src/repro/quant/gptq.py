@@ -18,7 +18,11 @@ from repro.data.calibration import CalibrationSet
 from repro.nn.modules import Linear
 from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
-from repro.quant.solver import SolverResult, quantize_with_hessian
+from repro.quant.solver import (
+    HessianFactorCache,
+    SolverResult,
+    quantize_with_hessian,
+)
 
 __all__ = [
     "layer_block_index",
@@ -71,8 +75,12 @@ def gptq_quantize_layer(
     group_size: int | None = None,
     percdamp: float = 0.01,
     actorder: bool = False,
+    cache: HessianFactorCache | None = None,
 ) -> SolverResult:
     """Quantize one layer in place with the GPTQ solver.
+
+    ``cache`` memoizes Cholesky factors across layers sharing a Hessian
+    (Q/K/V and gate/up do, via the shared-Gram calibration dedup).
 
     Shapes:
         hessian: (d_in, d_in) f64
@@ -86,6 +94,7 @@ def gptq_quantize_layer(
         group_size=group_size,
         percdamp=percdamp,
         actorder=actorder,
+        cache=cache,
     )
     linear.weight.data = result.quantized_weight
     return result
@@ -117,6 +126,7 @@ def gptq_quantize_model(
     config = dataclasses.replace(config or GPTQConfig(), **overrides)
     layers = model.quantizable_linears()
     results: dict[str, SolverResult] = {}
+    factor_cache = HessianFactorCache()
 
     if config.sequential:
         layer_groups = group_layers_by_block(layers)
@@ -143,5 +153,6 @@ def gptq_quantize_model(
                 group_size=config.group_size,
                 percdamp=config.percdamp,
                 actorder=config.actorder,
+                cache=factor_cache,
             )
     return results

@@ -16,11 +16,44 @@ what isolates APTQ's contribution in the ablations.
 
 Weights here are ``(d_in, d_out)`` so "channels" are rows; this corresponds
 one-to-one to the column sweep in the papers' ``(d_out, d_in)`` convention.
+
+Execution modes
+---------------
+Two sweep schedules implement the *same* arithmetic (see
+``docs/PERFORMANCE.md`` and ``tests/test_quant_differential.py``, which
+pin every output array — codes, scales, zero-points, dequantized weights —
+bit-for-bit equal over a seeded problem matrix; the scalar
+``compensated_loss`` diagnostic matches to machine precision, not bitwise,
+because it sums error vectors whose trailing ulps depend on the schedule):
+
+* ``mode="reference"`` — the textbook column-at-a-time sweep: every
+  channel's error immediately compensates the entire trailing matrix with
+  a rank-1 update.  Obviously correct, memory-bound (the trailing matrix
+  streams through cache once per channel).
+* ``mode="blocked"`` (default) — GPTQ's lazy-batch schedule, two-level:
+  rank-1 updates stay inside a ``MICRO_BLOCKSIZE`` tile, each tile flushes
+  into the rest of its ``blocksize`` block with one small matrix product,
+  and each block flushes into the trailing matrix with one rank-``B``
+  product (a single BLAS GEMM instead of ``B`` full-width rank-1 passes).
+
+Both modes quantize against **static group grids**: every group's
+scale/zero-point is fitted up front on the (dead-channel-zeroed, optionally
+permuted) original weights, exactly like GPTQ's ``--static-groups`` option.
+Static grids are what make the schedules bit-identical — a grid fitted on
+*compensated* weights would inherit the schedule's floating-point
+summation order through the group min/max — and they make ``actorder``
+grids independent of the sweep order, as the GPTQ authors note.
+
+Repeated factorization of one Hessian (Q/K/V share their input Gram
+matrix; the recovery ladder re-attempts layers) is avoided by passing a
+:class:`HessianFactorCache`, which memoizes the damped Cholesky factor by
+content fingerprint.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 import numpy as np
 
@@ -32,11 +65,25 @@ from repro.quant.groupwise import (
 from repro.quant.uniform import QuantParams, dequantize, quantize
 
 __all__ = [
+    "MICRO_BLOCKSIZE",
+    "SOLVER_MODES",
     "SolverResult",
+    "HessianFactor",
+    "HessianFactorCache",
     "prepare_hessian",
     "inverse_cholesky",
+    "hessian_fingerprint",
+    "factorize_hessian",
     "quantize_with_hessian",
+    "quantize_with_hessian_reference",
+    "quantize_with_hessian_blocked",
 ]
+
+#: Width of the eager rank-1 tile inside a lazy block (see module docstring).
+MICRO_BLOCKSIZE = 16
+
+#: Recognised sweep schedules of :func:`quantize_with_hessian`.
+SOLVER_MODES = ("blocked", "reference")
 
 
 @dataclasses.dataclass
@@ -89,6 +136,193 @@ def inverse_cholesky(hessian: np.ndarray) -> np.ndarray:
     return np.linalg.cholesky(inv).T
 
 
+def hessian_fingerprint(hessian: np.ndarray) -> str:
+    """Content digest of a Hessian, the key of :class:`HessianFactorCache`.
+
+    Hashes dtype, shape, and raw bytes — two Hessians share a fingerprint
+    iff they are bit-identical arrays, so a cache hit returns exactly the
+    factor a fresh factorization would produce.
+    """
+    array = np.ascontiguousarray(np.asarray(hessian, dtype=np.float64))
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class HessianFactor:
+    """Everything :func:`quantize_with_hessian` derives from the Hessian.
+
+    ``inv_upper`` is the upper Cholesky factor of the damped
+    ``H^{-1}`` (permuted when ``permutation`` is set), ``dead`` flags
+    zero-diagonal channels.  Arrays are frozen read-only so one factor can
+    be shared safely across layers and cache hits.
+    """
+
+    inv_upper: np.ndarray
+    dead: np.ndarray
+    permutation: np.ndarray | None = None
+
+
+def factorize_hessian(
+    hessian: np.ndarray, percdamp: float = 0.01, actorder: bool = False
+) -> HessianFactor:
+    """Damp, (optionally) permute, and Cholesky-factorize one Hessian.
+
+    This is the solver's only expensive Hessian-side computation; callers
+    quantizing several weight matrices against one Hessian (Q/K/V, retry
+    rungs) should route through :class:`HessianFactorCache` instead of
+    calling this directly — the ``perf-raw-factorization`` lint rule
+    enforces exactly that outside this module.
+    """
+    damped, dead = prepare_hessian(hessian, percdamp)
+    permutation: np.ndarray | None = None
+    if actorder:
+        permutation = np.argsort(-np.diagonal(damped), kind="stable")
+        damped = damped[np.ix_(permutation, permutation)]
+        permutation.setflags(write=False)
+    inv_upper = inverse_cholesky(damped)
+    inv_upper.setflags(write=False)
+    dead.setflags(write=False)
+    return HessianFactor(inv_upper=inv_upper, dead=dead, permutation=permutation)
+
+
+class HessianFactorCache:
+    """Memoizes :func:`factorize_hessian` by Hessian content fingerprint.
+
+    Keys are ``(fingerprint, percdamp, actorder)``; entries are evicted
+    FIFO beyond ``max_entries`` (factors are ``(d_in, d_in)`` float64, so
+    the cache bounds its own memory).  A hit is bit-identical to a fresh
+    factorization — toggling the cache can never change solver output.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[tuple[str, float, bool], HessianFactor] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def factor(
+        self, hessian: np.ndarray, percdamp: float, actorder: bool
+    ) -> HessianFactor:
+        """Cached equivalent of ``factorize_hessian(hessian, ...)``."""
+        key = (hessian_fingerprint(hessian), float(percdamp), bool(actorder))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        factor = factorize_hessian(hessian, percdamp, actorder)
+        if len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = factor
+        return factor
+
+
+def _static_group_grids(
+    working: np.ndarray, group_size: int, bits: int
+) -> tuple[list[QuantParams], np.ndarray, np.ndarray]:
+    """Fit every group's grid up front on the pre-compensation weights."""
+    d_in, d_out = working.shape
+    n_groups = (d_in + group_size - 1) // group_size
+    grids: list[QuantParams] = []
+    scales = np.empty((n_groups, d_out))
+    zeros = np.empty((n_groups, d_out))
+    for group in range(n_groups):
+        rows = slice(group * group_size, min((group + 1) * group_size, d_in))
+        params = group_params(working, rows, bits)
+        grids.append(params)
+        scales[group] = params.scale
+        zeros[group] = params.zero
+    return grids, scales, zeros
+
+
+def _sweep_reference(
+    working: np.ndarray,
+    inv_upper: np.ndarray,
+    grids: list[QuantParams],
+    group_size: int,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Column-at-a-time sweep: eager rank-1 updates over the full trailing
+    matrix (the executable specification the blocked schedule is tested
+    against)."""
+    d_in, d_out = working.shape
+    quantized = np.empty_like(working)
+    codes = np.empty((d_in, d_out), dtype=np.int64)
+    loss = 0.0
+    for row in range(d_in):
+        params = grids[row // group_size]
+        row_codes = quantize(working[row], params)
+        row_quant = dequantize(row_codes, params)
+        codes[row] = row_codes
+        quantized[row] = row_quant
+        err = (working[row] - row_quant) / inv_upper[row, row]
+        loss += 0.5 * float((err**2).sum())
+        # Compensate every remaining channel immediately (Eq. (17)).
+        if row + 1 < d_in:
+            working[row + 1 :] -= np.outer(inv_upper[row, row + 1 :], err)
+    return quantized, codes, loss
+
+
+def _sweep_blocked(
+    working: np.ndarray,
+    inv_upper: np.ndarray,
+    grids: list[QuantParams],
+    group_size: int,
+    blocksize: int,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Two-level lazy-batch sweep (see module docstring).
+
+    Rank-1 updates touch at most ``MICRO_BLOCKSIZE`` rows; each tile then
+    flushes its accumulated errors into the rest of the block, and each
+    block flushes into the trailing matrix, with single matrix products.
+    """
+    d_in, d_out = working.shape
+    quantized = np.empty_like(working)
+    codes = np.empty((d_in, d_out), dtype=np.int64)
+    loss = 0.0
+    for block_start in range(0, d_in, blocksize):
+        block_end = min(block_start + blocksize, d_in)
+        count = block_end - block_start
+        block_weight = working[block_start:block_end].copy()
+        block_errors = np.empty_like(block_weight)
+        block_inv = inv_upper[block_start:block_end, block_start:block_end]
+        for micro_start in range(0, count, MICRO_BLOCKSIZE):
+            micro_end = min(micro_start + MICRO_BLOCKSIZE, count)
+            for local in range(micro_start, micro_end):
+                row = block_start + local
+                params = grids[row // group_size]
+                row_codes = quantize(block_weight[local], params)
+                row_quant = dequantize(row_codes, params)
+                codes[row] = row_codes
+                quantized[row] = row_quant
+                err = (block_weight[local] - row_quant) / block_inv[local, local]
+                loss += 0.5 * float((err**2).sum())
+                if local + 1 < micro_end:
+                    block_weight[local + 1 : micro_end] -= np.outer(
+                        block_inv[local, local + 1 : micro_end], err
+                    )
+                block_errors[local] = err
+            # Flush the tile's errors into the rest of the block.
+            if micro_end < count:
+                block_weight[micro_end:] -= (
+                    block_inv[micro_start:micro_end, micro_end:].T
+                    @ block_errors[micro_start:micro_end]
+                )
+        # Lazy-batched rank-B compensation of all rows after the block.
+        if block_end < d_in:
+            working[block_end:] -= (
+                inv_upper[block_start:block_end, block_end:].T @ block_errors
+            )
+    return quantized, codes, loss
+
+
 def quantize_with_hessian(
     weight: np.ndarray,
     hessian: np.ndarray,
@@ -97,13 +331,18 @@ def quantize_with_hessian(
     blocksize: int = 128,
     percdamp: float = 0.01,
     actorder: bool = False,
+    mode: str = "blocked",
+    cache: HessianFactorCache | None = None,
 ) -> SolverResult:
     """Quantize ``weight`` with error compensation driven by ``hessian``.
 
     Parameters mirror GPTQ: ``group_size`` for the quantization grid
     granularity, ``blocksize`` for the lazy-batched update, ``percdamp`` for
     diagonal damping, ``actorder`` to process channels by decreasing Hessian
-    diagonal (GPTQ's ``--act-order``).
+    diagonal (GPTQ's ``--act-order``).  ``mode`` selects the sweep schedule
+    (``"blocked"`` fast path or the ``"reference"`` column loop — both
+    produce bit-identical results, see module docstring); ``cache`` reuses
+    Cholesky factors across calls sharing a Hessian.
     """
     weight = np.asarray(weight, dtype=np.float64)
     if weight.ndim != 2:
@@ -113,94 +352,45 @@ def quantize_with_hessian(
         raise ValueError(
             f"hessian shape {hessian.shape} does not match d_in={d_in}"
         )
+    if mode not in SOLVER_MODES:
+        raise ValueError(f"mode must be one of {SOLVER_MODES}, got {mode!r}")
+    if blocksize <= 0:
+        raise ValueError("blocksize must be positive")
     group_size = resolve_group_size(d_in, group_size)
 
-    hessian, dead = prepare_hessian(hessian, percdamp)
+    if cache is not None:
+        factor = cache.factor(hessian, percdamp, actorder)
+    else:
+        factor = factorize_hessian(hessian, percdamp, actorder)
+
     working = weight.copy()
-    working[dead, :] = 0.0
-
-    permutation: np.ndarray | None = None
-    if actorder:
-        permutation = np.argsort(-np.diagonal(hessian), kind="stable")
-        working = working[permutation]
-        hessian = hessian[np.ix_(permutation, permutation)]
-
-    inv_upper = inverse_cholesky(hessian)
-
-    n_groups = (d_in + group_size - 1) // group_size
-    codes = np.empty((d_in, d_out), dtype=np.int64)
-    scales = np.empty((n_groups, d_out))
-    zeros = np.empty((n_groups, d_out))
-    quantized = np.empty_like(working)
-    compensated_loss = 0.0
-
-    params: QuantParams | None = None
-    for block_start in range(0, d_in, blocksize):
-        block_end = min(block_start + blocksize, d_in)
-        count = block_end - block_start
-        block_weight = working[block_start:block_end].copy()
-        block_quant = np.empty_like(block_weight)
-        block_errors = np.empty_like(block_weight)
-        block_inv = inv_upper[block_start:block_end, block_start:block_end]
-
-        for local in range(count):
-            row = block_start + local
-            if row % group_size == 0:
-                group = row // group_size
-                group_rows = slice(row, min(row + group_size, d_in))
-                # Grid from the *current* (compensated) weights, as in GPTQ.
-                current = np.concatenate(
-                    [
-                        block_weight[local : min(local + group_size, count)],
-                        working[block_end : group_rows.stop],
-                    ]
-                )
-                params = group_params(current, slice(0, current.shape[0]), bits)
-                scales[group] = params.scale
-                zeros[group] = params.zero
-            assert params is not None
-            row_codes = quantize(block_weight[local], params)
-            row_quant = dequantize(row_codes, params)
-            codes[row] = row_codes
-            block_quant[local] = row_quant
-            diag = block_inv[local, local]
-            err = (block_weight[local] - row_quant) / diag
-            compensated_loss += 0.5 * float((err**2).sum())
-            # Compensate the rest of the block immediately (Eq. (17)).
-            if local + 1 < count:
-                block_weight[local + 1 :] -= np.outer(
-                    block_inv[local, local + 1 :], err
-                )
-            block_errors[local] = err
-
-        quantized[block_start:block_end] = block_quant
-        working[block_start:block_end] = block_quant
-        # Lazy-batched compensation of all rows after the block.
-        if block_end < d_in:
-            working[block_end:] -= (
-                inv_upper[block_start:block_end, block_end:].T @ block_errors
-            )
-
+    working[factor.dead, :] = 0.0
+    permutation = factor.permutation
     if permutation is not None:
-        inverse = np.argsort(permutation)
-        quantized = quantized[inverse]
-        codes = codes[inverse]
-        # Group grids were fitted in permuted order; dequantization of the
-        # permuted codes is exact, so recompute a row-aligned group table is
-        # unnecessary — but codes/scales must stay consistent.  We therefore
-        # keep the permuted group layout and expose the permutation.
-        group_result = GroupQuantResult(
-            codes=codes[permutation],
-            scales=scales,
-            zeros=zeros,
-            bits=bits,
-            group_size=group_size,
+        working = working[permutation]
+
+    grids, scales, zeros = _static_group_grids(working, group_size, bits)
+    if mode == "reference":
+        quantized, codes, compensated_loss = _sweep_reference(
+            working, factor.inv_upper, grids, group_size
         )
     else:
-        group_result = GroupQuantResult(
-            codes=codes, scales=scales, zeros=zeros, bits=bits,
-            group_size=group_size,
+        quantized, codes, compensated_loss = _sweep_blocked(
+            working, factor.inv_upper, grids, group_size, blocksize
         )
+
+    # Codes/scales stay in the (possibly permuted) sweep layout — grids were
+    # fitted in that order — while the dense weight is returned row-aligned;
+    # the permutation on the result links the two.
+    group_result = GroupQuantResult(
+        codes=codes,
+        scales=scales,
+        zeros=zeros,
+        bits=bits,
+        group_size=group_size,
+    )
+    if permutation is not None:
+        quantized = quantized[np.argsort(permutation)]
 
     mse = float(((weight - quantized) ** 2).mean())
     return SolverResult(
@@ -208,5 +398,51 @@ def quantize_with_hessian(
         group_result=group_result,
         compensated_loss=compensated_loss,
         mse=mse,
-        permutation=permutation,
+        permutation=None if permutation is None else np.array(permutation),
+    )
+
+
+def quantize_with_hessian_reference(
+    weight: np.ndarray,
+    hessian: np.ndarray,
+    bits: int,
+    group_size: int | None = None,
+    percdamp: float = 0.01,
+    actorder: bool = False,
+    cache: HessianFactorCache | None = None,
+) -> SolverResult:
+    """Column-at-a-time solver: the slow, obviously-correct specification."""
+    return quantize_with_hessian(
+        weight,
+        hessian,
+        bits=bits,
+        group_size=group_size,
+        percdamp=percdamp,
+        actorder=actorder,
+        mode="reference",
+        cache=cache,
+    )
+
+
+def quantize_with_hessian_blocked(
+    weight: np.ndarray,
+    hessian: np.ndarray,
+    bits: int,
+    group_size: int | None = None,
+    blocksize: int = 128,
+    percdamp: float = 0.01,
+    actorder: bool = False,
+    cache: HessianFactorCache | None = None,
+) -> SolverResult:
+    """Lazy-batch blocked solver: the fast path (see module docstring)."""
+    return quantize_with_hessian(
+        weight,
+        hessian,
+        bits=bits,
+        group_size=group_size,
+        blocksize=blocksize,
+        percdamp=percdamp,
+        actorder=actorder,
+        mode="blocked",
+        cache=cache,
     )

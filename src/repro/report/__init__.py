@@ -1,9 +1,18 @@
-"""Reporting: table formatting, ASCII figures, CSV export, run health."""
+"""Reporting: tables, ASCII figures, CSV export, run health, perf benches."""
 
 from repro.report.tables import format_table, format_markdown_table
 from repro.report.figures import ascii_line_chart
 from repro.report.export import rows_to_csv, write_csv
 from repro.report.health import format_run_health
+from repro.report.bench import (
+    BENCH_SCHEMA_VERSION,
+    best_of,
+    build_quantize_report,
+    pipeline_bench_record,
+    solver_bench_records,
+    validate_bench_report,
+    write_bench_report,
+)
 
 __all__ = [
     "format_table",
@@ -12,4 +21,11 @@ __all__ = [
     "rows_to_csv",
     "write_csv",
     "format_run_health",
+    "BENCH_SCHEMA_VERSION",
+    "best_of",
+    "build_quantize_report",
+    "pipeline_bench_record",
+    "solver_bench_records",
+    "validate_bench_report",
+    "write_bench_report",
 ]

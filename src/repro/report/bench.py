@@ -1,0 +1,303 @@
+"""Benchmark harness for the quantization hot paths.
+
+Produces the ``BENCH_quantize.json`` perf-trajectory artifact at the repo
+root (via ``tools/bench.py``): a schema-versioned report comparing the
+lazy-batch blocked solver against the column-at-a-time reference sweep,
+the Cholesky factor cache against cold factorization, and the parallel
+APTQ executor against serial execution.  Every timed pair is also checked
+for bit-identical output, so the artifact doubles as a coarse correctness
+record — a speedup bought by numeric drift would be visible right in the
+report.
+
+Timing methodology: ``best_of`` takes the *minimum* of ``repeats`` runs of
+a zero-argument callable under ``time.perf_counter`` — the standard way to
+suppress scheduler noise for CPU-bound kernels (the minimum is the run
+with the least interference).  Thresholds asserted in tier-1
+(``tests/test_bench_schema.py``) are deliberately generous so the suite
+stays flake-free on loaded machines.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.quant.solver import (
+    MICRO_BLOCKSIZE,
+    SOLVER_MODES,
+    HessianFactorCache,
+    factorize_hessian,
+    quantize_with_hessian_blocked,
+    quantize_with_hessian_reference,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "best_of",
+    "solver_bench_records",
+    "pipeline_bench_record",
+    "build_quantize_report",
+    "validate_bench_report",
+    "write_bench_report",
+]
+
+#: Version of the ``BENCH_quantize.json`` schema (bump on shape changes).
+BENCH_SCHEMA_VERSION = 1
+
+#: Keys every record must carry (checked by :func:`validate_bench_report`).
+_RECORD_KEYS = ("name", "kind", "params", "timings", "speedup", "bit_identical")
+
+
+def best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall-clock seconds of ``repeats`` calls to ``fn``."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def _random_problem(
+    d_in: int, d_out: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random weight and a well-conditioned PSD Hessian for timing runs."""
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((d_in, d_out))
+    basis = rng.standard_normal((d_in, d_in))
+    hessian = basis @ basis.T / d_in + 0.1 * np.eye(d_in)
+    return weight, hessian
+
+
+def _results_bit_identical(a, b) -> bool:
+    """Whether two solver results agree exactly (codes, grids, weights)."""
+    return (
+        np.array_equal(a.quantized_weight, b.quantized_weight)
+        and np.array_equal(a.group_result.codes, b.group_result.codes)
+        and np.array_equal(a.group_result.scales, b.group_result.scales)
+        and np.array_equal(a.group_result.zeros, b.group_result.zeros)
+    )
+
+
+def solver_bench_records(
+    d_in: int = 512,
+    d_out: int = 512,
+    bits: int = 4,
+    group_size: int = 32,
+    blocksize: int = 128,
+    repeats: int = 3,
+    seed: int = 0,
+) -> list[dict]:
+    """Time blocked-vs-reference sweeps and warm-vs-cold factorization.
+
+    Returns two records: ``solver-<d_in>x<d_out>`` (the smoke case the
+    acceptance bar reads) and ``factor-cache-<d_in>`` (the shared-Hessian
+    reuse this PR wires through Q/K/V).
+    """
+    weight, hessian = _random_problem(d_in, d_out, seed)
+    params = {
+        "d_in": d_in,
+        "d_out": d_out,
+        "bits": bits,
+        "group_size": group_size,
+        "blocksize": blocksize,
+        "micro_blocksize": MICRO_BLOCKSIZE,
+        "repeats": repeats,
+        "seed": seed,
+    }
+
+    reference = quantize_with_hessian_reference(
+        weight, hessian, bits=bits, group_size=group_size
+    )
+    blocked = quantize_with_hessian_blocked(
+        weight, hessian, bits=bits, group_size=group_size, blocksize=blocksize
+    )
+    ref_seconds = best_of(
+        lambda: quantize_with_hessian_reference(
+            weight, hessian, bits=bits, group_size=group_size
+        ),
+        repeats,
+    )
+    blocked_seconds = best_of(
+        lambda: quantize_with_hessian_blocked(
+            weight,
+            hessian,
+            bits=bits,
+            group_size=group_size,
+            blocksize=blocksize,
+        ),
+        repeats,
+    )
+    solver_record = {
+        "name": f"solver-{d_in}x{d_out}",
+        "kind": "solver",
+        "params": params,
+        "timings": {"reference": ref_seconds, "blocked": blocked_seconds},
+        "speedup": ref_seconds / blocked_seconds,
+        "bit_identical": _results_bit_identical(reference, blocked),
+    }
+
+    # Factor-cache effect: cold factorization per call vs one shared factor
+    # (the Q/K/V pattern after the shared-Gram dedup).  The direct call is
+    # the point of the measurement, hence the suppression.
+    cache = HessianFactorCache()
+    cold_seconds = best_of(
+        lambda: factorize_hessian(hessian),  # lint: disable=perf-raw-factorization
+        repeats,
+    )
+    cache.factor(hessian, 0.01, False)
+    warm_seconds = best_of(lambda: cache.factor(hessian, 0.01, False), repeats)
+    cache_record = {
+        "name": f"factor-cache-{d_in}",
+        "kind": "factor-cache",
+        "params": {"d_in": d_in, "repeats": repeats, "seed": seed},
+        "timings": {"cold": cold_seconds, "warm": warm_seconds},
+        "speedup": cold_seconds / warm_seconds,
+        "bit_identical": True,  # cache hits return the stored factor itself
+    }
+    return [solver_record, cache_record]
+
+
+def pipeline_bench_record(
+    workers: int = 2, repeats: int = 1, seed: int = 0
+) -> dict:
+    """Time end-to-end APTQ on a micro model, serial vs ``workers`` processes.
+
+    Fork overhead dominates at micro-model scale, so the recorded speedup
+    is honest but usually below 1; the record's value is the bit-identity
+    flag and the absolute timings tracked across the perf trajectory.
+    """
+    # Imported here: repro.report is a leaf package that the core imports
+    # for health rendering (top-level import cycle otherwise).
+    from repro.core.aptq import APTQConfig, aptq_quantize_model
+    from repro.data.calibration import CalibrationSet
+    from repro.nn.transformer import LlamaConfig, LlamaModel
+
+    config = LlamaConfig(
+        vocab_size=64,
+        d_model=16,
+        n_layers=2,
+        n_heads=2,
+        d_ff=24,
+        max_seq_len=32,
+    )
+    rng = np.random.default_rng(seed)
+    segments = rng.integers(0, config.vocab_size, size=(6, 12))
+    calibration = CalibrationSet(
+        segments=segments, corpus_name="synthetic", seed=seed
+    )
+
+    def run(n_workers: int) -> dict[str, np.ndarray]:
+        model = LlamaModel(config, seed=seed)
+        aptq_quantize_model(
+            model, calibration, APTQConfig(ratio_4bit=0.5, workers=n_workers)
+        )
+        return model.state_dict()
+
+    serial_state = run(0)
+    parallel_state = run(workers)
+    identical = sorted(serial_state) == sorted(parallel_state) and all(
+        np.array_equal(serial_state[name], parallel_state[name])
+        for name in serial_state
+    )
+    serial_seconds = best_of(lambda: run(0), repeats)
+    parallel_seconds = best_of(lambda: run(workers), repeats)
+    return {
+        "name": f"aptq-micro-workers{workers}",
+        "kind": "pipeline",
+        "params": {
+            "workers": workers,
+            "d_model": config.d_model,
+            "n_layers": config.n_layers,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "timings": {"serial": serial_seconds, "parallel": parallel_seconds},
+        "speedup": serial_seconds / parallel_seconds,
+        "bit_identical": identical,
+    }
+
+
+def build_quantize_report(
+    repeats: int = 3,
+    workers: int = 2,
+    quick: bool = False,
+    timestamp: str | None = None,
+) -> dict:
+    """Assemble the full ``BENCH_quantize.json`` report.
+
+    ``quick`` skips the end-to-end pipeline suite (the solver suite alone
+    carries the acceptance smoke case), for use in tier-1 tests.
+    """
+    records = solver_bench_records(repeats=repeats)
+    if not quick:
+        records.append(pipeline_bench_record(workers=workers))
+    report = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "quantize",
+        "solver_modes": list(SOLVER_MODES),
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "records": records,
+    }
+    if timestamp is not None:
+        report["timestamp"] = timestamp
+    return report
+
+
+def validate_bench_report(report: dict) -> list[str]:
+    """Schema check; returns a list of problems (empty when valid)."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    if report.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {BENCH_SCHEMA_VERSION}, "
+            f"got {report.get('schema_version')!r}"
+        )
+    if report.get("suite") != "quantize":
+        problems.append(f"suite must be 'quantize', got {report.get('suite')!r}")
+    records = report.get("records")
+    if not isinstance(records, list) or not records:
+        return problems + ["records must be a non-empty list"]
+    for index, record in enumerate(records):
+        where = f"records[{index}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key in _RECORD_KEYS:
+            if key not in record:
+                problems.append(f"{where} misses key {key!r}")
+        timings = record.get("timings", {})
+        if not isinstance(timings, dict) or not timings:
+            problems.append(f"{where}.timings must be a non-empty object")
+        elif any(
+            not isinstance(v, (int, float)) or v <= 0 for v in timings.values()
+        ):
+            problems.append(f"{where}.timings values must be positive numbers")
+        speedup = record.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            problems.append(f"{where}.speedup must be a positive number")
+        if record.get("bit_identical") is not True:
+            problems.append(f"{where}.bit_identical must be true")
+    return problems
+
+
+def write_bench_report(path: str | Path, report: dict) -> Path:
+    """Validate and write a report as pretty-printed JSON; returns the path."""
+    problems = validate_bench_report(report)
+    if problems:
+        raise ValueError("invalid bench report: " + "; ".join(problems))
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

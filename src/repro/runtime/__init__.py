@@ -35,6 +35,7 @@ from repro.runtime.faults import (
     truncate_file,
 )
 from repro.runtime.journal import DegradationEvent, RunHealth, RunJournal
+from repro.runtime.parallel import SolverTask, run_solver_tasks
 from repro.runtime.recovery import (
     LADDER_RUNGS,
     RecoveryPolicy,
@@ -57,6 +58,8 @@ __all__ = [
     "clip_hessian_eigenvalues",
     "robust_quantize_layer",
     "hessian_inverse",
+    "SolverTask",
+    "run_solver_tasks",
     "atomic_write_bytes",
     "atomic_save_npz",
     "sha256_of_file",

@@ -1,0 +1,139 @@
+"""Deterministic parallel execution of independent solver tasks.
+
+The GPTQ/APTQ calibration protocol is inherently sequential *across*
+transformer blocks — every block's calibration inputs are computed on the
+partially quantized model, so block ``b`` cannot start before block
+``b-1`` finished.  Within one protocol stage, however, the solver calls
+are independent: all attention-projection (and per-head) Hessians of a
+block are computed before any of its weights change, and all MLP Hessians
+of a block come from a single calibration pass.  This module fans those
+independent tasks out over a ``multiprocessing`` pool.
+
+Determinism contract (pinned by ``tests/test_quant_differential.py``):
+``workers=N`` is **bit-identical** to ``workers=0`` for every ``N``.
+
+* each :class:`SolverTask` is a pure function of its own arrays — tasks
+  never observe each other's output;
+* ``Pool.map`` returns results in submission order regardless of worker
+  scheduling;
+* every task records recovery-ladder events into its *own* child journal,
+  and the parent journal merges the children in task order in **both**
+  execution modes — so even the event stream is order-identical.
+
+Workers are forked (the only start method that inherits the parent's
+in-memory model for free); when a pool cannot be created at all the
+executor degrades to serial execution and records a ``warning`` event
+rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.journal import DegradationEvent, RunJournal
+from repro.runtime.recovery import RecoveryPolicy, robust_quantize_layer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quant.solver import HessianFactorCache, SolverResult
+
+__all__ = ["SolverTask", "run_solver_tasks"]
+
+
+@dataclasses.dataclass
+class SolverTask:
+    """One independent layer (or head-slice) quantization problem.
+
+    ``key`` names the task in journals (layer name, optionally with a
+    ``[head h]`` suffix); the remaining fields are the arguments of
+    :func:`repro.runtime.recovery.robust_quantize_layer`.
+    """
+
+    key: str
+    weight: np.ndarray
+    hessian: np.ndarray
+    bits: int
+    group_size: int | None = None
+    blocksize: int = 128
+    percdamp: float = 0.01
+    actorder: bool = False
+
+
+def _execute_task(
+    payload: tuple[SolverTask, RecoveryPolicy, str],
+    cache: Optional["HessianFactorCache"] = None,
+) -> tuple["SolverResult", tuple[DegradationEvent, ...]]:
+    """Run one task against a fresh child journal; return (result, events).
+
+    Module-level (not a closure) so it pickles into pool workers; the
+    ``cache`` keyword exists only on the serial path — worker processes do
+    not share a factor cache, which is safe because cache hits are
+    bit-identical to recomputation by construction.
+    """
+    task, policy, mode = payload
+    child = RunJournal()
+    result = robust_quantize_layer(
+        task.weight,
+        task.hessian,
+        bits=task.bits,
+        group_size=task.group_size,
+        blocksize=task.blocksize,
+        percdamp=task.percdamp,
+        actorder=task.actorder,
+        mode=mode,
+        policy=policy,
+        journal=child,
+        layer=task.key,
+        cache=cache,
+    )
+    return result, tuple(child.events)
+
+
+def run_solver_tasks(
+    tasks: Sequence[SolverTask],
+    workers: int = 0,
+    policy: Optional[RecoveryPolicy] = None,
+    journal: Optional[RunJournal] = None,
+    cache: Optional["HessianFactorCache"] = None,
+    mode: str = "blocked",
+) -> list["SolverResult"]:
+    """Execute ``tasks`` and return their results in task order.
+
+    ``workers=0`` (the default) runs serially in-process, reusing
+    Cholesky factors via ``cache``; ``workers>0`` forks a pool of at most
+    that many processes.  Both paths produce bit-identical results and
+    journal event streams (see the module docstring); if the pool cannot
+    be created the executor records a ``warning`` in ``journal`` and runs
+    serially.
+    """
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    policy = policy or RecoveryPolicy()
+    journal = journal if journal is not None else RunJournal()
+    payloads = [(task, policy, mode) for task in tasks]
+
+    outcomes = None
+    if workers > 0 and len(tasks) > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=min(workers, len(tasks))) as pool:
+                outcomes = pool.map(_execute_task, payloads)
+        except (OSError, ValueError) as error:
+            journal.record(
+                "warning",
+                message=f"worker pool unavailable ({error}); running "
+                f"{len(tasks)} solver tasks serially",
+                workers=workers,
+            )
+            outcomes = None
+    if outcomes is None:
+        outcomes = [_execute_task(payload, cache=cache) for payload in payloads]
+
+    results: list["SolverResult"] = []
+    for result, events in outcomes:
+        journal.extend(events)
+        results.append(result)
+    return results

@@ -34,7 +34,7 @@ through the ladder.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, MutableMapping, Optional
 
 import numpy as np
 
@@ -43,7 +43,7 @@ from repro.runtime.errors import NumericalRecoveryError
 from repro.runtime.journal import RunJournal
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.quant.solver import SolverResult
+    from repro.quant.solver import HessianFactorCache, SolverResult
 
 __all__ = [
     "LADDER_RUNGS",
@@ -136,9 +136,11 @@ def robust_quantize_layer(
     blocksize: int = 128,
     percdamp: float = 0.01,
     actorder: bool = False,
+    mode: str = "blocked",
     policy: Optional[RecoveryPolicy] = None,
     journal: Optional[RunJournal] = None,
     layer: str = "",
+    cache: Optional["HessianFactorCache"] = None,
 ) -> "SolverResult":
     """:func:`quantize_with_hessian` behind the numerical recovery ladder.
 
@@ -147,6 +149,8 @@ def robust_quantize_layer(
     one rung (see the module docstring) and records an event in
     ``journal``; the ladder's output is always a usable
     :class:`SolverResult` unless the terminal RTN rung is disabled.
+    ``mode`` selects the sweep schedule and ``cache`` memoizes Cholesky
+    factors across calls sharing a Hessian (both forwarded to the solver).
     """
     # Lazy for the same import-cycle reason as in _rtn_solver_result.
     from repro.quant.solver import quantize_with_hessian
@@ -164,6 +168,8 @@ def robust_quantize_layer(
             blocksize=blocksize,
             percdamp=damp,
             actorder=actorder,
+            mode=mode,
+            cache=cache,
         )
 
     last_error: Exception | None = None
@@ -234,16 +240,27 @@ def hessian_inverse(
     hessian: np.ndarray,
     journal: Optional[RunJournal] = None,
     layer: str = "",
+    cache: Optional[MutableMapping[str, np.ndarray]] = None,
 ) -> np.ndarray:
     """Dense Hessian inverse with a pseudo-inverse fallback.
 
     The sanctioned route for code that needs ``H^{-1}`` explicitly (OBQ's
     Eq. (4) downdating): a singular Hessian degrades to the Moore-Penrose
     pseudo-inverse and records a ``pinv-fallback`` event instead of
-    raising.
+    raising.  With ``cache`` (any mapping) the inverse is memoized by
+    content fingerprint; cached arrays are returned read-only, so pass a
+    cache only when callers copy before mutating.
     """
+    if cache is not None:
+        # Lazy for the same import-cycle reason as in _rtn_solver_result.
+        from repro.quant.solver import hessian_fingerprint
+
+        key = hessian_fingerprint(hessian)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     try:
-        return np.linalg.inv(hessian)
+        inverse = np.linalg.inv(hessian)
     except np.linalg.LinAlgError as error:
         if journal is not None:
             journal.record(
@@ -252,5 +269,9 @@ def hessian_inverse(
                 message=f"dense inverse failed ({error}); using the "
                 "Moore-Penrose pseudo-inverse",
             )
-        return np.linalg.pinv(np.asarray(hessian, dtype=np.float64),
-                              hermitian=True)
+        inverse = np.linalg.pinv(np.asarray(hessian, dtype=np.float64),
+                                 hermitian=True)
+    if cache is not None:
+        inverse.setflags(write=False)
+        cache[key] = inverse
+    return inverse

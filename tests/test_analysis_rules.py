@@ -31,6 +31,7 @@ EXPECTED_RULE_IDS = {
     "api-mutable-default",
     "api-bare-except",
     "runtime-raw-linalg",
+    "perf-raw-factorization",
 }
 
 
@@ -298,6 +299,42 @@ class TestRobustnessRules:
             "    return np.linalg.eigh(h)\n"
         )
         assert hits(src, "runtime-raw-linalg") == []
+
+
+class TestPerfFactorizationRule:
+    FACTORIZE = (
+        '"""m."""\nfrom repro.quant.solver import factorize_hessian\n\n\n'
+        'def f(h):\n    """D."""\n    return factorize_hessian(h)\n'
+    )
+    INV_CHOL = (
+        '"""m."""\nfrom repro.quant import solver\n\n\n'
+        'def f(h):\n    """D."""\n    return solver.inverse_cholesky(h)\n'
+    )
+
+    def test_direct_factorization_flagged(self):
+        assert hits(self.FACTORIZE, "perf-raw-factorization") == [
+            ("perf-raw-factorization", 7)
+        ]
+        assert hits(self.INV_CHOL, "perf-raw-factorization") == [
+            ("perf-raw-factorization", 7)
+        ]
+
+    def test_solver_module_exempt(self):
+        from repro.analysis.rules.robustness import RAW_FACTORIZATION_ALLOWED
+
+        for module in RAW_FACTORIZATION_ALLOWED:
+            path = "src/" + module.replace(".", "/") + ".py"
+            assert hits(self.FACTORIZE, "perf-raw-factorization", path=path) == []
+            assert hits(self.INV_CHOL, "perf-raw-factorization", path=path) == []
+
+    def test_cached_call_sites_clean(self):
+        src = (
+            '"""m."""\nfrom repro.quant.solver import quantize_with_hessian\n'
+            "\n\ndef f(w, h, cache):\n"
+            '    """D."""\n'
+            "    return quantize_with_hessian(w, h, bits=4, cache=cache)\n"
+        )
+        assert hits(src, "perf-raw-factorization") == []
 
 
 class TestSuppression:

@@ -1,0 +1,117 @@
+"""Perf-trajectory artifact checks: schema and the solver speedup bar.
+
+``BENCH_quantize.json`` at the repo root is a committed artifact (written
+by ``tools/bench.py``); this suite validates it against the schema and
+pins the acceptance bar — the lazy-batch blocked solver shows a >=2x
+speedup over the reference column loop on the 512x512 smoke case.  A
+*live* smoke run re-measures the same case with a deliberately generous
+threshold so the test stays flake-free on loaded machines while still
+catching a de-optimized solver.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.report.bench import (
+    BENCH_SCHEMA_VERSION,
+    best_of,
+    build_quantize_report,
+    solver_bench_records,
+    validate_bench_report,
+    write_bench_report,
+)
+
+ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_quantize.json"
+
+
+class TestCommittedArtifact:
+    def test_artifact_exists_and_validates(self):
+        assert ARTIFACT.exists(), (
+            "BENCH_quantize.json missing at the repo root; regenerate with "
+            "`python tools/bench.py`"
+        )
+        report = json.loads(ARTIFACT.read_text())
+        assert validate_bench_report(report) == []
+        assert report["schema_version"] == BENCH_SCHEMA_VERSION
+
+    def test_committed_solver_speedup_meets_bar(self):
+        report = json.loads(ARTIFACT.read_text())
+        smoke = [
+            record
+            for record in report["records"]
+            if record["kind"] == "solver"
+            and record["params"]["d_in"] == 512
+            and record["params"]["d_out"] == 512
+        ]
+        assert smoke, "no 512x512 solver record in BENCH_quantize.json"
+        for record in smoke:
+            assert record["speedup"] >= 2.0, record
+            assert record["bit_identical"] is True
+
+
+class TestLiveSmoke:
+    def test_blocked_beats_reference_on_512(self):
+        records = solver_bench_records(repeats=2)
+        solver = next(r for r in records if r["kind"] == "solver")
+        # Generous bar (committed artifact shows ~2.5x): catches a
+        # de-optimized solver without flaking under machine load.
+        assert solver["speedup"] >= 1.5, solver
+        assert solver["bit_identical"] is True
+        cache = next(r for r in records if r["kind"] == "factor-cache")
+        assert cache["speedup"] > 1.0, cache
+
+
+class TestSchemaValidation:
+    def test_quick_report_validates(self):
+        report = build_quantize_report(repeats=1, quick=True)
+        assert validate_bench_report(report) == []
+
+    def test_validator_rejects_malformed_reports(self):
+        good = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "suite": "quantize",
+            "records": [
+                {
+                    "name": "x",
+                    "kind": "solver",
+                    "params": {},
+                    "timings": {"a": 1.0, "b": 2.0},
+                    "speedup": 2.0,
+                    "bit_identical": True,
+                }
+            ],
+        }
+        assert validate_bench_report(good) == []
+        assert validate_bench_report({"schema_version": 99})
+        bad_version = dict(good, schema_version=99)
+        assert any(
+            "schema_version" in p for p in validate_bench_report(bad_version)
+        )
+        bad_records = dict(good, records=[])
+        assert any("records" in p for p in validate_bench_report(bad_records))
+        drifted = dict(
+            good, records=[dict(good["records"][0], bit_identical=False)]
+        )
+        assert any(
+            "bit_identical" in p for p in validate_bench_report(drifted)
+        )
+        negative = dict(
+            good, records=[dict(good["records"][0], timings={"a": -1.0})]
+        )
+        assert any("timings" in p for p in validate_bench_report(negative))
+
+    def test_writer_refuses_invalid_report(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid bench report"):
+            write_bench_report(tmp_path / "out.json", {"schema_version": 0})
+
+    def test_writer_roundtrip(self, tmp_path):
+        report = build_quantize_report(repeats=1, quick=True)
+        path = write_bench_report(tmp_path / "bench.json", report)
+        assert validate_bench_report(json.loads(path.read_text())) == []
+
+    def test_best_of_validates_repeats(self):
+        with pytest.raises(ValueError):
+            best_of(lambda: None, repeats=0)
+        assert best_of(lambda: None, repeats=2) >= 0.0

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.hessian import (
+    SharedGramCache,
     attention_hessians,
     capture_attention,
     head_column_slices,
@@ -102,3 +103,46 @@ class TestHeadSlices:
         for s in slices:
             covered.extend(range(s.start, s.stop))
         assert covered == list(range(16))
+
+
+class TestSharedGramCache:
+    def test_hit_returns_same_array(self):
+        cache = SharedGramCache()
+        x = np.random.default_rng(0).standard_normal((2, 3, 4))
+        flat = x.reshape(-1, 4)
+        first = cache.gram(x, flat)
+        second = cache.gram(x, flat)
+        assert second is first  # bit-identical by construction
+        assert cache.hits == 1 and cache.misses == 1
+        assert np.array_equal(first, flat.T @ flat)
+
+    def test_distinct_sources_not_aliased(self):
+        cache = SharedGramCache()
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((2, 4))
+        b = a.copy()  # equal content, different identity
+        cache.gram(a, a)
+        cache.gram(b, b)
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_reset_drops_entries(self):
+        cache = SharedGramCache()
+        x = np.random.default_rng(2).standard_normal((2, 4))
+        cache.gram(x, x)
+        cache.reset()
+        cache.gram(x, x)
+        assert cache.misses == 2
+
+    def test_qkv_hessians_deduped_in_collection(self, trained_micro_model,
+                                                 calibration):
+        from repro.quant.calibration_hooks import collect_input_stats
+
+        stats = collect_input_stats(
+            trained_micro_model, calibration.segments[:8]
+        )
+        q_name = next(n for n in stats if n.endswith("q_proj"))
+        h = {n: stats[n].normalised_hessian() for n in stats}
+        assert np.array_equal(h[q_name], h[q_name.replace("q_proj", "k_proj")])
+        assert np.array_equal(h[q_name], h[q_name.replace("q_proj", "v_proj")])
+        gate = next(n for n in stats if n.endswith("gate_proj"))
+        assert np.array_equal(h[gate], h[gate.replace("gate_proj", "up_proj")])

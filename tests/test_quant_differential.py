@@ -1,0 +1,216 @@
+"""Differential tests: every fast path is bit-identical to the slow path.
+
+The performance engine (lazy-batch blocked solver, Cholesky factor cache,
+multiprocessing executor) is only landable because each fast path is
+provably a pure reordering of the same arithmetic.  These tests pin that
+claim with ``np.array_equal`` — never ``allclose`` — over a seeded matrix
+of shapes, group sizes, damping values, bit-widths, activation orders,
+and blocksizes, and over end-to-end APTQ runs with ``workers=2`` vs
+``workers=0``.
+"""
+
+import numpy as np
+import pytest
+
+import repro.runtime.parallel as parallel
+from repro.core.aptq import APTQConfig, aptq_quantize_model
+from repro.data.calibration import CalibrationSet
+from repro.nn.transformer import LlamaConfig, LlamaModel
+from repro.quant.solver import (
+    quantize_with_hessian_blocked,
+    quantize_with_hessian_reference,
+)
+from repro.runtime.journal import RunJournal
+from repro.runtime.parallel import SolverTask, run_solver_tasks
+
+SHAPES = [(17, 5), (32, 32), (48, 20), (64, 16)]
+GROUP_SIZES = [8, 12, None]
+DAMPS = [0.0, 0.01, 0.1]
+BITS = [2, 4]
+BLOCKSIZES = [8, 32, 128]
+
+
+def make_problem(shape, seed, dead_channel=False):
+    """Seeded random weight + positive-definite Hessian."""
+    d_in, d_out = shape
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((d_in, d_out))
+    basis = rng.standard_normal((d_in, d_in))
+    hessian = basis @ basis.T / d_in + 0.05 * np.eye(d_in)
+    if dead_channel:
+        hessian[d_in // 2, :] = 0.0
+        hessian[:, d_in // 2] = 0.0
+    return weight, hessian
+
+
+def assert_results_identical(a, b, context="", loss_exact=True):
+    """Exact (``np.array_equal``) equality of every solver output array.
+
+    ``compensated_loss`` is a scalar diagnostic summed over error vectors
+    whose *values* differ at the last ulp between sweep schedules (the
+    cross-block flush is a matmul, the reference update a chain of rank-1
+    subtractions), so across schedules it is compared at near-machine
+    relative precision; within one schedule (``loss_exact=True``) it must
+    match exactly.
+    """
+    assert np.array_equal(a.quantized_weight, b.quantized_weight), context
+    assert np.array_equal(a.group_result.codes, b.group_result.codes), context
+    assert np.array_equal(a.group_result.scales, b.group_result.scales), context
+    assert np.array_equal(a.group_result.zeros, b.group_result.zeros), context
+    if loss_exact:
+        assert a.compensated_loss == b.compensated_loss, context
+    else:
+        assert np.isclose(
+            a.compensated_loss, b.compensated_loss, rtol=1e-9, atol=0.0
+        ), context
+    if a.permutation is None:
+        assert b.permutation is None, context
+    else:
+        assert np.array_equal(a.permutation, b.permutation), context
+
+
+class TestBlockedEqualsReference:
+    @pytest.mark.parametrize("shape", SHAPES, ids=str)
+    @pytest.mark.parametrize("group_size", GROUP_SIZES, ids=str)
+    @pytest.mark.parametrize("percdamp", DAMPS, ids=str)
+    def test_blocked_matches_reference_bitwise(self, shape, group_size, percdamp):
+        seed = hash((shape, group_size, percdamp)) % (2**32)
+        weight, hessian = make_problem(shape, seed)
+        for bits in BITS:
+            for actorder in (False, True):
+                reference = quantize_with_hessian_reference(
+                    weight,
+                    hessian,
+                    bits=bits,
+                    group_size=group_size,
+                    percdamp=percdamp,
+                    actorder=actorder,
+                )
+                for blocksize in BLOCKSIZES:
+                    blocked = quantize_with_hessian_blocked(
+                        weight,
+                        hessian,
+                        bits=bits,
+                        group_size=group_size,
+                        blocksize=blocksize,
+                        percdamp=percdamp,
+                        actorder=actorder,
+                    )
+                    assert_results_identical(
+                        reference,
+                        blocked,
+                        f"shape={shape} group={group_size} damp={percdamp} "
+                        f"bits={bits} actorder={actorder} block={blocksize}",
+                        loss_exact=False,
+                    )
+
+    def test_dead_channels_identical(self):
+        weight, hessian = make_problem((24, 10), seed=7, dead_channel=True)
+        reference = quantize_with_hessian_reference(
+            weight, hessian, bits=4, group_size=8
+        )
+        for blocksize in BLOCKSIZES:
+            blocked = quantize_with_hessian_blocked(
+                weight, hessian, bits=4, group_size=8, blocksize=blocksize
+            )
+            assert_results_identical(reference, blocked, loss_exact=False)
+
+
+def make_tasks(n_tasks=6, seed=11):
+    """Independent solver tasks over assorted shapes/bits."""
+    tasks = []
+    for index in range(n_tasks):
+        weight, hessian = make_problem((16 + 4 * index, 8), seed + index)
+        tasks.append(
+            SolverTask(
+                key=f"task{index}",
+                weight=weight,
+                hessian=hessian,
+                bits=2 + 2 * (index % 2),
+                group_size=8,
+            )
+        )
+    return tasks
+
+
+class TestExecutorParity:
+    def test_parallel_matches_serial_bitwise(self):
+        tasks = make_tasks()
+        serial_journal, parallel_journal = RunJournal(), RunJournal()
+        serial = run_solver_tasks(tasks, workers=0, journal=serial_journal)
+        parallel_results = run_solver_tasks(
+            tasks, workers=2, journal=parallel_journal
+        )
+        assert len(serial) == len(parallel_results) == len(tasks)
+        for a, b in zip(serial, parallel_results):
+            assert_results_identical(a, b)
+        assert [e.to_json() for e in serial_journal.events] == [
+            e.to_json() for e in parallel_journal.events
+        ]
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        def broken_context(method):
+            raise ValueError(f"start method {method!r} unavailable")
+
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_context", broken_context
+        )
+        tasks = make_tasks(n_tasks=3)
+        journal = RunJournal()
+        results = run_solver_tasks(tasks, workers=2, journal=journal)
+        assert len(results) == len(tasks)
+        warnings = [e for e in journal.events if e.category == "warning"]
+        assert len(warnings) == 1
+        assert "serial" in warnings[0].message
+        expected = run_solver_tasks(tasks, workers=0)
+        for a, b in zip(results, expected):
+            assert_results_identical(a, b)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_solver_tasks(make_tasks(n_tasks=1), workers=-1)
+
+
+class TestAPTQWorkersParity:
+    def test_workers2_equals_workers0_bitwise(self):
+        config = LlamaConfig(
+            vocab_size=64,
+            d_model=16,
+            n_layers=2,
+            n_heads=2,
+            d_ff=24,
+            max_seq_len=32,
+        )
+        rng = np.random.default_rng(0)
+        calibration = CalibrationSet(
+            segments=rng.integers(0, 64, size=(6, 12)),
+            corpus_name="synthetic",
+            seed=0,
+        )
+
+        def run(workers):
+            model = LlamaModel(config, seed=0)
+            result = aptq_quantize_model(
+                model,
+                calibration,
+                APTQConfig(ratio_4bit=0.5, workers=workers),
+            )
+            return model.state_dict(), result
+
+        serial_state, serial_result = run(0)
+        parallel_state, parallel_result = run(2)
+
+        assert sorted(serial_state) == sorted(parallel_state)
+        for name in serial_state:
+            assert np.array_equal(serial_state[name], parallel_state[name]), name
+        assert serial_result.allocation == parallel_result.allocation
+        for name in serial_result.layer_results:
+            assert_results_identical(
+                serial_result.layer_results[name],
+                parallel_result.layer_results[name],
+                name,
+            )
+        # Even the journal event streams are order-identical.
+        assert [e.to_json() for e in serial_result.health.events] == [
+            e.to_json() for e in parallel_result.health.events
+        ]

@@ -1,0 +1,176 @@
+"""Property-style seeded sweeps over solver invariants.
+
+Complements the differential suite (which compares schedules against each
+other) with properties each result must satisfy on its own: quantized
+values live exactly on the group codebook grid, codes stay in range,
+reconstruction error is monotone non-increasing in bit-width, ``actorder``
+results are consistent under the returned permutation, and the factor
+cache is transparent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quant.groupwise import GroupQuantResult
+from repro.quant.solver import (
+    MICRO_BLOCKSIZE,
+    SOLVER_MODES,
+    HessianFactorCache,
+    factorize_hessian,
+    hessian_fingerprint,
+    quantize_with_hessian,
+)
+
+SEEDS = [0, 1, 2, 3]
+
+
+def make_problem(shape, seed):
+    """Seeded random weight + positive-definite Hessian."""
+    d_in, d_out = shape
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((d_in, d_out))
+    basis = rng.standard_normal((d_in, d_in))
+    hessian = basis @ basis.T / d_in + 0.05 * np.eye(d_in)
+    return weight, hessian
+
+
+class TestGridMembership:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("bits", [2, 4])
+    def test_quantized_values_on_codebook_grid(self, seed, bits):
+        weight, hessian = make_problem((40, 12), seed)
+        result = quantize_with_hessian(
+            weight, hessian, bits=bits, group_size=8
+        )
+        group = result.group_result
+        assert group.codes.dtype == np.int64
+        assert group.codes.min() >= 0
+        assert group.codes.max() <= (1 << bits) - 1
+        # Dequantizing the codes through the stored grids reproduces the
+        # dense quantized weight exactly — every value is a grid point.
+        assert np.array_equal(group.dequantize(), result.quantized_weight)
+
+    def test_outputs_finite(self):
+        weight, hessian = make_problem((24, 8), seed=9)
+        hessian[3, :] = 0.0
+        hessian[:, 3] = 0.0  # dead channel
+        result = quantize_with_hessian(weight, hessian, bits=4, group_size=8)
+        assert np.isfinite(result.quantized_weight).all()
+        assert np.isfinite(result.group_result.scales).all()
+        assert np.isfinite(result.compensated_loss)
+
+
+class TestErrorMonotonicity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mse_non_increasing_with_bits(self, seed):
+        weight, hessian = make_problem((48, 16), seed)
+        mses = [
+            quantize_with_hessian(
+                weight, hessian, bits=bits, group_size=8
+            ).mse
+            for bits in (2, 4, 8)
+        ]
+        assert mses[0] >= mses[1] >= mses[2]
+        assert mses[2] < mses[0]  # strictly better somewhere
+
+
+class TestActorderConsistency:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_permutation_links_codes_to_weight(self, seed):
+        weight, hessian = make_problem((32, 10), seed)
+        result = quantize_with_hessian(
+            weight, hessian, bits=4, group_size=8, actorder=True
+        )
+        perm = result.permutation
+        assert perm is not None
+        assert sorted(perm.tolist()) == list(range(32))
+        # Codes/grids live in the sweep (permuted) layout; the dense weight
+        # is row-aligned with the input.  The permutation links the two.
+        assert np.array_equal(
+            result.group_result.dequantize(),
+            result.quantized_weight[perm],
+        )
+
+    def test_no_actorder_has_no_permutation(self):
+        weight, hessian = make_problem((16, 6), seed=5)
+        result = quantize_with_hessian(weight, hessian, bits=4)
+        assert result.permutation is None
+
+
+class TestFactorCache:
+    def test_cache_hit_is_transparent(self):
+        weight, hessian = make_problem((24, 8), seed=2)
+        cache = HessianFactorCache()
+        uncached = quantize_with_hessian(weight, hessian, bits=4, group_size=8)
+        first = quantize_with_hessian(
+            weight, hessian, bits=4, group_size=8, cache=cache
+        )
+        second = quantize_with_hessian(
+            weight, hessian, bits=4, group_size=8, cache=cache
+        )
+        assert cache.misses == 1 and cache.hits == 1
+        for result in (first, second):
+            assert np.array_equal(
+                result.quantized_weight, uncached.quantized_weight
+            )
+            assert np.array_equal(
+                result.group_result.codes, uncached.group_result.codes
+            )
+            assert result.compensated_loss == uncached.compensated_loss
+
+    def test_cached_factor_equals_direct(self):
+        _, hessian = make_problem((20, 4), seed=3)
+        cache = HessianFactorCache()
+        cached = cache.factor(hessian, 0.01, False)
+        direct = factorize_hessian(hessian, percdamp=0.01)
+        assert np.array_equal(cached.inv_upper, direct.inv_upper)
+        assert np.array_equal(cached.dead, direct.dead)
+
+    def test_fingerprint_distinguishes_content(self):
+        _, hessian = make_problem((16, 4), seed=4)
+        other = hessian.copy()
+        other[0, 0] += 1e-12
+        assert hessian_fingerprint(hessian) == hessian_fingerprint(
+            hessian.copy()
+        )
+        assert hessian_fingerprint(hessian) != hessian_fingerprint(other)
+
+    def test_fifo_eviction_bounds_entries(self):
+        cache = HessianFactorCache(max_entries=2)
+        for seed in range(4):
+            _, hessian = make_problem((8, 2), seed)
+            cache.factor(hessian, 0.01, False)
+        assert len(cache) == 2
+        with pytest.raises(ValueError):
+            HessianFactorCache(max_entries=0)
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self):
+        weight, hessian = make_problem((8, 4), seed=0)
+        with pytest.raises(ValueError, match="mode"):
+            quantize_with_hessian(weight, hessian, bits=4, mode="eager")
+        assert set(SOLVER_MODES) == {"blocked", "reference"}
+
+    def test_bad_blocksize_rejected(self):
+        weight, hessian = make_problem((8, 4), seed=0)
+        with pytest.raises(ValueError, match="blocksize"):
+            quantize_with_hessian(weight, hessian, bits=4, blocksize=0)
+        assert MICRO_BLOCKSIZE > 0
+
+    def test_shape_mismatch_rejected(self):
+        weight, _ = make_problem((8, 4), seed=0)
+        _, hessian = make_problem((6, 4), seed=0)
+        with pytest.raises(ValueError, match="hessian"):
+            quantize_with_hessian(weight, hessian, bits=4)
+
+
+class TestGroupRecordShape:
+    def test_group_record_matches_layout(self):
+        weight, hessian = make_problem((20, 6), seed=1)
+        result = quantize_with_hessian(weight, hessian, bits=4, group_size=8)
+        group = result.group_result
+        assert isinstance(group, GroupQuantResult)
+        assert group.codes.shape == weight.shape
+        assert group.scales.shape == (3, 6)  # ceil(20 / 8) groups
+        assert group.zeros.shape == (3, 6)

@@ -1,0 +1,76 @@
+"""Run the quantization perf benches and write ``BENCH_quantize.json``.
+
+Usage:  python tools/bench.py [--out PATH] [--quick] [--repeats N]
+                              [--workers N]
+
+Thin wrapper around :mod:`repro.report.bench` that puts ``src/`` on the
+path first.  The default output is ``BENCH_quantize.json`` at the repo
+root — the perf-trajectory artifact validated by
+``tests/test_bench_schema.py`` (schema + the >=2x solver speedup bar).
+``--quick`` skips the end-to-end pipeline suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.report.bench import (  # noqa: E402
+    build_quantize_report,
+    write_bench_report,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=ROOT / "BENCH_quantize.json",
+        help="output path (default: BENCH_quantize.json at the repo root)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="solver suite only (skip the end-to-end pipeline bench)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for the pipeline bench",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_quantize_report(
+        repeats=args.repeats,
+        workers=args.workers,
+        quick=args.quick,
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+    path = write_bench_report(args.out, report)
+    for record in report["records"]:
+        timings = ", ".join(
+            f"{label}={seconds:.4f}s"
+            for label, seconds in sorted(record["timings"].items())
+        )
+        print(
+            f"{record['name']}: {timings}  "
+            f"speedup={record['speedup']:.2f}x  "
+            f"bit_identical={record['bit_identical']}"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,5 +15,9 @@ python -m pytest -x -q tests/test_runtime_recovery.py \
     tests/test_runtime_faults.py tests/test_runtime_checkpoint.py \
     tests/test_runtime_integration.py
 
+echo "== differential + bench smoke (perf engine bit-identity) =="
+python -m pytest -x -q tests/test_quant_differential.py \
+    tests/test_quant_golden.py tests/test_bench_schema.py
+
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
