@@ -1,0 +1,63 @@
+"""Inference fast-path bench: fused NLL, KV-cached decode, packed forward.
+
+Usage:  python benchmarks/perf/eval_speed.py [--repeats K] [--smoke]
+
+Times the three evaluation fast paths against their slow twins (see
+:func:`repro.report.bench.eval_bench_records`) and prints the records,
+re-checking each equivalence claim at measure time.  ``--smoke`` shrinks
+the problem sizes for a seconds-scale CI gate.  For the committed perf
+artifact use ``tools/bench.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.report.bench import eval_bench_records  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the eval benches and print their records."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small problem sizes (CI gate: asserts equivalence flags)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        records = eval_bench_records(
+            repeats=1, vocab=512, generate_tokens=48, packed_size=128
+        )
+    else:
+        records = eval_bench_records(repeats=args.repeats)
+    failures = 0
+    for record in records:
+        timings = ", ".join(
+            f"{label}={seconds:.4f}s"
+            for label, seconds in sorted(record["timings"].items())
+        )
+        print(
+            f"{record['name']}: {timings}  "
+            f"speedup={record['speedup']:.2f}x  "
+            f"bit_identical={record['bit_identical']}"
+        )
+        if not record["bit_identical"]:
+            failures += 1
+    if failures:
+        print(f"{failures} record(s) lost bit-identity", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,7 @@ narrowing allowlist.
 """
 
 from repro.analysis.rules import autograd, hygiene, numeric  # noqa: F401
-from repro.analysis.rules import interproc, robustness  # noqa: F401
+from repro.analysis.rules import interproc, perf, robustness  # noqa: F401
 from repro.analysis import callgraph, dataflow  # noqa: F401
 
-__all__ = ["autograd", "hygiene", "numeric", "interproc"]
+__all__ = ["autograd", "hygiene", "numeric", "interproc", "perf"]

@@ -1,0 +1,52 @@
+"""Performance rules for the inference/evaluation hot paths.
+
+The evaluation harness scores every token of every window, so its cost is
+dominated by what happens per ``(batch, seq, vocab)`` logit block.  The
+fused :func:`repro.nn.functional.gather_nll` computes per-token NLL
+without materialising the full-vocab log-probability tensor; a stray
+``log_softmax``-then-gather in pipeline code silently reintroduces that
+allocation (3 vocab-sized temporaries per batch) and the memory traffic
+that goes with it.  The ``perf-full-logsoftmax`` rule pins full-vocab
+``log_softmax`` calls to the two modules that define the primitives —
+everything else should route through ``gather_nll``/``cross_entropy``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.core import Diagnostic, ModuleContext, Rule, rule
+
+__all__ = ["FULL_LOGSOFTMAX_ALLOWED"]
+
+#: Modules allowed to call ``log_softmax`` directly (dotted, no ``.py``):
+#: the numpy and autograd primitive definitions, whose reference
+#: compositions (``gather_nll_reference``) exist to differentially test
+#: the fused path.
+FULL_LOGSOFTMAX_ALLOWED = (
+    "repro.nn.functional",
+    "repro.autograd.ops",
+)
+
+
+@rule(
+    "perf-full-logsoftmax",
+    "full-vocab log_softmax outside the primitive modules; use gather_nll",
+)
+def _full_logsoftmax(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    if module.in_package(*FULL_LOGSOFTMAX_ALLOWED):
+        return
+    for node in astutil.walk_calls(module.tree):
+        name = astutil.call_name(node)
+        if name is None:
+            continue
+        if name.split(".")[-1] == "log_softmax":
+            yield self.diagnostic(
+                module,
+                node,
+                "log_softmax materialises the full (..., vocab) log-prob "
+                "tensor; for per-token NLL route through the fused "
+                "repro.nn.functional.gather_nll (or ops.gather_nll on the "
+                "autograd path), which is bit-identical and allocation-free",
+            )

@@ -41,6 +41,7 @@ __all__ = [
     "embedding",
     "softmax",
     "log_softmax",
+    "gather_nll",
     "where",
 ]
 
@@ -432,5 +433,37 @@ def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
     def backward(grad, sink):
         g = np.asarray(grad)
         sink(a, g - probs * g.sum(axis=axis, keepdims=True))
+
+    return Tensor.make(out, (a,), backward)
+
+
+def gather_nll(a: Tensor, targets: np.ndarray) -> Tensor:
+    """Fused per-token NLL ``logsumexp(a) - a[target]`` over the last axis.
+
+    The forward pass never materialises the ``(..., vocab)`` log-prob
+    tensor that ``log_softmax`` + ``getitem`` would allocate, and the
+    backward is the closed form ``(softmax(a) - onehot(targets)) * grad``
+    — one scatter instead of two chained graph sweeps.  Forward values are
+    bit-identical to the unfused composition (IEEE rounding commutes with
+    negation); ``targets`` is a constant integer array matching ``a``'s
+    leading shape.
+    """
+    targets = np.asarray(targets)
+    index = targets[..., None]
+    shifted = a.data - a.data.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    norm = exps.sum(axis=-1, keepdims=True)
+    # The sum of max-shifted exponentials is >= exp(0) = 1: log is safe.
+    log_norm = np.log(norm[..., 0])  # lint: disable=numeric-raw-log
+    target_shifted = np.take_along_axis(shifted, index, axis=-1)[..., 0]
+    out = log_norm - target_shifted
+    probs = exps / norm
+
+    def backward(grad, sink):
+        g = np.asarray(grad)[..., None]
+        grad_a = probs * g
+        at_target = np.take_along_axis(grad_a, index, axis=-1) - g
+        np.put_along_axis(grad_a, index, at_target, axis=-1)
+        sink(a, grad_a)
 
     return Tensor.make(out, (a,), backward)

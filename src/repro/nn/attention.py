@@ -203,26 +203,120 @@ class MultiHeadAttention(Module):
         heads = context.transpose(0, 2, 1, 3).reshape(batch, 1, self.d_model)
         return self.o_proj.forward_array(heads)
 
+    def forward_prefill(self, x: np.ndarray, cache: "KVCache") -> np.ndarray:
+        """Attend ``seq`` new tokens against the cache in one batched pass.
+
+        ``x`` is (batch, seq, d_model); the new tokens occupy positions
+        ``cache.length .. cache.length + seq - 1`` and the cache is appended
+        in place.  On an empty cache this performs the same arithmetic as
+        :meth:`forward_array` (identical rope rows, mask values, and
+        reductions); a single prefill replaces ``seq`` successive
+        :meth:`forward_step` calls with one batched attention, which is why
+        :meth:`~repro.nn.transformer.LlamaModel.generate_cached` prompt
+        processing is O(seq) matmul launches instead of O(seq²).
+        """
+        batch, seq, _ = x.shape
+        start = cache.length
+        total = start + seq
+        cos, sin = self.rope.tables(total)
+        cos_t, sin_t = cos[start:total], sin[start:total]
+
+        def split(a: np.ndarray) -> np.ndarray:
+            return a.reshape(batch, seq, self.n_heads, self.d_head).transpose(
+                0, 2, 1, 3
+            )
+
+        q = F.apply_rope(split(self.q_proj.forward_array(x)), cos_t, sin_t)
+        k = F.apply_rope(split(self.k_proj.forward_array(x)), cos_t, sin_t)
+        v = split(self.v_proj.forward_array(x))
+        keys, values = cache.append(k, v)
+        scores = q @ np.swapaxes(keys, -1, -2) / np.sqrt(self.d_head)
+        if seq > 1:
+            # Offset causal mask: new token i (absolute position start + i)
+            # attends to absolute positions <= start + i.  For start == 0
+            # this is exactly ``F.causal_mask(seq)``.
+            mask = np.zeros((seq, total))
+            blocked = np.arange(total)[None, :] > (
+                start + np.arange(seq)[:, None]
+            )
+            mask[blocked] = -np.inf
+            scores = scores + mask
+        probs = F.softmax(scores, axis=-1)
+        context = probs @ values
+        heads = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.d_model)
+        return self.o_proj.forward_array(heads)
+
 
 class KVCache:
-    """Grow-only key/value cache for one attention block."""
+    """Preallocated key/value cache for one attention block.
 
-    def __init__(self) -> None:
-        self.keys: Optional[np.ndarray] = None
-        self.values: Optional[np.ndarray] = None
+    The pre-PR-5 cache re-concatenated the whole history on every appended
+    token — O(n²) copying over a decode.  This cache owns one contiguous
+    buffer per tensor and writes new keys/values into the next free slots:
+
+    * ``capacity`` preallocates the buffer at first append (pass
+      ``max_seq_len`` so a decode never reallocates);
+    * with the default ``capacity=0`` the buffer grows by doubling, an
+      amortised O(1) append;
+    * :attr:`keys`/:attr:`values` are zero-copy views of the filled prefix —
+      element-for-element the arrays concatenation would have produced.
+
+    Buffer shape and dtype come from the first appended array, so the cache
+    is agnostic to batch size, head count, and head dimension.
+    """
+
+    def __init__(self, capacity: int = 0) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._keys: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._length = 0
 
     @property
     def length(self) -> int:
         """Number of cached positions."""
-        return 0 if self.keys is None else self.keys.shape[2]
+        return self._length
+
+    @property
+    def keys(self) -> Optional[np.ndarray]:
+        """View of the cached keys, ``(b, h, length, d)``; ``None`` if empty."""
+        if self._keys is None:
+            return None
+        return self._keys[:, :, : self._length]
+
+    @property
+    def values(self) -> Optional[np.ndarray]:
+        """View of the cached values, ``(b, h, length, d)``; ``None`` if empty."""
+        if self._values is None:
+            return None
+        return self._values[:, :, : self._length]
+
+    def _reserve(self, template: np.ndarray, needed: int) -> None:
+        """Ensure the buffers hold at least ``needed`` positions."""
+        if self._keys is not None and self._keys.shape[2] >= needed:
+            return
+        if self._keys is None:
+            size = max(self.capacity, needed)
+        else:
+            size = max(2 * self._keys.shape[2], needed)
+        batch, heads, _, d_head = template.shape
+        keys = np.empty((batch, heads, size, d_head), dtype=template.dtype)
+        values = np.empty_like(keys)
+        if self._keys is not None:
+            keys[:, :, : self._length] = self._keys[:, :, : self._length]
+            values[:, :, : self._length] = self._values[:, :, : self._length]
+        self._keys, self._values = keys, values
 
     def append(
         self, k: np.ndarray, v: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Append (b, h, 1, d) keys/values; returns the full caches."""
-        if self.keys is None:
-            self.keys, self.values = k, v
-        else:
-            self.keys = np.concatenate([self.keys, k], axis=2)
-            self.values = np.concatenate([self.values, v], axis=2)
+        """Append ``(b, h, t, d)`` keys/values; returns views of the caches."""
+        k = np.asarray(k)
+        v = np.asarray(v)
+        new = self._length + k.shape[2]
+        self._reserve(k, new)
+        self._keys[:, :, self._length : new] = k
+        self._values[:, :, self._length : new] = v
+        self._length = new
         return self.keys, self.values

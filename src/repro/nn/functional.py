@@ -18,6 +18,8 @@ __all__ = [
     "rotate_half",
     "apply_rope",
     "causal_mask",
+    "gather_nll",
+    "gather_nll_reference",
     "cross_entropy",
     "attention",
 ]
@@ -100,16 +102,61 @@ def causal_mask(seq_len: int) -> np.ndarray:
     return mask
 
 
+def gather_nll(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-token negative log-likelihood, fused (no log-prob tensor).
+
+    Computes ``logsumexp(logits) - logits[target]`` over the last axis
+    without materialising the full ``(..., vocab)`` log-probability tensor
+    that ``log_softmax``-then-gather would allocate.  Uses the same max
+    shift and the same reduction order as :func:`log_softmax`, so the
+    result is **bit-identical** to :func:`gather_nll_reference` (pinned by
+    ``tests/test_eval_perplexity.py``): IEEE-754 rounding commutes with
+    negation, hence ``-(shifted[t] - log_norm) == log_norm - shifted[t]``
+    exactly.
+
+    ``logits`` has shape ``(..., vocab)``; ``targets`` matches the leading
+    shape with integer class ids; returns NLL in the leading shape.
+    """
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    peak = logits.max(axis=-1, keepdims=True)
+    target_logit = (
+        np.take_along_axis(logits, targets[..., None], axis=-1)
+        - peak
+    )[..., 0]
+    # One full-vocab temporary, reused in place for the exponentials.  The
+    # argument IS max-shifted (``peak`` is the row max above); the shift
+    # detector only sees inline ``x - x.max()`` forms, hence the waiver.
+    buffer = logits - peak
+    np.exp(buffer, out=buffer)  # lint: disable=numeric-raw-exp
+    # The buffer holds exponentials: the sum is >= exp(0) = 1 by the shift.
+    log_norm = np.log(buffer.sum(axis=-1))  # lint: disable=numeric-raw-log
+    return log_norm - target_logit
+
+
+def gather_nll_reference(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Unfused reference for :func:`gather_nll`: log-softmax, then gather.
+
+    Materialises the full ``(..., vocab)`` log-probability tensor; kept as
+    the differential-test oracle and the bench baseline.
+    """
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    log_probs = log_softmax(logits, axis=-1)
+    picked = np.take_along_axis(log_probs, targets[..., None], axis=-1)
+    return -picked[..., 0]
+
+
 def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
     """Mean negative log-likelihood of ``targets`` under ``logits``.
 
     ``logits`` has shape ``(..., vocab)``; ``targets`` matches the leading
     shape with integer class ids.
     """
-    log_probs = log_softmax(logits, axis=-1)
-    flat = log_probs.reshape(-1, log_probs.shape[-1])
-    picked = flat[np.arange(flat.shape[0]), targets.reshape(-1)]
-    return float(-picked.mean())
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    flat = logits.reshape(-1, logits.shape[-1])
+    return float(gather_nll(flat, targets.reshape(-1)).mean())
 
 
 def attention(

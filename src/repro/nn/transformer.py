@@ -137,21 +137,22 @@ class LlamaModel(Module):
         return states
 
     def loss(self, ids: np.ndarray, targets: np.ndarray) -> Tensor:
-        """Mean next-token cross-entropy (autograd scalar)."""
+        """Mean next-token cross-entropy (autograd scalar).
+
+        Routed through the fused :func:`repro.autograd.ops.gather_nll`, so
+        no ``(batch, seq, vocab)`` log-prob tensor is materialised; the
+        value is bit-identical to the unfused log-softmax-then-gather form.
+        """
         logits = self.forward(ids)
-        log_probs = ops.log_softmax(logits, axis=-1)
         targets = np.atleast_2d(np.asarray(targets))
-        batch, seq, vocab = log_probs.shape
-        flat = ops.reshape(log_probs, (batch * seq, vocab))
-        picked = flat[np.arange(batch * seq), targets.reshape(-1)]
-        return ops.neg(ops.mean(picked))
+        return ops.mean(ops.gather_nll(logits, targets))
 
     # ------------------------------------------------------------------
     # Incremental decoding
     # ------------------------------------------------------------------
     def new_cache(self) -> list[KVCache]:
-        """One empty KV cache per block."""
-        return [KVCache() for _ in self.blocks]
+        """One empty KV cache per block, preallocated to ``max_seq_len``."""
+        return [KVCache(self.config.max_seq_len) for _ in self.blocks]
 
     def decode_step(
         self, ids: np.ndarray, caches: list[KVCache]
@@ -170,6 +171,37 @@ class LlamaModel(Module):
         for block, cache in zip(self.blocks, caches):
             normed = block.input_norm.forward_array(x)
             x = x + block.self_attn.forward_step(normed, cache, position)
+            x = x + block.mlp.forward_array(
+                block.post_attn_norm.forward_array(x)
+            )
+        x = self.final_norm.forward_array(x)
+        if self.lm_head is not None:
+            logits = self.lm_head.forward_array(x)
+        else:
+            logits = x @ self.embed.weight.data.T
+        return logits[:, -1, :]
+
+    def prefill(
+        self, ids: np.ndarray, caches: list[KVCache]
+    ) -> np.ndarray:
+        """Feed a ``(batch, seq)`` prompt through the caches in one pass.
+
+        Returns next-token logits ``(batch, vocab)`` and leaves ``caches``
+        holding the full prompt, exactly as ``seq`` successive
+        :meth:`decode_step` calls would — but with one batched attention per
+        block instead of ``seq`` single-token steps.  On fresh caches the
+        arithmetic is identical to :meth:`forward_array`.
+        """
+        ids = np.atleast_2d(np.asarray(ids))
+        if ids.shape[1] == 0:
+            raise ValueError("prompt must contain at least one token")
+        total = caches[0].length + ids.shape[1]
+        if total > self.config.max_seq_len:
+            raise ValueError("KV cache is full (max_seq_len reached)")
+        x = self.embed.weight.data[ids]
+        for block, cache in zip(self.blocks, caches):
+            normed = block.input_norm.forward_array(x)
+            x = x + block.self_attn.forward_prefill(normed, cache)
             x = x + block.mlp.forward_array(
                 block.post_attn_norm.forward_array(x)
             )
@@ -203,9 +235,7 @@ class LlamaModel(Module):
                 "prompt plus continuation exceeds the context window"
             )
         caches = self.new_cache()
-        logits = None
-        for token in prompt:
-            logits = self.decode_step(np.array([token]), caches)
+        logits = self.prefill(prompt[None, :], caches)
         sequence = list(prompt)
         for _ in range(max_new_tokens):
             row = logits[0]
@@ -217,6 +247,63 @@ class LlamaModel(Module):
             sequence.append(token)
             logits = self.decode_step(np.array([token]), caches)
         return np.asarray(sequence, dtype=np.int64)
+
+    def generate_batch(
+        self,
+        prompts: np.ndarray,
+        max_new_tokens: int,
+        temperature: float = 0.0,
+        rngs: Optional[list[np.random.Generator]] = None,
+    ) -> np.ndarray:
+        """Decode a batch of equal-length prompts in one cached pass.
+
+        ``prompts`` is ``(batch, prompt_len)``; returns
+        ``(batch, prompt_len + max_new_tokens)``.  Row ``b`` matches
+        ``generate_cached(prompts[b], ...)`` token for token (every layer is
+        row-independent, so batching only amortises dispatch overhead).  With
+        ``temperature > 0`` pass one generator per row via ``rngs``; the
+        default decodes greedily.
+        """
+        if max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be non-negative")
+        if isinstance(prompts, (list, tuple)):
+            lengths = {len(np.asarray(p).reshape(-1)) for p in prompts}
+            if len(lengths) > 1:
+                raise ValueError(
+                    "generate_batch requires equal-length prompts (got "
+                    f"lengths {sorted(lengths)}); pad or call "
+                    "generate_cached per prompt"
+                )
+        prompts = np.atleast_2d(np.asarray(prompts))
+        batch, prompt_len = prompts.shape
+        if prompt_len == 0:
+            raise ValueError("prompts must contain at least one token")
+        if prompt_len + max_new_tokens > self.config.max_seq_len:
+            raise ValueError(
+                "prompt plus continuation exceeds the context window"
+            )
+        if temperature > 0.0:
+            if rngs is None or len(rngs) != batch:
+                raise ValueError(
+                    "sampling requires one rng per batch row"
+                )
+        caches = self.new_cache()
+        logits = self.prefill(prompts, caches)
+        sequences = [list(row) for row in prompts]
+        for _ in range(max_new_tokens):
+            tokens = np.empty(batch, dtype=np.int64)
+            for row_index in range(batch):
+                row = logits[row_index]
+                if temperature <= 0.0:
+                    tokens[row_index] = int(np.argmax(row))
+                else:
+                    probs = F.softmax(row / temperature)
+                    tokens[row_index] = int(
+                        rngs[row_index].choice(probs.size, p=probs)
+                    )
+                sequences[row_index].append(int(tokens[row_index]))
+            logits = self.decode_step(tokens, caches)
+        return np.asarray(sequences, dtype=np.int64)
 
     def generate(
         self,

@@ -4,6 +4,19 @@ Provides the storage layer a deployment would use: ``pack_codes`` packs a
 flat code array at ``bits`` per entry with no padding between entries
 (entries may straddle word boundaries); ``unpack_codes`` is its exact
 inverse.  Model-size accounting in the experiments uses these sizes.
+
+Two implementations sit behind each public function:
+
+* an **aligned fast path** for bit-widths dividing the 32-bit word
+  (1/2/4/8/16): no code ever straddles a word, so packing is a pure
+  reshape-shift-reduce and unpacking a broadcast shift-mask — no scatter
+  at all;
+* a **general path** for straddling widths (3/5/6/...), vectorised with a
+  sort + ``np.bitwise_or.reduceat`` scatter-OR instead of the
+  element-at-a-time ``np.bitwise_or.at`` ufunc loop.
+
+Both paths produce byte-identical words (cross-checked by
+``tests/test_quant_packing.py``).
 """
 
 from __future__ import annotations
@@ -15,6 +28,37 @@ __all__ = ["pack_codes", "unpack_codes"]
 _WORD_BITS = 32
 
 
+def _scatter_or(words: np.ndarray, index: np.ndarray, values: np.ndarray) -> None:
+    """``words[index] |= values`` with duplicate indices OR-merged.
+
+    Equivalent to ``np.bitwise_or.at(words, index, values)`` but vectorised:
+    contributions are sorted by destination word (stable, though OR is
+    commutative so stability is only for determinism of the intermediate),
+    OR-merged per run with ``reduceat``, and written with one fancy-index
+    store per unique destination.
+    """
+    if index.size == 0:
+        return
+    order = np.argsort(index, kind="stable")
+    sorted_index = index[order]
+    sorted_values = values[order]
+    starts = np.flatnonzero(
+        np.concatenate([[True], sorted_index[1:] != sorted_index[:-1]])
+    )
+    words[sorted_index[starts]] |= np.bitwise_or.reduceat(sorted_values, starts)
+
+
+def _pack_aligned(codes: np.ndarray, bits: int, n_words: int) -> np.ndarray:
+    """Pack when ``bits`` divides the word size: reshape + shift + OR-reduce."""
+    per_word = _WORD_BITS // bits
+    lanes = np.zeros(n_words * per_word, dtype=np.uint64)
+    lanes[: codes.size] = codes
+    shifts = np.arange(per_word, dtype=np.uint64) * np.uint64(bits)
+    return np.bitwise_or.reduce(
+        lanes.reshape(n_words, per_word) << shifts, axis=1
+    )
+
+
 def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
     """Pack non-negative integer ``codes`` densely at ``bits`` per code."""
     if not 1 <= bits <= 16:
@@ -24,19 +68,34 @@ def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
         raise ValueError(f"code out of range for {bits}-bit packing")
     total_bits = codes.size * bits
     n_words = (total_bits + _WORD_BITS - 1) // _WORD_BITS
-    words = np.zeros(n_words, dtype=np.uint64)
-    positions = np.arange(codes.size, dtype=np.uint64) * np.uint64(bits)
-    word_index = (positions // _WORD_BITS).astype(np.int64)
-    offset = (positions % _WORD_BITS).astype(np.uint64)
-    # Low part goes into the current word...
-    np.bitwise_or.at(words, word_index, codes << offset)
-    # ...and any overflow spills into the next word.
-    spill = offset + np.uint64(bits) > _WORD_BITS
-    if spill.any():
-        hi = codes[spill] >> (np.uint64(_WORD_BITS) - offset[spill])
-        np.bitwise_or.at(words, word_index[spill] + 1, hi)
+    if _WORD_BITS % bits == 0:
+        words = _pack_aligned(codes, bits, n_words)
+    else:
+        words = np.zeros(n_words, dtype=np.uint64)
+        positions = np.arange(codes.size, dtype=np.uint64) * np.uint64(bits)
+        word_index = (positions // _WORD_BITS).astype(np.int64)
+        offset = (positions % _WORD_BITS).astype(np.uint64)
+        # Low part goes into the current word; any overflow spills into the
+        # next word.  Both contribution lists feed one vectorised scatter-OR.
+        index = word_index
+        values = codes << offset
+        spill = offset + np.uint64(bits) > _WORD_BITS
+        if spill.any():
+            hi = codes[spill] >> (np.uint64(_WORD_BITS) - offset[spill])
+            index = np.concatenate([word_index, word_index[spill] + 1])
+            values = np.concatenate([values, hi])
+        _scatter_or(words, index, values)
     # Mask to 32 bits and downcast.
     return (words & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+
+
+def _unpack_aligned(words: np.ndarray, bits: int, count: int) -> np.ndarray:
+    """Unpack when ``bits`` divides the word size: broadcast shift + mask."""
+    per_word = _WORD_BITS // bits
+    shifts = np.arange(per_word, dtype=np.uint64) * np.uint64(bits)
+    mask = np.uint64((1 << bits) - 1)
+    lanes = (words[:, None] >> shifts) & mask
+    return lanes.reshape(-1)[:count].astype(np.int64)
 
 
 def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
@@ -46,6 +105,8 @@ def unpack_codes(words: np.ndarray, bits: int, count: int) -> np.ndarray:
     if count < 0:
         raise ValueError("count must be non-negative")
     words = np.asarray(words, dtype=np.uint64)
+    if _WORD_BITS % bits == 0:
+        return _unpack_aligned(words, bits, count)
     mask = np.uint64((1 << bits) - 1)
     positions = np.arange(count, dtype=np.uint64) * np.uint64(bits)
     word_index = (positions // _WORD_BITS).astype(np.int64)

@@ -10,6 +10,8 @@ honest end to end.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
@@ -17,9 +19,26 @@ from repro.quant.packing import pack_codes, unpack_codes
 
 __all__ = ["QuantizedLinear"]
 
+#: Widest code alphabet the LUT dequantizer will materialise per
+#: (group, column): 8 bits = 256 entries.  Wider codes fall back to the
+#: direct compute path (a 2^16-entry table would dwarf the codes).
+_LUT_MAX_BITS = 8
+
 
 class QuantizedLinear:
-    """A linear layer stored as packed group-quantized integer codes."""
+    """A linear layer stored as packed group-quantized integer codes.
+
+    Dequantization is served from a memoised dense weight keyed on a
+    fingerprint of the packed bytes and grids: repeated forwards (the
+    evaluation loop calls each layer hundreds of times) pay one
+    reconstruction, and any in-place mutation of ``packed``/``scales``/
+    ``zeros`` changes the fingerprint and invalidates the cache.  The
+    reconstruction itself uses a per-group codebook lookup for narrow codes
+    (``bits <= 8``) — bit-identical to the direct compute by construction,
+    since a ``bits``-bit layer holds only ``2**bits`` distinct codes and the
+    table entry ``(code - zero) * scale`` is the very float operation the
+    direct path performs per element.
+    """
 
     def __init__(
         self,
@@ -36,6 +55,8 @@ class QuantizedLinear:
         self.bits = int(bits)
         self.group_size = int(group_size)
         self.shape = (int(shape[0]), int(shape[1]))
+        self._dense_cache: np.ndarray | None = None
+        self._dense_cache_key: bytes | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -65,20 +86,72 @@ class QuantizedLinear:
             d_in, d_out
         )
 
-    def dequantize(self) -> np.ndarray:
-        """Dense float64 weight reconstructed from storage."""
-        d_in, d_out = self.shape
+    def _group_of_row(self) -> np.ndarray:
+        """Group index of every input row (last group absorbs the remainder)."""
+        d_in = self.shape[0]
+        return np.minimum(
+            np.arange(d_in) // self.group_size, self.scales.shape[0] - 1
+        )
+
+    def _dequantize_direct(self) -> np.ndarray:
+        """Reference reconstruction: elementwise ``(code - zero) * scale``."""
         codes = self.codes().astype(np.float64)
         scales = self.scales.astype(np.float64)
         zeros = self.zeros.astype(np.float64)
-        group_of_row = np.minimum(
-            np.arange(d_in) // self.group_size, scales.shape[0] - 1
-        )
+        group_of_row = self._group_of_row()
         return (codes - zeros[group_of_row]) * scales[group_of_row]
 
+    def _dequantize_lut(self) -> np.ndarray:
+        """Codebook reconstruction: per-(group, column) lookup table.
+
+        Bit-identical to :meth:`_dequantize_direct`: the table entry for
+        code ``c`` in group ``g``, column ``j`` is the one float operation
+        ``(c - zeros[g, j]) * scales[g, j]`` the direct path performs, and
+        the gather just replays those results.
+        """
+        levels = np.arange(1 << self.bits, dtype=np.float64)
+        scales = self.scales.astype(np.float64)
+        zeros = self.zeros.astype(np.float64)
+        lut = (levels[None, None, :] - zeros[:, :, None]) * scales[:, :, None]
+        d_out = self.shape[1]
+        return lut[
+            self._group_of_row()[:, None], np.arange(d_out)[None, :], self.codes()
+        ]
+
+    def _fingerprint(self) -> bytes:
+        """Digest of everything the dense reconstruction depends on."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.ascontiguousarray(self.packed).tobytes())
+        digest.update(np.ascontiguousarray(self.scales).tobytes())
+        digest.update(np.ascontiguousarray(self.zeros).tobytes())
+        meta = (self.bits, self.group_size, self.shape)
+        digest.update(repr(meta).encode())
+        return digest.digest()
+
+    def _dense_weight(self) -> np.ndarray:
+        """Memoised read-only dense weight; rebuilt when storage mutates."""
+        key = self._fingerprint()
+        if self._dense_cache is None or self._dense_cache_key != key:
+            if self.bits <= _LUT_MAX_BITS:
+                dense = self._dequantize_lut()
+            else:
+                dense = self._dequantize_direct()
+            dense.setflags(write=False)
+            self._dense_cache = dense
+            self._dense_cache_key = key
+        return self._dense_cache
+
+    def dequantize(self) -> np.ndarray:
+        """Dense float64 weight reconstructed from storage (fresh copy)."""
+        return self._dense_weight().copy()
+
     def forward_array(self, x: np.ndarray) -> np.ndarray:
-        """``x @ W`` computed from the packed representation."""
-        return x @ self.dequantize()
+        """``x @ W`` computed from the packed representation.
+
+        Serves the matmul from the memoised dense weight, so an evaluation
+        loop dequantizes each layer once, not once per call.
+        """
+        return x @ self._dense_weight()
 
     # ------------------------------------------------------------------
     def storage_bytes(self) -> int:

@@ -8,6 +8,7 @@ from repro.report.bench import (
     BENCH_SCHEMA_VERSION,
     best_of,
     build_quantize_report,
+    eval_bench_records,
     pipeline_bench_record,
     solver_bench_records,
     validate_bench_report,
@@ -24,6 +25,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "best_of",
     "build_quantize_report",
+    "eval_bench_records",
     "pipeline_bench_record",
     "solver_bench_records",
     "validate_bench_report",

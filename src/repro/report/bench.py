@@ -3,11 +3,12 @@
 Produces the ``BENCH_quantize.json`` perf-trajectory artifact at the repo
 root (via ``tools/bench.py``): a schema-versioned report comparing the
 lazy-batch blocked solver against the column-at-a-time reference sweep,
-the Cholesky factor cache against cold factorization, and the parallel
-APTQ executor against serial execution.  Every timed pair is also checked
-for bit-identical output, so the artifact doubles as a coarse correctness
-record — a speedup bought by numeric drift would be visible right in the
-report.
+the Cholesky factor cache against cold factorization, the inference fast
+paths (fused NLL, KV-cached decoding, memoised packed forward) against
+their unfused/uncached twins, and the parallel APTQ executor against
+serial execution.  Every timed pair is also checked for bit-identical
+output, so the artifact doubles as a coarse correctness record — a
+speedup bought by numeric drift would be visible right in the report.
 
 Timing methodology: ``best_of`` takes the *minimum* of ``repeats`` runs of
 a zero-argument callable under ``time.perf_counter`` — the standard way to
@@ -40,6 +41,7 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "best_of",
     "solver_bench_records",
+    "eval_bench_records",
     "pipeline_bench_record",
     "build_quantize_report",
     "validate_bench_report",
@@ -165,14 +167,148 @@ def solver_bench_records(
     return [solver_record, cache_record]
 
 
+def eval_bench_records(
+    repeats: int = 3,
+    seed: int = 0,
+    vocab: int = 4096,
+    generate_tokens: int = 192,
+    packed_size: int = 512,
+) -> list[dict]:
+    """Time the inference/evaluation fast paths against their slow twins.
+
+    Three records, each re-checking its equivalence claim at measure time:
+
+    * ``eval-perplexity`` — fused :func:`repro.nn.functional.gather_nll`
+      vs the unfused log-softmax-then-gather reference on a
+      ``(8, 128, vocab)`` logit block (bit-identical by the shared max
+      shift and reduction order);
+    * ``kvcache-generate`` — sliding-window :meth:`generate` vs the
+      prefill + preallocated-KV-cache :meth:`generate_cached` decode
+      (token-for-token equal);
+    * ``packed-forward-<N>x<N>`` — per-call dequantize-then-matmul vs the
+      memoised LUT-dequantized weight of :class:`QuantizedLinear`
+      (bit-identical outputs).
+    """
+    from repro.nn import functional as F
+    from repro.nn.transformer import LlamaConfig, LlamaModel
+    from repro.quant.qlinear import QuantizedLinear
+
+    rng = np.random.default_rng(seed)
+    records = []
+
+    # Fused NLL: the whole perplexity/zero-shot hot path per token.
+    logits = rng.standard_normal((8, 128, vocab))
+    targets = rng.integers(0, vocab, size=(8, 128))
+    fused = F.gather_nll(logits, targets)
+    unfused = F.gather_nll_reference(logits, targets)
+    fused_seconds = best_of(lambda: F.gather_nll(logits, targets), repeats)
+    unfused_seconds = best_of(
+        lambda: F.gather_nll_reference(logits, targets), repeats
+    )
+    records.append(
+        {
+            "name": "eval-perplexity",
+            "kind": "eval",
+            "params": {
+                "batch": 8,
+                "seq": 128,
+                "vocab": vocab,
+                "repeats": repeats,
+                "seed": seed,
+            },
+            "timings": {"unfused": unfused_seconds, "fused": fused_seconds},
+            "speedup": unfused_seconds / fused_seconds,
+            "bit_identical": bool(np.array_equal(fused, unfused)),
+        }
+    )
+
+    # KV-cached decoding: O(n) per token vs O(window) re-forwarding.
+    config = LlamaConfig(
+        vocab_size=128,
+        d_model=64,
+        n_layers=2,
+        n_heads=4,
+        d_ff=96,
+        max_seq_len=generate_tokens + 16,
+    )
+    model = LlamaModel(config, seed=seed)
+    prompt = rng.integers(0, config.vocab_size, size=8)
+    uncached = model.generate(prompt, generate_tokens, temperature=0.0)
+    cached = model.generate_cached(prompt, generate_tokens, temperature=0.0)
+    uncached_seconds = best_of(
+        lambda: model.generate(prompt, generate_tokens, temperature=0.0),
+        repeats,
+    )
+    cached_seconds = best_of(
+        lambda: model.generate_cached(
+            prompt, generate_tokens, temperature=0.0
+        ),
+        repeats,
+    )
+    records.append(
+        {
+            "name": "kvcache-generate",
+            "kind": "generate",
+            "params": {
+                "d_model": config.d_model,
+                "n_layers": config.n_layers,
+                "prompt_len": int(prompt.size),
+                "new_tokens": generate_tokens,
+                "repeats": repeats,
+                "seed": seed,
+            },
+            "timings": {
+                "sliding": uncached_seconds,
+                "cached": cached_seconds,
+            },
+            "speedup": uncached_seconds / cached_seconds,
+            "bit_identical": bool(np.array_equal(uncached, cached)),
+        }
+    )
+
+    # Packed forward: dequantize-per-call vs the memoised dense weight.
+    weight = rng.standard_normal((packed_size, packed_size))
+    ql = QuantizedLinear.from_weight(weight, bits=4, group_size=32)
+    x = rng.standard_normal((64, packed_size))
+    per_call = x @ ql._dequantize_direct()
+    memoised = ql.forward_array(x)  # warm the cache before timing
+    per_call_seconds = best_of(lambda: x @ ql._dequantize_direct(), repeats)
+    memoised_seconds = best_of(lambda: ql.forward_array(x), repeats)
+    records.append(
+        {
+            "name": f"packed-forward-{packed_size}x{packed_size}",
+            "kind": "packed-forward",
+            "params": {
+                "d_in": packed_size,
+                "d_out": packed_size,
+                "bits": 4,
+                "group_size": 32,
+                "batch": 64,
+                "repeats": repeats,
+                "seed": seed,
+            },
+            "timings": {
+                "per_call": per_call_seconds,
+                "memoised": memoised_seconds,
+            },
+            "speedup": per_call_seconds / memoised_seconds,
+            "bit_identical": bool(np.array_equal(per_call, memoised)),
+        }
+    )
+    return records
+
+
 def pipeline_bench_record(
-    workers: int = 2, repeats: int = 1, seed: int = 0
+    workers: int = 2, repeats: int = 3, seed: int = 0
 ) -> dict:
     """Time end-to-end APTQ on a micro model, serial vs ``workers`` processes.
 
-    Fork overhead dominates at micro-model scale, so the recorded speedup
-    is honest but usually below 1; the record's value is the bit-identity
-    flag and the absolute timings tracked across the perf trajectory.
+    The micro model sits far below the executor's auto-serial cost
+    threshold, so the ``workers`` run declines to fork and the recorded
+    speedup hovers around 1.0 (pre-PR-5 it paid ~70 ms of fork overhead
+    per stage for ~30 ms of solver work and reported a slowdown); the
+    record's value is the bit-identity flag, the ``auto_serial`` marker,
+    and the absolute timings tracked across the perf trajectory.
     """
     # Imported here: repro.report is a leaf package that the core imports
     # for health rendering (top-level import cycle otherwise).
@@ -194,18 +330,24 @@ def pipeline_bench_record(
         segments=segments, corpus_name="synthetic", seed=seed
     )
 
-    def run(n_workers: int) -> dict[str, np.ndarray]:
+    def run(n_workers: int):
         model = LlamaModel(config, seed=seed)
-        aptq_quantize_model(
+        result = aptq_quantize_model(
             model, calibration, APTQConfig(ratio_4bit=0.5, workers=n_workers)
         )
-        return model.state_dict()
+        return model.state_dict(), result
 
-    serial_state = run(0)
-    parallel_state = run(workers)
+    serial_state, _ = run(0)
+    parallel_state, parallel_result = run(workers)
     identical = sorted(serial_state) == sorted(parallel_state) and all(
         np.array_equal(serial_state[name], parallel_state[name])
         for name in serial_state
+    )
+    # Did the minimum-work heuristic engage on the workers run?  (It should
+    # for this micro model; the flag makes the trajectory self-describing.)
+    auto_serial = any(
+        event.category == "scheduler"
+        for event in parallel_result.health.events
     )
     serial_seconds = best_of(lambda: run(0), repeats)
     parallel_seconds = best_of(lambda: run(workers), repeats)
@@ -218,6 +360,7 @@ def pipeline_bench_record(
             "n_layers": config.n_layers,
             "repeats": repeats,
             "seed": seed,
+            "auto_serial": auto_serial,
         },
         "timings": {"serial": serial_seconds, "parallel": parallel_seconds},
         "speedup": serial_seconds / parallel_seconds,
@@ -233,11 +376,19 @@ def build_quantize_report(
 ) -> dict:
     """Assemble the full ``BENCH_quantize.json`` report.
 
-    ``quick`` skips the end-to-end pipeline suite (the solver suite alone
-    carries the acceptance smoke case), for use in tier-1 tests.
+    ``quick`` skips the end-to-end pipeline suite and shrinks the eval
+    suite (the solver suite alone carries the solver acceptance smoke
+    case), for use in tier-1 tests.
     """
     records = solver_bench_records(repeats=repeats)
-    if not quick:
+    if quick:
+        records.extend(
+            eval_bench_records(
+                repeats=1, vocab=512, generate_tokens=48, packed_size=128
+            )
+        )
+    else:
+        records.extend(eval_bench_records(repeats=repeats))
         records.append(pipeline_bench_record(workers=workers))
     report = {
         "schema_version": BENCH_SCHEMA_VERSION,

@@ -35,7 +35,14 @@ from repro.runtime.faults import (
     truncate_file,
 )
 from repro.runtime.journal import DegradationEvent, RunHealth, RunJournal
-from repro.runtime.parallel import SolverTask, run_solver_tasks
+from repro.runtime.parallel import (
+    EVAL_AUTO_SERIAL_MIN_TOKENS,
+    MIN_PARALLEL_COST,
+    SolverTask,
+    run_parallel_map,
+    run_solver_tasks,
+    solver_task_cost,
+)
 from repro.runtime.recovery import (
     LADDER_RUNGS,
     RecoveryPolicy,
@@ -60,6 +67,10 @@ __all__ = [
     "hessian_inverse",
     "SolverTask",
     "run_solver_tasks",
+    "run_parallel_map",
+    "solver_task_cost",
+    "MIN_PARALLEL_COST",
+    "EVAL_AUTO_SERIAL_MIN_TOKENS",
     "atomic_write_bytes",
     "atomic_save_npz",
     "sha256_of_file",

@@ -18,12 +18,23 @@ Determinism contract (pinned by ``tests/test_quant_differential.py``):
   scheduling;
 * every task records recovery-ladder events into its *own* child journal,
   and the parent journal merges the children in task order in **both**
-  execution modes — so even the event stream is order-identical.
+  execution modes — so the solver event stream is order-identical.
+  (Scheduling notices — ``scheduler`` auto-serial events and pool-failure
+  ``warning`` events — describe the execution mode, not the numerics, and
+  only appear when ``workers > 0`` was requested.)
 
 Workers are forked (the only start method that inherits the parent's
 in-memory model for free); when a pool cannot be created at all the
 executor degrades to serial execution and records a ``warning`` event
 rather than failing the run.
+
+Two fan-outs share this machinery: :func:`run_solver_tasks` (quantization
+solver stages) and the generic :func:`run_parallel_map` used by the
+evaluation harness (perplexity window batches, zero-shot suites).  Both
+apply a minimum-work auto-serial heuristic so tiny workloads — micro
+models in tests, short streams — never pay fork overhead: the recorded
+``aptq-micro-workers2`` slowdown in the pre-PR-5 ``BENCH_quantize.json``
+was exactly this cost, ~70 ms of forking for ~30 ms of solver work.
 """
 
 from __future__ import annotations
@@ -40,7 +51,109 @@ from repro.runtime.recovery import RecoveryPolicy, robust_quantize_layer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.quant.solver import HessianFactorCache, SolverResult
 
-__all__ = ["SolverTask", "run_solver_tasks"]
+__all__ = [
+    "SolverTask",
+    "run_solver_tasks",
+    "run_parallel_map",
+    "solver_task_cost",
+    "MIN_PARALLEL_COST",
+    "EVAL_AUTO_SERIAL_MIN_TOKENS",
+]
+
+#: Estimated solver FLOPs below which a worker pool costs more than it
+#: saves.  Fork + pickle overhead is ~50-100 ms; at ~1 GFLOP/s of useful
+#: numpy throughput that is ~5e7 floating-point operations, so stages whose
+#: total estimated cost sits below this bound run serially (with a
+#: ``scheduler`` journal event) even when ``workers > 0`` was requested.
+#: A single 512x512 layer (~2.7e8) clears the bound; the micro models used
+#: in tests and the pipeline bench (~1e5 per stage) never fork.
+MIN_PARALLEL_COST = 5e7
+
+#: Total evaluation tokens below which the eval fan-out stays serial (the
+#: same fork-overhead argument at typical per-token forward cost).
+EVAL_AUTO_SERIAL_MIN_TOKENS = 20_000.0
+
+
+def solver_task_cost(task: "SolverTask") -> float:
+    """Estimated FLOPs of one solver task (factorization + sweep GEMMs).
+
+    The Cholesky factorization is ``O(d_in^3)`` and the blocked sweep
+    streams the ``(d_in, d_out)`` working matrix ``d_in`` rows at a time —
+    ``d_in^2 * (d_in + d_out)`` captures both terms up to a constant.
+    """
+    d_in, d_out = task.weight.shape
+    return float(d_in) * d_in * (d_in + d_out)
+
+
+# Callable shared with pool workers by fork inheritance (never pickled):
+# the parent publishes it right before creating the pool, workers inherit
+# the binding, and ``pool.map`` only ships the (small) items.
+_FORK_FN = None
+
+
+def _invoke_fork_fn(item):
+    """Trampoline run inside pool workers; dispatches to the shared fn."""
+    return _FORK_FN(item)
+
+
+def run_parallel_map(
+    fn,
+    items,
+    *,
+    workers: int = 0,
+    cost: float | None = None,
+    min_cost: float = 0.0,
+    journal: Optional[RunJournal] = None,
+    label: str = "tasks",
+) -> list:
+    """Order-preserving ``map(fn, items)`` over a forked worker pool.
+
+    Results come back in item order regardless of worker scheduling, so a
+    pure ``fn`` makes ``workers=N`` produce exactly the serial result list.
+    Three ways the call degrades to the serial loop, none of them fatal:
+
+    * ``workers=0`` or fewer than two items — nothing to fan out;
+    * ``cost`` provided and below ``min_cost`` — the auto-serial heuristic
+      (fork overhead would dominate); records a ``scheduler`` event;
+    * the pool cannot be created — records a ``warning`` event.
+
+    ``fn`` reaches workers via fork inheritance, so closures over live
+    models are fine; only ``items`` and results cross process boundaries.
+    """
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    items = list(items)
+    if workers > 0 and len(items) > 1 and cost is not None and cost < min_cost:
+        if journal is not None:
+            journal.record(
+                "scheduler",
+                message=f"auto-serial: estimated cost {cost:.3g} of "
+                f"{len(items)} {label} below the parallel threshold "
+                f"{min_cost:.3g}; running serially",
+                workers=workers,
+                cost=cost,
+                threshold=min_cost,
+            )
+        workers = 0
+    if workers > 0 and len(items) > 1:
+        global _FORK_FN
+        previous = _FORK_FN
+        _FORK_FN = fn
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=min(workers, len(items))) as pool:
+                return pool.map(_invoke_fork_fn, items)
+        except (OSError, ValueError) as error:
+            if journal is not None:
+                journal.record(
+                    "warning",
+                    message=f"worker pool unavailable ({error}); running "
+                    f"{len(items)} {label} serially",
+                    workers=workers,
+                )
+        finally:
+            _FORK_FN = previous
+    return [fn(item) for item in items]
 
 
 @dataclasses.dataclass
@@ -99,15 +212,21 @@ def run_solver_tasks(
     journal: Optional[RunJournal] = None,
     cache: Optional["HessianFactorCache"] = None,
     mode: str = "blocked",
+    min_parallel_cost: float = MIN_PARALLEL_COST,
 ) -> list["SolverResult"]:
     """Execute ``tasks`` and return their results in task order.
 
     ``workers=0`` (the default) runs serially in-process, reusing
     Cholesky factors via ``cache``; ``workers>0`` forks a pool of at most
     that many processes.  Both paths produce bit-identical results and
-    journal event streams (see the module docstring); if the pool cannot
-    be created the executor records a ``warning`` in ``journal`` and runs
-    serially.
+    solver journal event streams (see the module docstring); scheduling
+    notices (``scheduler`` / ``warning`` events) describe the execution
+    mode, not the numerics.  Stages whose total estimated cost (see
+    :func:`solver_task_cost`) falls below ``min_parallel_cost`` run
+    serially even when ``workers > 0`` — fork overhead would dominate —
+    recording a ``scheduler`` event; pass ``min_parallel_cost=0`` to force
+    the pool.  If the pool cannot be created the executor records a
+    ``warning`` in ``journal`` and runs serially.
     """
     if workers < 0:
         raise ValueError("workers must be non-negative")
@@ -117,18 +236,31 @@ def run_solver_tasks(
 
     outcomes = None
     if workers > 0 and len(tasks) > 1:
-        try:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(processes=min(workers, len(tasks))) as pool:
-                outcomes = pool.map(_execute_task, payloads)
-        except (OSError, ValueError) as error:
+        total_cost = sum(solver_task_cost(task) for task in tasks)
+        if total_cost < min_parallel_cost:
             journal.record(
-                "warning",
-                message=f"worker pool unavailable ({error}); running "
-                f"{len(tasks)} solver tasks serially",
+                "scheduler",
+                message=f"auto-serial: estimated solver cost "
+                f"{total_cost:.3g} of {len(tasks)} tasks below the "
+                f"parallel threshold {min_parallel_cost:.3g}; running "
+                f"serially",
                 workers=workers,
+                cost=total_cost,
+                threshold=min_parallel_cost,
             )
-            outcomes = None
+        else:
+            try:
+                context = multiprocessing.get_context("fork")
+                with context.Pool(processes=min(workers, len(tasks))) as pool:
+                    outcomes = pool.map(_execute_task, payloads)
+            except (OSError, ValueError) as error:
+                journal.record(
+                    "warning",
+                    message=f"worker pool unavailable ({error}); running "
+                    f"{len(tasks)} solver tasks serially",
+                    workers=workers,
+                )
+                outcomes = None
     if outcomes is None:
         outcomes = [_execute_task(payload, cache=cache) for payload in payloads]
 

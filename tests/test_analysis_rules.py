@@ -32,6 +32,7 @@ EXPECTED_RULE_IDS = {
     "api-bare-except",
     "runtime-raw-linalg",
     "perf-raw-factorization",
+    "perf-full-logsoftmax",
 }
 
 
@@ -335,6 +336,43 @@ class TestPerfFactorizationRule:
             "    return quantize_with_hessian(w, h, bits=4, cache=cache)\n"
         )
         assert hits(src, "perf-raw-factorization") == []
+
+
+class TestPerfLogSoftmaxRule:
+    FUNCTIONAL = (
+        '"""m."""\nfrom repro.nn import functional as F\n\n\n'
+        'def f(logits, targets):\n    """D."""\n'
+        "    return -F.log_softmax(logits, axis=-1)[..., targets]\n"
+    )
+    OPS = (
+        '"""m."""\nfrom repro.autograd import ops\n\n\n'
+        'def f(logits):\n    """D."""\n'
+        "    return ops.log_softmax(logits, axis=-1)\n"
+    )
+
+    def test_full_logsoftmax_flagged(self):
+        assert hits(self.FUNCTIONAL, "perf-full-logsoftmax") == [
+            ("perf-full-logsoftmax", 7)
+        ]
+        assert hits(self.OPS, "perf-full-logsoftmax") == [
+            ("perf-full-logsoftmax", 7)
+        ]
+
+    def test_primitive_modules_exempt(self):
+        from repro.analysis.rules.perf import FULL_LOGSOFTMAX_ALLOWED
+
+        for module in FULL_LOGSOFTMAX_ALLOWED:
+            path = "src/" + module.replace(".", "/") + ".py"
+            assert hits(self.FUNCTIONAL, "perf-full-logsoftmax", path=path) == []
+            assert hits(self.OPS, "perf-full-logsoftmax", path=path) == []
+
+    def test_fused_call_sites_clean(self):
+        src = (
+            '"""m."""\nfrom repro.nn import functional as F\n\n\n'
+            'def f(logits, targets):\n    """D."""\n'
+            "    return F.gather_nll(logits, targets)\n"
+        )
+        assert hits(src, "perf-full-logsoftmax") == []
 
 
 class TestSuppression:

@@ -123,6 +123,10 @@ def _op_cases():
             lambda: ops.sum(ops.mul(ops.log_softmax(a, axis=-1), b)),
             (a, b),
         ),
+        "gather_nll": (
+            lambda: ops.sum(ops.gather_nll(a, np.array([2, 0]))),
+            (a,),
+        ),
         "where": (lambda: ops.sum(ops.where(cond, a, b)), (a, b)),
     }
 

@@ -36,6 +36,51 @@ class TestSoftmax:
         assert np.allclose(F.log_softmax(x), np.log(F.softmax(x)))
 
 
+class TestGatherNLL:
+    """The fused NLL must be bit-identical to log-softmax-then-gather."""
+
+    @given(finite_rows, st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_bitwise_equals_reference(self, logits, seed):
+        rng = np.random.default_rng(seed)
+        targets = rng.integers(0, logits.shape[-1], size=logits.shape[0])
+        fused = F.gather_nll(logits, targets)
+        assert np.array_equal(fused, F.gather_nll_reference(logits, targets))
+
+    def test_batched_shapes(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 5, 11))
+        targets = rng.integers(0, 11, size=(3, 5))
+        fused = F.gather_nll(logits, targets)
+        assert fused.shape == (3, 5)
+        assert np.array_equal(fused, F.gather_nll_reference(logits, targets))
+
+    def test_extreme_logits_stable(self):
+        logits = np.array([[1e9, 0.0, -1e9], [-1e9, -1e9, -1e9]])
+        targets = np.array([0, 2])
+        fused = F.gather_nll(logits, targets)
+        assert np.all(np.isfinite(fused))
+        assert fused[0] == pytest.approx(0.0)
+        assert fused[1] == pytest.approx(np.log(3.0))
+
+    def test_does_not_mutate_inputs(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(4, 7))
+        original = logits.copy()
+        F.gather_nll(logits, np.zeros(4, dtype=int))
+        assert np.array_equal(logits, original)
+
+    def test_cross_entropy_equals_unfused_composition(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(2, 6, 9))
+        targets = rng.integers(0, 9, size=(2, 6))
+        flat = logits.reshape(-1, 9)
+        unfused = float(
+            F.gather_nll_reference(flat, targets.reshape(-1)).mean()
+        )
+        assert F.cross_entropy(logits, targets) == unfused
+
+
 class TestSigmoid:
     def test_extreme_values_stable(self):
         out = F.sigmoid(np.array([-1e9, 0.0, 1e9]))

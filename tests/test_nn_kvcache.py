@@ -17,6 +17,65 @@ class TestKVCache:
         cache.append(k, v)
         assert cache.length == 2
 
+    def test_empty_cache_exposes_none(self):
+        cache = KVCache(capacity=8)
+        assert cache.keys is None
+        assert cache.values is None
+        assert cache.length == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            KVCache(capacity=-1)
+
+    def test_views_match_concatenation(self, rng):
+        # The preallocated buffer must expose element-for-element the same
+        # arrays the old concatenate-on-append cache produced.
+        cache = KVCache()
+        expected_k, expected_v = [], []
+        for _ in range(5):
+            k = rng.normal(size=(2, 3, 1, 4))
+            v = rng.normal(size=(2, 3, 1, 4))
+            expected_k.append(k)
+            expected_v.append(v)
+            keys, values = cache.append(k, v)
+        assert np.array_equal(keys, np.concatenate(expected_k, axis=2))
+        assert np.array_equal(values, np.concatenate(expected_v, axis=2))
+
+    def test_preallocated_never_reallocates(self, rng):
+        # Filling exactly to capacity must write into one stable buffer.
+        cache = KVCache(capacity=6)
+        k = rng.normal(size=(1, 2, 1, 4))
+        cache.append(k, k)
+        buffer_id = id(cache._keys)
+        assert cache._keys.shape[2] == 6
+        for _ in range(5):
+            cache.append(k, k)
+        assert cache.length == 6
+        assert id(cache._keys) == buffer_id
+
+    def test_doubling_growth_without_capacity(self, rng):
+        cache = KVCache()
+        k = rng.normal(size=(1, 1, 1, 2))
+        sizes = set()
+        for _ in range(9):
+            cache.append(k, k)
+            sizes.add(cache._keys.shape[2])
+        assert cache.length == 9
+        # 1 -> 2 -> 4 -> 8 -> 16: strict doubling from a single-token start.
+        assert sizes == {1, 2, 4, 8, 16}
+
+    def test_multi_token_append(self, rng):
+        cache = KVCache(capacity=10)
+        chunk = rng.normal(size=(1, 2, 4, 3))
+        single = rng.normal(size=(1, 2, 1, 3))
+        cache.append(chunk, chunk)
+        assert cache.length == 4
+        keys, values = cache.append(single, single)
+        assert cache.length == 5
+        assert np.array_equal(
+            keys, np.concatenate([chunk, single], axis=2)
+        )
+
 
 class TestDecodeStep:
     def test_matches_full_forward(self, trained_micro_model, rng):
@@ -46,6 +105,123 @@ class TestDecodeStep:
             model.decode_step(np.array([5]), caches)
         with pytest.raises(ValueError):
             model.decode_step(np.array([5]), caches)
+
+
+class TestPrefill:
+    def test_matches_forward_array_on_fresh_cache(
+        self, trained_micro_model, rng
+    ):
+        # On an empty cache the prefill is the same arithmetic as the full
+        # forward pass: identical rope rows, mask values, and reductions.
+        model = trained_micro_model
+        ids = rng.integers(4, 256, size=(2, 9))
+        full = model.forward_array(ids)[:, -1, :]
+        caches = model.new_cache()
+        prefilled = model.prefill(ids, caches)
+        assert np.array_equal(full, prefilled)
+        assert caches[0].length == 9
+
+    def test_matches_single_token_steps(self, trained_micro_model, rng):
+        model = trained_micro_model
+        ids = rng.integers(4, 256, size=8)
+        step_caches = model.new_cache()
+        for token in ids:
+            stepped = model.decode_step(np.array([token]), step_caches)
+        caches = model.new_cache()
+        prefilled = model.prefill(ids[None, :], caches)
+        assert np.allclose(stepped, prefilled, atol=1e-10)
+        for a, b in zip(step_caches, caches):
+            assert np.allclose(a.keys, b.keys, atol=1e-12)
+            assert np.allclose(a.values, b.values, atol=1e-12)
+
+    def test_warm_cache_continuation(self, trained_micro_model, rng):
+        # Prefill on a warm cache (positions offset by the prefix) must
+        # agree with the full forward pass over the whole sequence.
+        model = trained_micro_model
+        ids = rng.integers(4, 256, size=(1, 10))
+        caches = model.new_cache()
+        model.prefill(ids[:, :4], caches)
+        logits = model.prefill(ids[:, 4:], caches)
+        full = model.forward_array(ids)[:, -1, :]
+        assert np.allclose(full, logits, atol=1e-10)
+        assert caches[0].length == 10
+
+    def test_fill_to_exact_max_seq_len(self, trained_micro_model, rng):
+        # Exactly filling the window is legal; one more token is not.
+        model = trained_micro_model
+        max_len = model.config.max_seq_len
+        ids = rng.integers(4, 256, size=(1, max_len))
+        caches = model.new_cache()
+        model.prefill(ids, caches)
+        assert caches[0].length == max_len
+        with pytest.raises(ValueError):
+            model.decode_step(np.array([5]), caches)
+        with pytest.raises(ValueError):
+            model.prefill(np.array([[5]]), caches)
+
+    def test_empty_prompt_rejected(self, trained_micro_model):
+        model = trained_micro_model
+        with pytest.raises(ValueError):
+            model.prefill(np.empty((1, 0), dtype=int), model.new_cache())
+
+
+class TestGenerateBatch:
+    def test_rows_match_generate_cached(self, trained_micro_model, rng):
+        model = trained_micro_model
+        prompts = rng.integers(4, 256, size=(3, 5))
+        batched = model.generate_batch(prompts, 8, temperature=0.0)
+        assert batched.shape == (3, 13)
+        for row_index in range(3):
+            single = model.generate_cached(
+                prompts[row_index], 8, temperature=0.0
+            )
+            assert np.array_equal(batched[row_index], single)
+
+    def test_sampling_rows_match_with_same_rngs(
+        self, trained_micro_model, rng
+    ):
+        model = trained_micro_model
+        prompts = rng.integers(4, 256, size=(2, 4))
+        batched = model.generate_batch(
+            prompts,
+            6,
+            temperature=0.9,
+            rngs=[np.random.default_rng(3), np.random.default_rng(4)],
+        )
+        for row_index, seed in enumerate([3, 4]):
+            single = model.generate_cached(
+                prompts[row_index],
+                6,
+                temperature=0.9,
+                rng=np.random.default_rng(seed),
+            )
+            assert np.array_equal(batched[row_index], single)
+
+    def test_single_token_prompt(self, trained_micro_model):
+        model = trained_micro_model
+        out = model.generate_batch(np.array([[7], [9]]), 4)
+        assert out.shape == (2, 5)
+        assert out[0, 0] == 7 and out[1, 0] == 9
+
+    def test_validation(self, trained_micro_model):
+        model = trained_micro_model
+        max_len = model.config.max_seq_len
+        with pytest.raises(ValueError):
+            model.generate_batch(np.array([[1]]), -1)
+        with pytest.raises(ValueError):
+            model.generate_batch(np.empty((2, 0), dtype=int), 2)
+        with pytest.raises(ValueError):
+            model.generate_batch(
+                np.zeros((1, max_len), dtype=int) + 5, 1
+            )
+        with pytest.raises(ValueError):
+            model.generate_batch(
+                np.array([[1, 2], [3, 4]]), 2, temperature=0.5
+            )
+        with pytest.raises(ValueError, match="equal-length"):
+            model.generate_batch(
+                [np.array([1, 2, 3]), np.array([4, 5])], 2
+            )
 
 
 class TestGenerateCached:

@@ -135,11 +135,13 @@ def make_tasks(n_tasks=6, seed=11):
 
 class TestExecutorParity:
     def test_parallel_matches_serial_bitwise(self):
+        # min_parallel_cost=0 forces the pool even for these micro tasks —
+        # the point is pool-vs-serial numerics, not the scheduler.
         tasks = make_tasks()
         serial_journal, parallel_journal = RunJournal(), RunJournal()
         serial = run_solver_tasks(tasks, workers=0, journal=serial_journal)
         parallel_results = run_solver_tasks(
-            tasks, workers=2, journal=parallel_journal
+            tasks, workers=2, journal=parallel_journal, min_parallel_cost=0
         )
         assert len(serial) == len(parallel_results) == len(tasks)
         for a, b in zip(serial, parallel_results):
@@ -147,6 +149,24 @@ class TestExecutorParity:
         assert [e.to_json() for e in serial_journal.events] == [
             e.to_json() for e in parallel_journal.events
         ]
+
+    def test_auto_serial_below_cost_threshold(self):
+        # Micro tasks sit far below MIN_PARALLEL_COST: workers=2 must stay
+        # serial, record exactly one scheduler notice, and still return
+        # bit-identical results.
+        tasks = make_tasks()
+        assert sum(parallel.solver_task_cost(t) for t in tasks) < (
+            parallel.MIN_PARALLEL_COST
+        )
+        journal = RunJournal()
+        results = run_solver_tasks(tasks, workers=2, journal=journal)
+        notices = [e for e in journal.events if e.category == "scheduler"]
+        assert len(notices) == 1
+        assert "auto-serial" in notices[0].message
+        assert notices[0].detail["workers"] == 2
+        expected = run_solver_tasks(tasks, workers=0)
+        for a, b in zip(results, expected):
+            assert_results_identical(a, b)
 
     def test_pool_failure_falls_back_to_serial(self, monkeypatch):
         def broken_context(method):
@@ -157,7 +177,9 @@ class TestExecutorParity:
         )
         tasks = make_tasks(n_tasks=3)
         journal = RunJournal()
-        results = run_solver_tasks(tasks, workers=2, journal=journal)
+        results = run_solver_tasks(
+            tasks, workers=2, journal=journal, min_parallel_cost=0
+        )
         assert len(results) == len(tasks)
         warnings = [e for e in journal.events if e.category == "warning"]
         assert len(warnings) == 1
@@ -169,6 +191,49 @@ class TestExecutorParity:
     def test_negative_workers_rejected(self):
         with pytest.raises(ValueError):
             run_solver_tasks(make_tasks(n_tasks=1), workers=-1)
+
+
+class TestRunParallelMap:
+    def test_preserves_order_and_values(self):
+        items = list(range(24))
+        serial = parallel.run_parallel_map(lambda i: i * i, items, workers=0)
+        pooled = parallel.run_parallel_map(lambda i: i * i, items, workers=2)
+        assert serial == pooled == [i * i for i in items]
+
+    def test_auto_serial_records_scheduler_event(self):
+        journal = RunJournal()
+        result = parallel.run_parallel_map(
+            lambda i: -i,
+            [1, 2, 3],
+            workers=2,
+            cost=10.0,
+            min_cost=100.0,
+            journal=journal,
+            label="toy items",
+        )
+        assert result == [-1, -2, -3]
+        notices = [e for e in journal.events if e.category == "scheduler"]
+        assert len(notices) == 1
+        assert "toy items" in notices[0].message
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        def broken_context(method):
+            raise OSError("fork unavailable")
+
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_context", broken_context
+        )
+        journal = RunJournal()
+        result = parallel.run_parallel_map(
+            lambda i: i + 1, [1, 2, 3], workers=2, journal=journal
+        )
+        assert result == [2, 3, 4]
+        warnings = [e for e in journal.events if e.category == "warning"]
+        assert len(warnings) == 1
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            parallel.run_parallel_map(lambda i: i, [1], workers=-1)
 
 
 class TestAPTQWorkersParity:
@@ -210,7 +275,27 @@ class TestAPTQWorkersParity:
                 parallel_result.layer_results[name],
                 name,
             )
-        # Even the journal event streams are order-identical.
-        assert [e.to_json() for e in serial_result.health.events] == [
-            e.to_json() for e in parallel_result.health.events
+        # The *solver* event streams are order-identical; scheduling notices
+        # (the auto-serial "scheduler" events, which only appear when
+        # workers > 0 was requested) describe the execution mode, not the
+        # numerics, and are filtered out of the comparison.
+        def solver_events(result):
+            return [
+                e.to_json()
+                for e in result.health.events
+                if e.category != "scheduler"
+            ]
+
+        assert solver_events(serial_result) == solver_events(parallel_result)
+        # This micro model sits below the auto-serial threshold, so the
+        # workers=2 run must have declined to fork at every stage.
+        schedulers = [
+            e
+            for e in parallel_result.health.events
+            if e.category == "scheduler"
         ]
+        assert schedulers
+        assert all("auto-serial" in e.message for e in schedulers)
+        assert not any(
+            e.category == "scheduler" for e in serial_result.health.events
+        )

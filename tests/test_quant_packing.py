@@ -5,7 +5,25 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.quant import packing
 from repro.quant.packing import pack_codes, unpack_codes
+
+
+def pack_codes_reference(codes, bits):
+    """Pre-PR-5 element-at-a-time packer, kept as the differential oracle."""
+    codes = np.asarray(codes).reshape(-1).astype(np.uint64)
+    total_bits = codes.size * bits
+    n_words = (total_bits + 31) // 32
+    words = np.zeros(n_words, dtype=np.uint64)
+    positions = np.arange(codes.size, dtype=np.uint64) * np.uint64(bits)
+    word_index = (positions // 32).astype(np.int64)
+    offset = (positions % 32).astype(np.uint64)
+    np.bitwise_or.at(words, word_index, codes << offset)
+    spill = offset + np.uint64(bits) > 32
+    if spill.any():
+        hi = codes[spill] >> (np.uint64(32) - offset[spill])
+        np.bitwise_or.at(words, word_index[spill] + 1, hi)
+    return (words & np.uint64(0xFFFFFFFF)).astype(np.uint32)
 
 
 class TestRoundTrip:
@@ -35,6 +53,50 @@ class TestRoundTrip:
     def test_empty(self):
         packed = pack_codes(np.array([], dtype=np.int64), 4)
         assert unpack_codes(packed, 4, 0).size == 0
+
+
+class TestFastPathsMatchReference:
+    """The aligned and vectorised-scatter paths are byte-identical to the
+    pre-PR-5 ``np.bitwise_or.at`` packer."""
+
+    @given(
+        st.integers(1, 16),
+        st.integers(0, 3000),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_words_byte_identical(self, bits, count, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 1 << bits, size=count)
+        assert np.array_equal(
+            pack_codes(codes, bits), pack_codes_reference(codes, bits)
+        )
+
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8, 16])
+    def test_aligned_bits_take_no_scatter(self, bits, monkeypatch, rng):
+        # For widths dividing 32 no code straddles a word, so the packer
+        # must never reach the scatter-OR at all.
+        def forbidden(*args, **kwargs):
+            raise AssertionError("aligned path must not scatter")
+
+        monkeypatch.setattr(packing, "_scatter_or", forbidden)
+        codes = rng.integers(0, 1 << bits, size=257)
+        packed = pack_codes(codes, bits)
+        assert np.array_equal(unpack_codes(packed, bits, 257), codes)
+
+    @pytest.mark.parametrize("bits", [3, 5, 7, 11, 13])
+    def test_straddling_bits_round_trip(self, bits, rng):
+        codes = rng.integers(0, 1 << bits, size=1000)
+        packed = pack_codes(codes, bits)
+        assert np.array_equal(pack_codes_reference(codes, bits), packed)
+        assert np.array_equal(unpack_codes(packed, bits, 1000), codes)
+
+    def test_scatter_or_merges_duplicates(self):
+        words = np.zeros(3, dtype=np.uint64)
+        index = np.array([2, 0, 2, 0, 1])
+        values = np.array([1, 2, 4, 8, 16], dtype=np.uint64)
+        packing._scatter_or(words, index, values)
+        assert words.tolist() == [10, 16, 5]
 
 
 class TestValidation:

@@ -34,6 +34,56 @@ class TestRoundTrip:
         assert np.allclose(ql.forward_array(x), x @ ql.dequantize())
 
 
+class TestLutAndCache:
+    def test_lut_bitwise_equals_direct(self, rng):
+        # Only 2**bits distinct codes exist, and each table entry is the
+        # identical float op the direct path performs — so the gather must
+        # be bit-for-bit equal, including the ragged last group.
+        for bits, group_size in [(2, 16), (3, 8), (4, 24), (8, 16)]:
+            w = rng.normal(size=(56, 10))
+            ql = QuantizedLinear.from_weight(w, bits, group_size)
+            assert np.array_equal(
+                ql._dequantize_lut(), ql._dequantize_direct()
+            ), (bits, group_size)
+
+    def test_wide_codes_fall_back_to_direct(self, rng):
+        w = rng.normal(size=(32, 6))
+        ql = QuantizedLinear.from_weight(w, 12, 16)
+        assert np.array_equal(ql.dequantize(), ql._dequantize_direct())
+
+    def test_forward_reuses_cached_weight(self, rng):
+        w = rng.normal(size=(32, 8))
+        ql = QuantizedLinear.from_weight(w, 4, 16)
+        x = rng.normal(size=(3, 32))
+        ql.forward_array(x)
+        cached = ql._dense_cache
+        assert cached is not None
+        ql.forward_array(x)
+        assert ql._dense_cache is cached  # same array, no rebuild
+
+    def test_cache_invalidated_on_mutation(self, rng):
+        w = rng.normal(size=(32, 8))
+        ql = QuantizedLinear.from_weight(w, 4, 16)
+        x = rng.normal(size=(3, 32))
+        before = ql.forward_array(x)
+        ql.packed[0] ^= np.uint32(0b1111)  # flip the first stored code
+        after = ql.forward_array(x)
+        assert not np.array_equal(before, after)
+        assert np.array_equal(after, x @ ql._dequantize_direct())
+        ql.scales[0, 0] = np.float16(2.0) * ql.scales[0, 0]
+        assert np.array_equal(
+            ql.forward_array(x), x @ ql._dequantize_direct()
+        )
+
+    def test_dequantize_returns_writable_copy(self, rng):
+        w = rng.normal(size=(16, 4))
+        ql = QuantizedLinear.from_weight(w, 4, 8)
+        dense = ql.dequantize()
+        dense[0, 0] = 123.0  # must not poison the cache
+        assert ql.dequantize()[0, 0] != 123.0
+        assert np.array_equal(ql.dequantize(), ql._dequantize_direct())
+
+
 class TestStorage:
     def test_4bit_compression_ratio(self, rng):
         w = rng.normal(size=(256, 256))

@@ -19,5 +19,8 @@ echo "== differential + bench smoke (perf engine bit-identity) =="
 python -m pytest -x -q tests/test_quant_differential.py \
     tests/test_quant_golden.py tests/test_bench_schema.py
 
+echo "== eval fast-path smoke (fused NLL / KV cache / packed forward) =="
+python benchmarks/perf/eval_speed.py --smoke
+
 echo "== tier-1 tests =="
 python -m pytest -x -q tests
