@@ -16,6 +16,7 @@ Two analysis modes:
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import pathlib
 import sys
 from typing import Optional, Sequence
@@ -72,7 +73,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--select",
         metavar="RULES",
         default=None,
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to report; glob patterns such as "
+        "'wp-*' expand against the registered ids (default: all)",
     )
     parser.add_argument(
         "--list-rules",
@@ -89,6 +91,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="treat warnings (e.g. stale suppressions) as failures",
+    )
+    parser.add_argument(
+        "--effects",
+        action="store_true",
+        help="print the inferred per-function effect table instead of "
+        "diagnostics (whole-program mode)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan the per-module passes out over N forked workers "
+        "(whole-program mode; bit-identical to serial, small runs "
+        "auto-serialize)",
     )
     parser.add_argument(
         "--consumers",
@@ -142,18 +159,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
+    if (options.effects or options.jobs) and not options.whole_program:
+        flag = "--effects" if options.effects else "--jobs"
+        print(f"repro-lint: {flag} requires --whole-program", file=sys.stderr)
+        return 2
+    if options.jobs < 0:
+        print("repro-lint: --jobs must be non-negative", file=sys.stderr)
+        return 2
+
     select = None
     if options.select is not None:
-        select = [name.strip() for name in options.select.split(",") if name.strip()]
+        requested = [
+            name.strip() for name in options.select.split(",") if name.strip()
+        ]
         known = all_rule_ids(whole_program=options.whole_program)
-        unknown = sorted(set(select) - known)
+        expanded: list = []
+        unknown: list = []
+        for name in requested:
+            if any(char in name for char in "*?["):
+                matches = fnmatch.filter(sorted(known), name)
+                if matches:
+                    expanded.extend(matches)
+                else:
+                    unknown.append(name)
+            elif name in known:
+                expanded.append(name)
+            else:
+                unknown.append(name)
         if unknown:
             print(
-                f"repro-lint: unknown rule ids: {unknown} "
+                f"repro-lint: unknown rule ids: {sorted(unknown)} "
                 "(see --list-rules)",
                 file=sys.stderr,
             )
             return 2
+        select = sorted(set(expanded))
 
     if options.whole_program:
         from repro.analysis.cache import AnalysisCache
@@ -168,13 +208,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if entry.strip() and pathlib.Path(entry.strip()).exists()
         ]
         project = Project.load(options.paths, consumers, cache=cache)
-        diagnostics = project.analyze(select=select)
+        if options.effects:
+            from repro.analysis.effects import render_effects
+
+            print(render_effects(project.effect_summaries()))
+            return 0
+        diagnostics = project.analyze(select=select, jobs=options.jobs)
         if options.stats:
-            print(
+            line = (
                 "repro-lint: analyzed {analyzed} files "
-                "({cached} from cache)".format(**project.stats),
-                file=sys.stderr,
+                "({cached} from cache)".format(**project.stats)
             )
+            if "jobs_mode" in project.stats:
+                line += (
+                    f"; jobs={options.jobs} ({project.stats['jobs_mode']})"
+                )
+            print(line, file=sys.stderr)
     else:
         try:
             diagnostics = analyze_paths(options.paths, select=select)

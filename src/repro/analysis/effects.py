@@ -1,0 +1,716 @@
+"""Per-function effect inference over the whole-program project model.
+
+Every function in a root module gets a :class:`FunctionRecord` — a small,
+serializable AST extract of what the function *does*: names it binds,
+parameters / globals / closure cells it mutates, RNG and I/O it touches,
+every call site (with enough argument structure for interprocedural
+propagation), every callable it submits to a worker pool, and every
+in-loop accumulation.  Records live on
+:class:`~repro.analysis.project.ModuleSummary`, so warm cache runs never
+re-parse.
+
+:func:`infer_effects` then propagates effects through the resolved call
+graph to a fixpoint:
+
+* ``mutates-global``, ``rng`` and ``io`` propagate unconditionally from
+  callee to caller;
+* ``mutates-param`` propagates *argument-aware*: the caller inherits it
+  only for arguments that are its own parameters (a caller passing its own
+  local is not mutated from the outside), escalating to ``mutates-global``
+  / ``mutates-closure`` when the mutated argument is a module global or a
+  closure cell;
+* a method call on a module-global receiver whose resolved method mutates
+  ``self`` makes the caller ``mutates-global`` (the pattern behind
+  ``faults.maybe_fault`` -> ``_ACTIVE.check``).
+
+``mutates-closure`` deliberately does **not** propagate through calls: a
+function calling its own nested closure that mutates the shared frame has
+no effect visible outside itself.  Unresolvable calls are assumed pure
+(the analysis is an under-approximation); the concurrency rules in
+:mod:`repro.analysis.rules.concurrency` consume these summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import dataclasses
+from typing import Iterable, Optional
+
+from repro.analysis.astutil import call_name, dotted_name
+
+__all__ = [
+    "FunctionRecord",
+    "EffectSummary",
+    "collect_function_records",
+    "function_index",
+    "resolve_callable",
+    "infer_effects",
+    "render_effects",
+]
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "setflags",
+        "fill",
+        "put",
+        "partial_fit",
+        "setdiagonal",
+    }
+)
+
+#: RNG entry points that are *seeded* (hence deterministic) when called
+#: with at least one argument.
+_SEEDED_IF_ARGS = ("default_rng", "Random", "Generator", "SeedSequence", "PCG64")
+
+#: Call names (exact) and dotted prefixes that perform I/O.
+_IO_NAMES = frozenset({"open", "print", "input"})
+_IO_PREFIXES = ("os.", "shutil.", "subprocess.", "sys.stdout", "sys.stderr")
+_IO_NUMPY = frozenset({"save", "savez", "savez_compressed", "load", "savetxt", "loadtxt"})
+_IO_METHODS = frozenset(
+    {"write_text", "write_bytes", "read_text", "read_bytes", "mkdir",
+     "unlink", "touch", "rmdir", "flush"}
+)
+
+#: Pool-style fan-out method names whose first argument runs in workers.
+_POOL_MAP_METHODS = frozenset(
+    {"map", "imap", "imap_unordered", "starmap", "map_async"}
+)
+
+
+@dataclasses.dataclass
+class FunctionRecord:
+    """Serializable effect-relevant extract of one function definition.
+
+    ``effects`` maps a *local* effect kind (``mutates-global``,
+    ``mutates-closure``, ``rng``, ``io``) to a human-readable reason;
+    ``calls`` entries are ``[dotted, line, receiver_kind, args, kwargs]``
+    where ``args`` holds ``[name, kind]`` pairs for name arguments (None
+    otherwise) and ``kwargs`` maps keyword names to the same pairs;
+    ``submissions`` entries are ``[callee, line, via, result_var]``;
+    ``reductions`` entries are ``[line, source_text]`` for in-loop ``+=`` /
+    ``-=`` accumulations on non-constant values.
+    """
+
+    qualname: str
+    line: int
+    params: list
+    effects: dict
+    mutated_params: list
+    calls: list
+    submissions: list
+    reductions: list
+    nested: bool
+
+    def to_json(self) -> dict:
+        """Serializable form (cache storage)."""
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_json(record: dict) -> "FunctionRecord":
+        """Rebuild from :meth:`to_json` output."""
+        return FunctionRecord(**record)
+
+
+# ----------------------------------------------------------------------
+# Collection
+# ----------------------------------------------------------------------
+def _module_names(tree: ast.Module) -> frozenset:
+    names: set = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            names.add(element.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for item in node.names:
+                names.add((item.asname or item.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for item in node.names:
+                names.add(item.asname or item.name)
+    return frozenset(names)
+
+
+def _iter_local(stmts: Iterable[ast.AST]):
+    """Yield nodes of a function body without descending into nested scopes.
+
+    Nested function/class/lambda nodes are yielded once (for name binding
+    and submission references) but their bodies belong to their own
+    records.
+    """
+    queue = list(stmts)
+    cursor = 0
+    while cursor < len(queue):
+        node = queue[cursor]
+        cursor += 1
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        queue.extend(ast.iter_child_nodes(node))
+
+
+def _param_names(args: ast.arguments) -> list:
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.append(extra.arg)
+    return names
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _bound_names(target: ast.AST):
+    """Names a store-target *binds* (Attribute/Subscript targets bind none)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _bound_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _bound_names(target.value)
+
+
+def _is_constant_step(value: ast.AST) -> bool:
+    if isinstance(value, ast.UnaryOp):
+        value = value.operand
+    return isinstance(value, ast.Constant) and isinstance(value.value, (int, float))
+
+
+class _Collector:
+    """Collects one :class:`FunctionRecord` from a function-like AST node."""
+
+    def __init__(self, qualname, node, module_names, enclosing_locals, nested):
+        self.qualname = qualname
+        self.node = node
+        self.module_names = module_names
+        self.enclosing_locals = enclosing_locals
+        self.nested = nested
+        self.params = _param_names(node.args)
+        self.body = [node.body] if isinstance(node, ast.Lambda) else node.body
+        self.globals_declared: set = set()
+        self.nonlocals_declared: set = set()
+        self.locals: set = set(self.params)
+        self.effects: dict = {}
+        self.mutated_params: set = set()
+        self.calls: list = []
+        self.submissions: list = []
+        self.reductions: list = []
+
+    # -- pass A: name binding ------------------------------------------
+    def _bind_names(self) -> None:
+        for node in _iter_local(self.body):
+            if isinstance(node, ast.Global):
+                self.globals_declared.update(node.names)
+            elif isinstance(node, ast.Nonlocal):
+                self.nonlocals_declared.update(node.names)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    self.locals.update(_bound_names(target))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self.locals.update(_bound_names(node.target))
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                self.locals.update(_bound_names(node.optional_vars))
+            elif isinstance(node, ast.ExceptHandler) and node.name:
+                self.locals.add(node.name)
+            elif isinstance(node, ast.NamedExpr):
+                if isinstance(node.target, ast.Name):
+                    self.locals.add(node.target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self.locals.add(node.name)
+            elif isinstance(node, ast.comprehension):
+                self.locals.update(_bound_names(node.target))
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for item in node.names:
+                    self.locals.add((item.asname or item.name).split(".")[0])
+        self.locals -= self.globals_declared
+        self.locals -= self.nonlocals_declared
+
+    # -- classification -------------------------------------------------
+    def kind_of(self, name: str) -> str:
+        """Scope class of ``name`` as seen from this function."""
+        if name in self.globals_declared:
+            return "global"
+        if name in self.nonlocals_declared:
+            return "closure"
+        if name in self.params:
+            return "param"
+        if name in self.locals:
+            return "local"
+        if name in self.module_names:
+            return "global"
+        if name in self.enclosing_locals:
+            return "closure"
+        if name in _BUILTIN_NAMES:
+            return "builtin"
+        return "closure" if self.nested else "global"
+
+    def _add_effect(self, kind: str, reason: str) -> None:
+        self.effects.setdefault(kind, reason)
+
+    def _record_store(self, target: ast.AST, line: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_store(element, line)
+            return
+        if isinstance(target, ast.Name):
+            kind = self.kind_of(target.id)
+            if kind == "global" and target.id in self.globals_declared:
+                self._add_effect(
+                    "mutates-global",
+                    f"rebinds module global '{target.id}' (line {line})",
+                )
+            elif kind == "closure" and target.id in self.nonlocals_declared:
+                self._add_effect(
+                    "mutates-closure",
+                    f"rebinds nonlocal '{target.id}' (line {line})",
+                )
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            root = _root_name(target)
+            if root is None:
+                return
+            kind = self.kind_of(root)
+            text = ast.unparse(target)
+            if kind == "param":
+                self.mutated_params.add(root)
+            elif kind == "global":
+                self._add_effect(
+                    "mutates-global", f"writes '{text}' (line {line})"
+                )
+            elif kind == "closure":
+                self._add_effect(
+                    "mutates-closure", f"writes '{text}' (line {line})"
+                )
+
+    # -- calls / rng / io ----------------------------------------------
+    def _rng_reason(self, dotted: str, call: ast.Call) -> Optional[str]:
+        head = dotted.split(".")[0]
+        if not (
+            dotted.startswith(("np.random.", "numpy.random.", "random."))
+            or head == "random"
+        ):
+            return None
+        last = dotted.split(".")[-1]
+        if last in _SEEDED_IF_ARGS and (call.args or call.keywords):
+            return None  # explicitly seeded: deterministic
+        return f"calls '{dotted}' (line {call.lineno})"
+
+    def _io_reason(self, dotted: str, call: ast.Call) -> Optional[str]:
+        if dotted in _IO_NAMES:
+            return f"calls '{dotted}' (line {call.lineno})"
+        if dotted.startswith(_IO_PREFIXES):
+            return f"calls '{dotted}' (line {call.lineno})"
+        head, _, rest = dotted.partition(".")
+        if head in ("np", "numpy") and rest in _IO_NUMPY:
+            return f"calls '{dotted}' (line {call.lineno})"
+        if "." in dotted and dotted.split(".")[-1] in _IO_METHODS:
+            return f"calls '{dotted}' (line {call.lineno})"
+        return None
+
+    def _name_pair(self, node: ast.AST):
+        if isinstance(node, ast.Name):
+            return [node.id, self.kind_of(node.id)]
+        return None
+
+    def _submission_callee(self, call: ast.Call) -> Optional[tuple]:
+        dotted = call_name(call)
+        if dotted is None or not call.args:
+            return None
+        last = dotted.split(".")[-1]
+        via = None
+        if last == "run_parallel_map":
+            via = "run_parallel_map"
+        elif "." in dotted and last in _POOL_MAP_METHODS:
+            root = _root_name(call.func.value)
+            if root is not None and "pool" in root.lower():
+                via = last
+        if via is None:
+            return None
+        target = call.args[0]
+        if isinstance(target, ast.Name):
+            return target.id, via
+        if isinstance(target, ast.Attribute):
+            name = dotted_name(target)
+            return (name, via) if name else None
+        if isinstance(target, ast.Lambda):
+            return f"{self.qualname}.<lambda:{target.lineno}>", via
+        return None
+
+    def _record_call(self, call: ast.Call) -> None:
+        dotted = call_name(call)
+        if dotted is None:
+            return
+        reason = self._rng_reason(dotted, call)
+        if reason is not None:
+            self._add_effect("rng", reason)
+        reason = self._io_reason(dotted, call)
+        if reason is not None:
+            self._add_effect("io", reason)
+        receiver_kind = ""
+        if "." in dotted:
+            head = dotted.split(".")[0]
+            receiver_kind = self.kind_of(head)
+            last = dotted.split(".")[-1]
+            if last in _MUTATING_METHODS:
+                if receiver_kind == "param":
+                    self.mutated_params.add(head)
+                elif receiver_kind == "global":
+                    self._add_effect(
+                        "mutates-global",
+                        f"calls '{dotted}' on module global (line {call.lineno})",
+                    )
+                elif receiver_kind == "closure":
+                    self._add_effect(
+                        "mutates-closure",
+                        f"calls '{dotted}' on closure cell (line {call.lineno})",
+                    )
+        args = [self._name_pair(arg) for arg in call.args]
+        kwargs = {
+            kw.arg: self._name_pair(kw.value)
+            for kw in call.keywords
+            if kw.arg is not None and isinstance(kw.value, ast.Name)
+        }
+        self.calls.append([dotted, call.lineno, receiver_kind, args, kwargs])
+        submission = self._submission_callee(call)
+        if submission is not None:
+            callee, via = submission
+            self.submissions.append([callee, call.lineno, via, None])
+
+    def _attach_result_var(self, node: ast.Assign) -> None:
+        if not isinstance(node.value, ast.Call):
+            return
+        if self._submission_callee(node.value) is None:
+            return
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            for entry in self.submissions:
+                if entry[1] == node.value.lineno:
+                    entry[3] = node.targets[0].id
+
+    # -- reductions ------------------------------------------------------
+    def _record_reductions(self) -> None:
+        seen: set = set()
+        for node in _iter_local(self.body):
+            if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for inner in _iter_local(node.body):
+                if not isinstance(inner, ast.AugAssign):
+                    continue
+                if not isinstance(inner.op, (ast.Add, ast.Sub)):
+                    continue
+                if _is_constant_step(inner.value):
+                    continue
+                if inner.lineno in seen:
+                    continue
+                seen.add(inner.lineno)
+                op = "+=" if isinstance(inner.op, ast.Add) else "-="
+                self.reductions.append(
+                    [inner.lineno, f"{ast.unparse(inner.target)} {op} ..."]
+                )
+        self.reductions.sort()
+
+    # -- driver ----------------------------------------------------------
+    def collect(self) -> FunctionRecord:
+        """Run both passes and return the finished record."""
+        self._bind_names()
+        for node in _iter_local(self.body):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    self._record_store(target, node.lineno)
+            elif isinstance(node, ast.Call):
+                self._record_call(node)
+        # Second pass: submissions now exist, so result variables can bind.
+        for node in _iter_local(self.body):
+            if isinstance(node, ast.Assign):
+                self._attach_result_var(node)
+        self._record_reductions()
+        line = getattr(self.node, "lineno", 1)
+        return FunctionRecord(
+            qualname=self.qualname,
+            line=line,
+            params=list(self.params),
+            effects=dict(self.effects),
+            mutated_params=sorted(self.mutated_params),
+            calls=self.calls,
+            submissions=self.submissions,
+            reductions=self.reductions,
+            nested=self.nested,
+        )
+
+
+def collect_function_records(tree: ast.Module) -> list:
+    """Every :class:`FunctionRecord` in ``tree``, nested scopes included.
+
+    Qualified names follow definition nesting (``Class.method``,
+    ``outer.inner``); lambdas are only recorded when they appear directly
+    inside a collected function body, as ``owner.<lambda:LINE>``.
+    """
+    module_names = _module_names(tree)
+    records: list = []
+
+    def collect_one(node, qualname, enclosing, nested):
+        collector = _Collector(qualname, node, module_names, enclosing, nested)
+        records.append(collector.collect())
+        inner = frozenset(enclosing | collector.locals | set(collector.params))
+        for stmt in _iter_local(collector.body):
+            if isinstance(stmt, ast.Lambda):
+                lam = _Collector(
+                    f"{qualname}.<lambda:{stmt.lineno}>",
+                    stmt,
+                    module_names,
+                    inner,
+                    True,
+                )
+                records.append(lam.collect())
+        visit_body(collector.body, qualname + ".", inner, True)
+
+    def visit_body(body, prefix, enclosing, nested):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                collect_one(node, prefix + node.name, enclosing, nested)
+            elif isinstance(node, ast.ClassDef):
+                visit_body(node.body, prefix + node.name + ".", enclosing, nested)
+
+    visit_body(tree.body, "", frozenset(), False)
+    return records
+
+
+# ----------------------------------------------------------------------
+# Interprocedural propagation
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class EffectSummary:
+    """Fixpoint effect verdict for one function."""
+
+    module: str
+    qualname: str
+    path: str
+    line: int
+    effects: dict
+    mutated_params: list
+
+    def classify(self) -> str:
+        """Compact lattice label (``pure`` when no effect was inferred)."""
+        parts = []
+        if self.mutated_params:
+            parts.append("mutates-param(" + ",".join(self.mutated_params) + ")")
+        parts.extend(sorted(self.effects))
+        return "+".join(parts) if parts else "pure"
+
+
+def _lookup_dotted(project, index, full: str, depth: int = 0):
+    parts = full.split(".")
+    for split in range(len(parts) - 1, 0, -1):
+        module = ".".join(parts[:split])
+        qualname = ".".join(parts[split:])
+        if (module, qualname) in index:
+            return module, qualname
+        summary = project.by_module.get(module)
+        if summary is not None and depth < 3:
+            head = qualname.split(".")[0]
+            rest = qualname[len(head):]
+            for record in summary.imports:
+                if record.alias == head and record.name:
+                    found = _lookup_dotted(
+                        project, index, record.target() + rest, depth + 1
+                    )
+                    if found is not None:
+                        return found
+    return None
+
+
+def resolve_callable(project, index, module: str, caller: str, dotted: str):
+    """Resolve a call written as ``dotted`` inside ``module.caller``.
+
+    Returns an ``(module, qualname)`` key into the function index, or None
+    when the target is outside the project (assumed pure).  Resolution
+    tries, in order: ``self.method`` against the enclosing class, the
+    lexical scope chain (nested helpers), import aliases (including
+    function-local imports), and finally a unique same-module method match
+    for calls through instances (``_ACTIVE.check``).
+    """
+    if dotted.startswith("self.") and "." in caller:
+        candidate = caller.split(".")[0] + dotted[4:]
+        if (module, candidate) in index:
+            return module, candidate
+    prefix = caller
+    while True:
+        candidate = f"{prefix}.{dotted}" if prefix else dotted
+        if (module, candidate) in index:
+            return module, candidate
+        if not prefix:
+            break
+        prefix = prefix.rpartition(".")[0]
+    summary = project.by_module.get(module)
+    if summary is not None:
+        head, _, rest = dotted.partition(".")
+        for record in summary.imports:
+            if record.alias == head:
+                full = record.target() + (("." + rest) if rest else "")
+                found = _lookup_dotted(project, index, full)
+                if found is not None:
+                    return found
+    if "." in dotted and not dotted.startswith("self."):
+        method = dotted.rpartition(".")[2]
+        matches = [
+            key
+            for key in index
+            if key[0] == module and key[1].endswith("." + method)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+    return None
+
+
+def _escalate(state, key, kind, reason) -> bool:
+    if kind in state[key].effects:
+        return False
+    state[key].effects[kind] = reason
+    return True
+
+
+def function_index(project) -> dict:
+    """Map ``(module, qualname)`` to its record across root modules."""
+    index: dict = {}
+    for summary in project.summaries(include_consumers=False):
+        for record in getattr(summary, "functions", []):
+            index[(summary.module, record.qualname)] = record
+    return index
+
+
+def infer_effects(project) -> dict:
+    """Propagate per-function effects to a fixpoint over the call graph.
+
+    Returns a mapping ``(module, qualname) -> EffectSummary`` covering
+    every function record of every root (non-consumer) module.
+    """
+    index = function_index(project)
+    state: dict = {}
+    for summary in project.summaries(include_consumers=False):
+        for record in getattr(summary, "functions", []):
+            key = (summary.module, record.qualname)
+            state[key] = EffectSummary(
+                module=summary.module,
+                qualname=record.qualname,
+                path=summary.path,
+                line=record.line,
+                effects=dict(record.effects),
+                mutated_params=list(record.mutated_params),
+            )
+
+    changed = True
+    while changed:
+        changed = False
+        for key, record in index.items():
+            module, caller = key
+            for dotted, line, receiver_kind, args, kwargs in record.calls:
+                target = resolve_callable(project, index, module, caller, dotted)
+                if target is None or target == key:
+                    continue
+                callee_state = state[target]
+                callee_record = index[target]
+                for kind in ("mutates-global", "rng", "io"):
+                    if kind in callee_state.effects:
+                        changed |= _escalate(
+                            state,
+                            key,
+                            kind,
+                            f"calls {target[1]} [{target[0]}] "
+                            f"(line {line}): {callee_state.effects[kind]}",
+                        )
+                mutated = set(callee_state.mutated_params)
+                if not mutated:
+                    continue
+                callee_params = list(callee_record.params)
+                has_receiver = bool(receiver_kind) and callee_params[:1] == ["self"]
+                if has_receiver and "self" in mutated:
+                    head = dotted.split(".")[0]
+                    reason = (
+                        f"calls {target[1]} [{target[0]}] (line {line}) "
+                        f"which mutates its receiver '{head}'"
+                    )
+                    if receiver_kind == "param" and head not in state[key].mutated_params:
+                        state[key].mutated_params.append(head)
+                        state[key].mutated_params.sort()
+                        changed = True
+                    elif receiver_kind == "global":
+                        changed |= _escalate(state, key, "mutates-global", reason)
+                    elif receiver_kind == "closure":
+                        changed |= _escalate(state, key, "mutates-closure", reason)
+                positional = callee_params[1:] if has_receiver else callee_params
+                bindings = list(zip(positional, args))
+                bindings.extend(
+                    (name, pair)
+                    for name, pair in kwargs.items()
+                    if name in callee_params
+                )
+                for param_name, pair in bindings:
+                    if pair is None or param_name not in mutated:
+                        continue
+                    arg_name, arg_kind = pair
+                    reason = (
+                        f"passes '{arg_name}' to {target[1]} [{target[0]}] "
+                        f"(line {line}) which mutates parameter '{param_name}'"
+                    )
+                    if arg_kind == "param" and arg_name not in state[key].mutated_params:
+                        state[key].mutated_params.append(arg_name)
+                        state[key].mutated_params.sort()
+                        changed = True
+                    elif arg_kind == "global":
+                        changed |= _escalate(state, key, "mutates-global", reason)
+                    elif arg_kind == "closure":
+                        changed |= _escalate(state, key, "mutates-closure", reason)
+    return state
+
+
+def render_effects(effect_map: dict) -> str:
+    """Text report of :func:`infer_effects` output, one function per line."""
+    lines = []
+    for key in sorted(effect_map, key=lambda k: (effect_map[k].path, effect_map[k].line)):
+        summary = effect_map[key]
+        label = summary.classify()
+        detail = "; ".join(
+            f"{kind}: {reason}" for kind, reason in sorted(summary.effects.items())
+        )
+        suffix = f"  [{detail}]" if detail else ""
+        lines.append(
+            f"{summary.path}:{summary.line}: "
+            f"{summary.module}.{summary.qualname}: {label}{suffix}"
+        )
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.analysis import astutil
+from repro.analysis.aliasing import EscapeRecord, collect_escapes
 from repro.analysis.core import (
     Diagnostic,
     ModuleContext,
@@ -30,6 +31,11 @@ from repro.analysis.core import (
     all_wp_rules,
     iter_python_files,
     unused_suppression_diagnostics,
+)
+from repro.analysis.effects import (
+    FunctionRecord,
+    collect_function_records,
+    infer_effects,
 )
 from repro.analysis.shapes import FunctionSpec, parse_docstring_spec
 
@@ -40,7 +46,12 @@ __all__ = [
     "ModuleRecord",
     "Project",
     "build_summary",
+    "ANALYSIS_JOBS_MIN_FILES",
 ]
+
+#: Below this many files needing analysis, ``--jobs`` stays serial — the
+#: same fork-overhead argument as the runtime's auto-serial heuristic.
+ANALYSIS_JOBS_MIN_FILES = 4
 
 
 @dataclasses.dataclass(frozen=True)
@@ -114,6 +125,10 @@ class ModuleSummary:
     ops: list  # of OpRecord
     annotations: dict = dataclasses.field(default_factory=dict)
     # name -> identifiers in its annotations/bases (liveness propagation)
+    functions: list = dataclasses.field(default_factory=list)
+    # of FunctionRecord (effect inference; empty for consumers)
+    escapes: list = dataclasses.field(default_factory=list)
+    # of EscapeRecord (aliasing pass; empty for consumers)
 
     def to_json(self) -> dict:
         """Serializable form (cache storage)."""
@@ -130,6 +145,8 @@ class ModuleSummary:
             "spec_errors": self.spec_errors,
             "ops": [record.to_json() for record in self.ops],
             "annotations": self.annotations,
+            "functions": [record.to_json() for record in self.functions],
+            "escapes": [record.to_json() for record in self.escapes],
         }
 
     @staticmethod
@@ -155,6 +172,12 @@ class ModuleSummary:
             annotations={
                 k: list(v) for k, v in record.get("annotations", {}).items()
             },
+            functions=[
+                FunctionRecord.from_json(r) for r in record.get("functions", [])
+            ],
+            escapes=[
+                EscapeRecord.from_json(r) for r in record.get("escapes", [])
+            ],
         )
 
     def resolved_uses(self) -> set:
@@ -449,6 +472,8 @@ def build_summary(context: ModuleContext, is_consumer: bool) -> ModuleSummary:
         spec_errors=spec_errors,
         ops=_collect_ops(tree),
         annotations=_collect_annotations(tree),
+        functions=[] if is_consumer else collect_function_records(tree),
+        escapes=[] if is_consumer else collect_escapes(tree),
     )
 
 
@@ -488,6 +513,7 @@ class Project:
         self.stats = {"analyzed": 0, "cached": 0}
         self._cache = None
         self._uses_index: Optional[dict] = None
+        self._effects: Optional[dict] = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -627,6 +653,12 @@ class Project:
                     return self._lookup_function(record.target())
         return None
 
+    def effect_summaries(self) -> dict:
+        """Memoized interprocedural effect verdicts (see :mod:`effects`)."""
+        if self._effects is None:
+            self._effects = infer_effects(self)
+        return self._effects
+
     def usage_index(self) -> dict:
         """Map of dotted object name -> list of consuming module names."""
         if self._uses_index is None:
@@ -657,18 +689,99 @@ class Project:
     # ------------------------------------------------------------------
     # Driver
     # ------------------------------------------------------------------
-    def analyze(self, select: Optional[Iterable[str]] = None) -> list:
+    def _module_pass(self, key: str, spec_fp: str) -> tuple:
+        """Compute whatever per-module results ``key`` is missing.
+
+        Returns ``(key, module_part, flow_part)`` where each part is a
+        ``(diagnostics, sorted_used_suppressions)`` pair or None when the
+        cached result is still valid.  Deliberately read-only on ``self``
+        (results are merged by the caller) so that ``--jobs`` can run it
+        inside forked workers without breaking the fork-safety contract
+        this very analyzer enforces.
+        """
+        from repro.analysis.dataflow import analyze_module_dataflow
+
+        record = self.records[key]
+        summary = record.summary
+        module_part = None
+        if record.module_diags is None:
+            context = record.ensure_context()
+            found: list = []
+            for checker in all_rules():
+                for diagnostic in checker.check(context):
+                    if not context.is_suppressed(
+                        diagnostic.rule_id, diagnostic.line
+                    ):
+                        found.append(diagnostic)
+            module_part = (found, sorted(context.used_suppressions()))
+        flow_part = None
+        if summary.specs and (
+            record.dataflow_diags is None or record.dataflow_key != spec_fp
+        ):
+            context = record.ensure_context()
+            flow_diags, flow_used = analyze_module_dataflow(
+                self, summary, context
+            )
+            flow_part = (flow_diags, sorted(flow_used))
+        return key, module_part, flow_part
+
+    def analyze(
+        self, select: Optional[Iterable[str]] = None, jobs: int = 0
+    ) -> list:
         """Run per-module rules, dataflow, and whole-program passes.
 
         Returns the surviving diagnostics sorted by location.  ``select``
         filters the report to the given rule ids (all passes still run so
-        that suppression accounting stays correct).
+        that suppression accounting stays correct).  ``jobs > 0`` fans the
+        per-module passes out over that many forked workers via
+        :func:`repro.runtime.parallel.run_parallel_map` — bit-identical to
+        the serial run because workers only *compute* results and the
+        parent merges them in file order; fewer than
+        :data:`ANALYSIS_JOBS_MIN_FILES` pending files auto-serialize.
         """
-        from repro.analysis.dataflow import analyze_module_dataflow
-
         diagnostics: list = []
         spec_fp = self.spec_fingerprint()
         used: dict[str, set] = {}
+
+        pending = [
+            key
+            for key, record in self.records.items()
+            if record.syntax_error is None
+            and not record.summary.is_consumer
+            and (
+                record.module_diags is None
+                or (
+                    record.summary.specs
+                    and (
+                        record.dataflow_diags is None
+                        or record.dataflow_key != spec_fp
+                    )
+                )
+            )
+        ]
+        parallel = jobs > 0 and len(pending) >= ANALYSIS_JOBS_MIN_FILES
+        if jobs > 0:
+            self.stats["jobs_mode"] = "parallel" if parallel else "auto-serial"
+        if parallel:
+            from repro.runtime.parallel import run_parallel_map
+
+            def analyze_one(key):
+                return self._module_pass(key, spec_fp)
+
+            outcomes = run_parallel_map(analyze_one, pending, workers=jobs)
+        else:
+            outcomes = [self._module_pass(key, spec_fp) for key in pending]
+        for key, module_part, flow_part in outcomes:
+            record = self.records[key]
+            if module_part is not None:
+                record.module_diags = module_part[0]
+                record.used_suppressions = {
+                    tuple(item) for item in module_part[1]
+                }
+            if flow_part is not None:
+                record.dataflow_diags = flow_part[0]
+                record.dataflow_used = {tuple(item) for item in flow_part[1]}
+                record.dataflow_key = spec_fp
 
         for key, record in self.records.items():
             summary = record.summary
@@ -677,29 +790,9 @@ class Project:
                 continue
             if summary.is_consumer:
                 continue
-            if record.module_diags is None:
-                context = record.ensure_context()
-                found: list = []
-                for checker in all_rules():
-                    for diagnostic in checker.check(context):
-                        if not context.is_suppressed(
-                            diagnostic.rule_id, diagnostic.line
-                        ):
-                            found.append(diagnostic)
-                record.module_diags = found
-                record.used_suppressions = context.used_suppressions()
             diagnostics.extend(record.module_diags)
             used.setdefault(key, set()).update(record.used_suppressions or set())
-
             if summary.specs:
-                if record.dataflow_diags is None or record.dataflow_key != spec_fp:
-                    context = record.ensure_context()
-                    flow_diags, flow_used = analyze_module_dataflow(
-                        self, summary, context
-                    )
-                    record.dataflow_diags = flow_diags
-                    record.dataflow_used = flow_used
-                    record.dataflow_key = spec_fp
                 diagnostics.extend(record.dataflow_diags)
                 used.setdefault(key, set()).update(record.dataflow_used or set())
 

@@ -2,14 +2,15 @@
 
 Per-module rules live in :mod:`autograd`, :mod:`hygiene`, and
 :mod:`numeric`; whole-program rules are registered by :mod:`interproc`
-(autograd contracts), :mod:`repro.analysis.callgraph` (import/export
-graph), and :mod:`repro.analysis.dataflow` (symbolic shapes/dtypes).
-``autograd`` must import before ``dataflow``, which borrows its
-narrowing allowlist.
+(autograd contracts), :mod:`concurrency` (fork-safety over inferred
+effects), :mod:`repro.analysis.callgraph` (import/export graph),
+:mod:`repro.analysis.aliasing` (cache-owned array escapes), and
+:mod:`repro.analysis.dataflow` (symbolic shapes/dtypes).  ``autograd``
+must import before ``dataflow``, which borrows its narrowing allowlist.
 """
 
 from repro.analysis.rules import autograd, hygiene, numeric  # noqa: F401
-from repro.analysis.rules import interproc, perf, robustness  # noqa: F401
-from repro.analysis import callgraph, dataflow  # noqa: F401
+from repro.analysis.rules import concurrency, interproc, perf, robustness  # noqa: F401
+from repro.analysis import aliasing, callgraph, dataflow  # noqa: F401
 
 __all__ = ["autograd", "hygiene", "numeric", "interproc", "perf"]

@@ -1,0 +1,179 @@
+"""Fork-safety and bit-identity hazard rules for the parallel runtime.
+
+The determinism contract of :mod:`repro.runtime.parallel` —
+``workers=N`` bit-identical to ``workers=0`` — rests on three properties
+of everything submitted to a worker pool, and each gets a whole-program
+rule over the effect summaries of :mod:`repro.analysis.effects`:
+
+* ``wp-fork-unsafe-effect`` — a submitted callable must not mutate module
+  globals or closure cells (fork-inherited memory: child writes are
+  invisible to the parent, so the serial and parallel runs diverge) and
+  must not consume unseeded RNG (per-process streams differ);
+* ``wp-unordered-merge`` — results must be merged in submission order:
+  ``imap_unordered`` / ``as_completed`` iteration and ``set()`` collapses
+  of a parallel result list discard the ordering the contract needs;
+* ``wp-order-dependent-reduction`` — in-loop ``+=`` / ``-=``
+  accumulations on non-constant values inside functions *reachable from a
+  submitted callable* are flagged: floating-point accumulation is
+  non-associative, so any future re-tiling or cross-task merge of such a
+  reduction silently breaks bit-identity.  Reductions whose order is
+  pinned by a differential test (the solver's tile flushes, proven by
+  ``tests/test_quant_differential.py``) are allowlisted with a
+  ``# lint: disable=`` pragma naming this rule on the flagged line.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Diagnostic, wprule
+from repro.analysis.effects import function_index, resolve_callable
+
+__all__ = []
+
+#: Effect kinds that make a callable unsafe to run in forked workers.
+_FORK_UNSAFE = ("mutates-global", "mutates-closure", "rng")
+
+#: Fan-out iteration methods that return results in completion order.
+_UNORDERED_CALLS = ("imap_unordered", "as_completed")
+
+
+def _function_records(project):
+    for summary in project.summaries(include_consumers=False):
+        for record in getattr(summary, "functions", []):
+            yield summary, record
+
+
+def _submission_sites(project):
+    for summary, record in _function_records(project):
+        for callee, line, via, result_var in record.submissions:
+            yield summary, record, callee, line, via, result_var
+
+
+@wprule(
+    "wp-fork-unsafe-effect",
+    "callables submitted to worker pools must not mutate globals/closures "
+    "or consume unseeded RNG",
+)
+def _wp_fork_unsafe_effect(self, project):
+    """Check the inferred effects of every pool-submitted callable."""
+    effects = project.effect_summaries()
+    index = function_index(project)
+    for summary, record, callee, line, via, _ in _submission_sites(project):
+        if callee is None:
+            continue
+        target = resolve_callable(
+            project, index, summary.module, record.qualname, callee
+        )
+        if target is None:
+            continue
+        verdict = effects.get(target)
+        if verdict is None:
+            continue
+        bad = [kind for kind in _FORK_UNSAFE if kind in verdict.effects]
+        if not bad:
+            continue
+        reasons = "; ".join(verdict.effects[kind] for kind in bad)
+        yield Diagnostic(
+            self.id,
+            summary.path,
+            line,
+            0,
+            f"'{callee}' submitted via {via} has fork-unsafe effect(s) "
+            f"{', '.join(bad)} ({target[0]}.{target[1]}: {reasons}); "
+            "worker-side mutation is invisible to the parent, breaking "
+            "the workers=N == workers=0 contract",
+        )
+
+
+@wprule(
+    "wp-unordered-merge",
+    "parallel results must be merged in submission order",
+)
+def _wp_unordered_merge(self, project):
+    """Flag completion-order iteration and order-discarding collapses."""
+    for summary, record in _function_records(project):
+        results = {
+            entry[3] for entry in record.submissions if entry[3] is not None
+        }
+        for dotted, line, _, args, _kwargs in record.calls:
+            last = dotted.split(".")[-1]
+            if last in _UNORDERED_CALLS:
+                yield Diagnostic(
+                    self.id,
+                    summary.path,
+                    line,
+                    0,
+                    f"'{dotted}' yields results in completion order; the "
+                    "bit-identity contract requires submission-order "
+                    "merges (use pool.map / run_parallel_map)",
+                )
+            elif (
+                dotted in ("set", "frozenset")
+                and len(args) == 1
+                and args[0] is not None
+                and args[0][0] in results
+            ):
+                yield Diagnostic(
+                    self.id,
+                    summary.path,
+                    line,
+                    0,
+                    f"'{dotted}({args[0][0]})' discards the submission "
+                    "order of a parallel result list; merge it as an "
+                    "ordered sequence",
+                )
+
+
+@wprule(
+    "wp-order-dependent-reduction",
+    "in-loop float accumulations on parallel paths are "
+    "accumulation-order-sensitive",
+)
+def _wp_order_dependent_reduction(self, project):
+    """Flag reductions in functions reachable from a pool submission."""
+    index = function_index(project)
+    entry_of: dict = {}
+    queue: list = []
+    for summary, record, callee, line, via, _ in _submission_sites(project):
+        if callee is None:
+            continue
+        target = resolve_callable(
+            project, index, summary.module, record.qualname, callee
+        )
+        if target is None or target in entry_of:
+            continue
+        entry_of[target] = (callee, f"{summary.path}:{line}")
+        queue.append(target)
+    while queue:
+        key = queue.pop()
+        record = index[key]
+        for dotted, line, _, _args, _kwargs in record.calls:
+            nxt = resolve_callable(project, index, key[0], key[1], dotted)
+            if nxt is not None and nxt not in entry_of:
+                entry_of[nxt] = entry_of[key]
+                queue.append(nxt)
+
+    paths = {
+        summary.module: summary.path
+        for summary in project.summaries(include_consumers=False)
+    }
+    seen: set = set()
+    for key, (entry, site) in sorted(entry_of.items()):
+        record = index[key]
+        path = paths.get(key[0])
+        if path is None:
+            continue
+        for line, text in record.reductions:
+            if (path, line) in seen:
+                continue
+            seen.add((path, line))
+            yield Diagnostic(
+                self.id,
+                path,
+                line,
+                0,
+                f"'{text}' in {key[1]} accumulates in iteration order and "
+                f"is reachable from parallel submission '{entry}' ({site}); "
+                "float accumulation is non-associative — keep the order "
+                "schedule-independent, or prove bit-identity and allowlist "
+                "the line with a lint disable pragma naming this rule",
+            )

@@ -78,6 +78,7 @@ class SharedGramCache:
             return entry[1]
         self.misses += 1
         value = flat.T @ flat
+        value.setflags(write=False)
         self._entries[key] = (source, value)
         return value
 

@@ -280,17 +280,29 @@ class KVCache:
 
     @property
     def keys(self) -> Optional[np.ndarray]:
-        """View of the cached keys, ``(b, h, length, d)``; ``None`` if empty."""
+        """Read-only view of the cached keys, ``(b, h, length, d)``.
+
+        ``None`` while empty.  The view is marked non-writable so callers
+        cannot corrupt the cache through the alias; the backing buffer
+        itself stays writable for :meth:`append`.
+        """
         if self._keys is None:
             return None
-        return self._keys[:, :, : self._length]
+        view = self._keys[:, :, : self._length]
+        view.flags.writeable = False
+        return view
 
     @property
     def values(self) -> Optional[np.ndarray]:
-        """View of the cached values, ``(b, h, length, d)``; ``None`` if empty."""
+        """Read-only view of the cached values, ``(b, h, length, d)``.
+
+        ``None`` while empty; non-writable like :attr:`keys`.
+        """
         if self._values is None:
             return None
-        return self._values[:, :, : self._length]
+        view = self._values[:, :, : self._length]
+        view.flags.writeable = False
+        return view
 
     def _reserve(self, template: np.ndarray, needed: int) -> None:
         """Ensure the buffers hold at least ``needed`` positions."""

@@ -263,10 +263,13 @@ def _sweep_reference(
         codes[row] = row_codes
         quantized[row] = row_quant
         err = (working[row] - row_quant) / inv_upper[row, row]
-        loss += 0.5 * float((err**2).sum())
+        # Row order is the algorithm itself (each row compensates its
+        # successors); tasks never split a layer, and the parallel path is
+        # proven bit-identical by tests/test_quant_differential.py.
+        loss += 0.5 * float((err**2).sum())  # lint: disable=wp-order-dependent-reduction
         # Compensate every remaining channel immediately (Eq. (17)).
         if row + 1 < d_in:
-            working[row + 1 :] -= np.outer(inv_upper[row, row + 1 :], err)
+            working[row + 1 :] -= np.outer(inv_upper[row, row + 1 :], err)  # lint: disable=wp-order-dependent-reduction
     return quantized, codes, loss
 
 
@@ -303,21 +306,25 @@ def _sweep_blocked(
                 codes[row] = row_codes
                 quantized[row] = row_quant
                 err = (block_weight[local] - row_quant) / block_inv[local, local]
-                loss += 0.5 * float((err**2).sum())
+                # Tile flushes run in the fixed row/tile/block order the
+                # sweep defines; bit-identity against _sweep_reference and
+                # across workers is pinned by
+                # tests/test_quant_differential.py.
+                loss += 0.5 * float((err**2).sum())  # lint: disable=wp-order-dependent-reduction
                 if local + 1 < micro_end:
-                    block_weight[local + 1 : micro_end] -= np.outer(
+                    block_weight[local + 1 : micro_end] -= np.outer(  # lint: disable=wp-order-dependent-reduction
                         block_inv[local, local + 1 : micro_end], err
                     )
                 block_errors[local] = err
             # Flush the tile's errors into the rest of the block.
             if micro_end < count:
-                block_weight[micro_end:] -= (
+                block_weight[micro_end:] -= (  # lint: disable=wp-order-dependent-reduction
                     block_inv[micro_start:micro_end, micro_end:].T
                     @ block_errors[micro_start:micro_end]
                 )
         # Lazy-batched rank-B compensation of all rows after the block.
         if block_end < d_in:
-            working[block_end:] -= (
+            working[block_end:] -= (  # lint: disable=wp-order-dependent-reduction
                 inv_upper[block_start:block_end, block_end:].T @ block_errors
             )
     return quantized, codes, loss

@@ -236,8 +236,18 @@ def run_solver_tasks(
 
     outcomes = None
     if workers > 0 and len(tasks) > 1:
+        from repro.runtime import faults
+
         total_cost = sum(solver_task_cost(task) for task in tasks)
-        if total_cost < min_parallel_cost:
+        if faults.active_injector() is not None:
+            journal.record(
+                "scheduler",
+                message="fault injector active: fault budgets and fired "
+                "records live in parent-process state that forked workers "
+                f"cannot update; running {len(tasks)} solver tasks serially",
+                workers=workers,
+            )
+        elif total_cost < min_parallel_cost:
             journal.record(
                 "scheduler",
                 message=f"auto-serial: estimated solver cost "
@@ -252,7 +262,13 @@ def run_solver_tasks(
             try:
                 context = multiprocessing.get_context("fork")
                 with context.Pool(processes=min(workers, len(tasks))) as pool:
-                    outcomes = pool.map(_execute_task, payloads)
+                    # _execute_task's only global effect is fault-injector
+                    # bookkeeping (FaultInjector.check), and an active
+                    # injector takes the serial branch above; with no
+                    # injector maybe_fault is a no-op read of _ACTIVE.
+                    outcomes = pool.map(  # lint: disable=wp-fork-unsafe-effect
+                        _execute_task, payloads
+                    )
             except (OSError, ValueError) as error:
                 journal.record(
                     "warning",

@@ -1,0 +1,360 @@
+"""Concurrency-safety rules and the parallel analyzer driver.
+
+One firing and one non-firing fixture per rule (``wp-fork-unsafe-effect``,
+``wp-unordered-merge``, ``wp-order-dependent-reduction``,
+``wp-cache-writable-escape``), pinning (rule-id, file, line); plus
+``--jobs`` parity (forked per-module passes bit-identical to serial) and
+the auto-serial heuristic for small trees.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis.aliasing import collect_escapes
+from repro.analysis.project import ANALYSIS_JOBS_MIN_FILES, Project
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+HEADER = '"""Pkg."""\n__all__ = []\n'
+
+RUNTIME_HELPERS = (
+    '"""Runtime helpers."""\n\n'
+    '__all__ = ["run_parallel_map"]\n\n\n'
+    "def run_parallel_map(fn, items):\n"
+    '    """Serial reference executor."""\n'
+    "    return [fn(item) for item in items]\n"
+)
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def load(tmp_path, files, consumers=()):
+    root = write_tree(tmp_path, files)
+    consumer_paths = [str(root / entry) for entry in consumers]
+    return root, Project.load([str(root / "repro")], consumer_paths)
+
+
+def hits(diagnostics, rule_id):
+    return [
+        (d.rule_id, d.path, d.line)
+        for d in diagnostics
+        if d.rule_id == rule_id
+    ]
+
+
+def run_cli(*argv):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+
+
+class TestForkUnsafeEffect:
+    FILES = {
+        "repro/__init__.py": HEADER,
+        "repro/par.py": RUNTIME_HELPERS,
+        "repro/jobs.py": (
+            '"""Jobs."""\n'
+            "from repro.par import run_parallel_map\n\n"
+            '__all__ = ["launch", "launch_pure"]\n\n'
+            "LOG = []\n\n\n"
+            "def bump(item):\n"
+            '    """Worker that mutates a module global."""\n'
+            "    LOG.append(item)\n"
+            "    return item\n\n\n"
+            "def pure(item):\n"
+            '    """Effect-free worker."""\n'
+            "    return item * 2\n\n\n"
+            "def launch(items):\n"
+            '    """Submits the unsafe worker."""\n'
+            "    return run_parallel_map(bump, items)\n\n\n"
+            "def launch_pure(items):\n"
+            '    """Submits the pure worker."""\n'
+            "    return run_parallel_map(pure, items)\n"
+        ),
+    }
+
+    def test_global_mutating_worker_fires_at_submission_line(self, tmp_path):
+        root, project = load(tmp_path, self.FILES)
+        found = hits(
+            project.analyze(select=["wp-fork-unsafe-effect"]),
+            "wp-fork-unsafe-effect",
+        )
+        assert found == [
+            ("wp-fork-unsafe-effect", str(root / "repro/jobs.py"), 22)
+        ]
+
+    def test_pure_worker_does_not_fire(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/jobs.py"] = files["repro/jobs.py"].replace(
+            "run_parallel_map(bump, items)", "run_parallel_map(pure, items)"
+        )
+        _, project = load(tmp_path, files)
+        diagnostics = project.analyze(select=["wp-fork-unsafe-effect"])
+        assert hits(diagnostics, "wp-fork-unsafe-effect") == []
+
+
+class TestUnorderedMerge:
+    FILES = {
+        "repro/__init__.py": HEADER,
+        "repro/par.py": RUNTIME_HELPERS,
+        "repro/merge.py": (
+            '"""Merge."""\n'
+            "import multiprocessing\n\n"
+            "from repro.par import run_parallel_map\n\n"
+            '__all__ = ["completion_order", "order_discard", "ordered"]\n\n\n'
+            "def pure(item):\n"
+            '    """Worker."""\n'
+            "    return item * 2\n\n\n"
+            "def completion_order(items):\n"
+            '    """Iterates results as they complete."""\n'
+            "    with multiprocessing.Pool() as pool:\n"
+            "        return list(pool.imap_unordered(pure, items))\n\n\n"
+            "def order_discard(items):\n"
+            '    """Collapses the ordered result list into a set."""\n'
+            "    results = run_parallel_map(pure, items)\n"
+            "    return set(results)\n\n\n"
+            "def ordered(items):\n"
+            '    """Submission-order merge: fine."""\n'
+            "    results = run_parallel_map(pure, items)\n"
+            "    return list(results)\n"
+        ),
+    }
+
+    def test_unordered_iteration_and_set_collapse_fire(self, tmp_path):
+        root, project = load(tmp_path, self.FILES)
+        found = hits(
+            project.analyze(select=["wp-unordered-merge"]),
+            "wp-unordered-merge",
+        )
+        assert found == [
+            ("wp-unordered-merge", str(root / "repro/merge.py"), 17),
+            ("wp-unordered-merge", str(root / "repro/merge.py"), 23),
+        ]
+
+    def test_ordered_merge_does_not_fire(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/merge.py"] = (
+            '"""Merge."""\n'
+            "from repro.par import run_parallel_map\n\n"
+            '__all__ = ["ordered"]\n\n\n'
+            "def pure(item):\n"
+            '    """Worker."""\n'
+            "    return item * 2\n\n\n"
+            "def ordered(items):\n"
+            '    """Submission-order merge: fine."""\n'
+            "    results = run_parallel_map(pure, items)\n"
+            "    return list(results)\n"
+        )
+        _, project = load(tmp_path, files)
+        diagnostics = project.analyze(select=["wp-unordered-merge"])
+        assert hits(diagnostics, "wp-unordered-merge") == []
+
+
+class TestOrderDependentReduction:
+    FILES = {
+        "repro/__init__.py": HEADER,
+        "repro/par.py": RUNTIME_HELPERS,
+        "repro/acc.py": (
+            '"""Acc."""\n'
+            "from repro.par import run_parallel_map\n\n"
+            '__all__ = ["launch"]\n\n\n'
+            "def accumulate(values):\n"
+            '    """In-loop float accumulation."""\n'
+            "    total = 0.0\n"
+            "    count = 0\n"
+            "    for value in values:\n"
+            "        total += value * 2.0\n"
+            "        count += 1\n"
+            "    return total, count\n\n\n"
+            "def launch(batches):\n"
+            '    """Submits the accumulator."""\n'
+            "    return run_parallel_map(accumulate, batches)\n"
+        ),
+    }
+
+    def test_reduction_reachable_from_submission_fires(self, tmp_path):
+        root, project = load(tmp_path, self.FILES)
+        found = hits(
+            project.analyze(select=["wp-order-dependent-reduction"]),
+            "wp-order-dependent-reduction",
+        )
+        # Line 12 is the float accumulation; the count += 1 constant step
+        # on line 13 must not be flagged.
+        assert found == [
+            (
+                "wp-order-dependent-reduction",
+                str(root / "repro/acc.py"),
+                12,
+            )
+        ]
+
+    def test_unreachable_reduction_does_not_fire(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/acc.py"] = files["repro/acc.py"].replace(
+            "run_parallel_map(accumulate, batches)",
+            "[accumulate(batch) for batch in batches]",
+        )
+        _, project = load(tmp_path, files)
+        diagnostics = project.analyze(select=["wp-order-dependent-reduction"])
+        assert hits(diagnostics, "wp-order-dependent-reduction") == []
+
+    def test_allowlist_pragma_suppresses_the_line(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/acc.py"] = files["repro/acc.py"].replace(
+            "        total += value * 2.0\n",
+            "        total += value * 2.0"
+            "  # lint: disable=wp-order-dependent-reduction\n",
+        )
+        _, project = load(tmp_path, files)
+        diagnostics = project.analyze(select=["wp-order-dependent-reduction"])
+        assert hits(diagnostics, "wp-order-dependent-reduction") == []
+
+
+CACHE_ESCAPE = (
+    '"""Tile cache."""\n'
+    "import numpy as np\n\n"
+    '__all__ = ["TileCache"]\n\n\n'
+    "class TileCache:\n"
+    '    """Memoizes gram tiles."""\n\n'
+    "    def __init__(self):\n"
+    '        """Init."""\n'
+    "        self._store = {}\n\n"
+    "    def fetch(self, key, flat):\n"
+    '        """Memoized flat.T @ flat."""\n'
+    "        entry = self._store.get(key)\n"
+    "        if entry is not None:\n"
+    "            return entry[1]\n"
+    "        value = flat.T @ flat\n"
+    "        self._store[key] = (key, value)\n"
+    "        return value\n"
+)
+
+
+class TestCacheWritableEscape:
+    FILES = {
+        "repro/__init__.py": HEADER,
+        "repro/tiles.py": CACHE_ESCAPE,
+    }
+
+    def test_writable_hit_and_miss_paths_fire(self, tmp_path):
+        root, project = load(tmp_path, self.FILES)
+        found = hits(
+            project.analyze(select=["wp-cache-writable-escape"]),
+            "wp-cache-writable-escape",
+        )
+        assert found == [
+            ("wp-cache-writable-escape", str(root / "repro/tiles.py"), 18),
+            ("wp-cache-writable-escape", str(root / "repro/tiles.py"), 21),
+        ]
+
+    def test_setflags_before_store_is_clean(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/tiles.py"] = files["repro/tiles.py"].replace(
+            "        self._store[key] = (key, value)\n",
+            "        value.setflags(write=False)\n"
+            "        self._store[key] = (key, value)\n",
+        )
+        _, project = load(tmp_path, files)
+        diagnostics = project.analyze(select=["wp-cache-writable-escape"])
+        assert hits(diagnostics, "wp-cache-writable-escape") == []
+
+    def test_tuple_target_buffers_and_readonly_views(self, tmp_path):
+        # KVCache shape: buffers stored through a tuple-to-tuple assign,
+        # escaping through slicing properties; marking the view read-only
+        # before returning sanitizes the escape.
+        source = (
+            '"""KV-style cache."""\n'
+            "import numpy as np\n\n"
+            '__all__ = ["PairCache"]\n\n\n'
+            "class PairCache:\n"
+            '    """Holds two buffers."""\n\n'
+            "    def __init__(self, n):\n"
+            '        """Init."""\n'
+            "        keys = np.empty((n,))\n"
+            "        values = np.empty_like(keys)\n"
+            "        self._keys, self._values = keys, values\n\n"
+            "    def keys(self):\n"
+            '        """Writable slice: flagged."""\n'
+            "        return self._keys[:2]\n\n"
+            "    def values(self):\n"
+            '        """Read-only slice: clean."""\n'
+            "        view = self._values[:2]\n"
+            "        view.flags.writeable = False\n"
+            "        return view\n"
+        )
+        files = {"repro/__init__.py": HEADER, "repro/pair.py": source}
+        root, project = load(tmp_path, files)
+        found = hits(
+            project.analyze(select=["wp-cache-writable-escape"]),
+            "wp-cache-writable-escape",
+        )
+        assert found == [
+            ("wp-cache-writable-escape", str(root / "repro/pair.py"), 18)
+        ]
+
+    def test_escape_records_carry_via_and_readonly(self):
+        import ast
+
+        records = collect_escapes(ast.parse(CACHE_ESCAPE))
+        by_line = {record.line: record for record in records}
+        assert by_line[18].via == "slice" and not by_line[18].readonly
+        assert by_line[21].via == "stored" and by_line[21].attr == "_store"
+
+
+def _parity_tree(tmp_path):
+    files = {"repro/__init__.py": HEADER, "repro/par.py": RUNTIME_HELPERS}
+    for index in range(max(ANALYSIS_JOBS_MIN_FILES, 4)):
+        files[f"repro/mod{index}.py"] = (
+            f'"""Module {index}."""\n'
+            "import numpy as np\n\n"
+            f'__all__ = ["leak{index}"]\n\n\n'
+            f"def leak{index}(x):\n"
+            '    """Seeded violation: unbounded exp."""\n'
+            "    return np.exp(x)\n"
+        )
+    return write_tree(tmp_path, files)
+
+
+class TestParallelAnalyzer:
+    def test_jobs_output_is_bit_identical_to_serial(self, tmp_path):
+        root = _parity_tree(tmp_path)
+        serial = run_cli("--whole-program", "--no-cache", str(root / "repro"))
+        forked = run_cli(
+            "--whole-program", "--no-cache", "--jobs", "4",
+            str(root / "repro"),
+        )
+        assert serial.returncode == forked.returncode == 1
+        assert "numeric-raw-exp" in serial.stdout
+        assert forked.stdout == serial.stdout
+
+    def test_jobs_stats_report_parallel_mode(self, tmp_path):
+        root = _parity_tree(tmp_path)
+        proc = run_cli(
+            "--whole-program", "--no-cache", "--jobs", "4", "--stats",
+            str(root / "repro"),
+        )
+        assert "jobs=4 (parallel)" in proc.stderr
+
+    def test_small_trees_auto_serialize(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {"repro/__init__.py": HEADER, "repro/par.py": RUNTIME_HELPERS},
+        )
+        proc = run_cli(
+            "--whole-program", "--no-cache", "--jobs", "4", "--stats",
+            str(root / "repro"),
+        )
+        assert "jobs=4 (auto-serial)" in proc.stderr

@@ -1,0 +1,230 @@
+"""Effect inference: local collection and interprocedural propagation.
+
+Fixture projects are written to ``tmp_path/repro`` so module names resolve
+to ``repro.*`` (same layout as test_analysis_callgraph.py); assertions pin
+the effect lattice labels of named functions so propagation cannot drift.
+"""
+
+import ast
+
+from repro.analysis.effects import (
+    EffectSummary,
+    collect_function_records,
+    infer_effects,
+)
+from repro.analysis.project import Project
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def load(tmp_path, files, consumers=()):
+    root = write_tree(tmp_path, files)
+    consumer_paths = [str(root / entry) for entry in consumers]
+    return root, Project.load([str(root / "repro")], consumer_paths)
+
+
+def records_by_name(source):
+    tree = ast.parse(source)
+    return {record.qualname: record for record in collect_function_records(tree)}
+
+
+def labels(project):
+    return {
+        f"{key[0]}.{key[1]}": summary.classify()
+        for key, summary in infer_effects(project).items()
+    }
+
+
+class TestLocalCollection:
+    def test_pure_function_has_no_effects(self):
+        records = records_by_name(
+            "def double(x):\n"
+            "    y = x * 2\n"
+            "    return y\n"
+        )
+        assert records["double"].effects == {}
+        assert records["double"].mutated_params == []
+
+    def test_global_rebind_and_attribute_write(self):
+        records = records_by_name(
+            "STATE = {}\n"
+            "COUNT = 0\n\n"
+            "def rebind():\n"
+            "    global COUNT\n"
+            "    COUNT = 1\n\n"
+            "def write_attr():\n"
+            "    STATE['k'] = 1\n"
+        )
+        assert "mutates-global" in records["rebind"].effects
+        assert "mutates-global" in records["write_attr"].effects
+
+    def test_mutating_method_on_module_global(self):
+        records = records_by_name(
+            "LOG = []\n\n"
+            "def push(item):\n"
+            "    LOG.append(item)\n"
+        )
+        assert "mutates-global" in records["push"].effects
+
+    def test_parameter_mutation_is_not_a_global_effect(self):
+        records = records_by_name(
+            "def fill(buffer, value):\n"
+            "    buffer[0] = value\n"
+            "    buffer.append(value)\n"
+        )
+        assert records["fill"].effects == {}
+        assert records["fill"].mutated_params == ["buffer"]
+
+    def test_nonlocal_rebind_is_closure_mutation(self):
+        records = records_by_name(
+            "def outer():\n"
+            "    total = 0\n"
+            "    def inner(v):\n"
+            "        nonlocal total\n"
+            "        total = total + v\n"
+            "    return inner\n"
+        )
+        assert "mutates-closure" in records["outer.inner"].effects
+        assert records["outer"].effects == {}
+
+    def test_unseeded_rng_flagged_seeded_rng_not(self):
+        records = records_by_name(
+            "import numpy as np\n\n"
+            "def noisy(n):\n"
+            "    return np.random.standard_normal(n)\n\n"
+            "def seeded(n):\n"
+            "    rng = np.random.default_rng(0)\n"
+            "    return rng.standard_normal(n)\n"
+        )
+        assert "rng" in records["noisy"].effects
+        assert "rng" not in records["seeded"].effects
+
+    def test_io_calls_flagged(self):
+        records = records_by_name(
+            "def dump(path, text):\n"
+            "    print(text)\n"
+            "    path.write_text(text)\n"
+        )
+        assert "io" in records["dump"].effects
+
+    def test_in_loop_accumulation_recorded_constant_step_skipped(self):
+        records = records_by_name(
+            "def reduce(values):\n"
+            "    total = 0.0\n"
+            "    count = 0\n"
+            "    for v in values:\n"
+            "        total += v * 2.0\n"
+            "        count += 1\n"
+            "    return total, count\n"
+        )
+        assert records["reduce"].reductions == [[5, "total += ..."]]
+
+    def test_submission_sites_capture_callee_and_result_var(self):
+        records = records_by_name(
+            "def run_parallel_map(fn, items):\n"
+            "    return [fn(item) for item in items]\n\n"
+            "def work(item):\n"
+            "    return item\n\n"
+            "def launch(items):\n"
+            "    results = run_parallel_map(work, items)\n"
+            "    return results\n"
+        )
+        assert records["launch"].submissions == [
+            ["work", 8, "run_parallel_map", "results"]
+        ]
+
+
+PROPAGATION_FILES = {
+    "repro/__init__.py": '"""Pkg."""\n__all__ = []\n',
+    "repro/state.py": (
+        '"""State."""\n\n'
+        '__all__ = ["Tracker", "bump"]\n\n'
+        "LOG = []\n\n\n"
+        "class Tracker:\n"
+        '    """Tracker."""\n\n'
+        "    def __init__(self):\n"
+        '        """Init."""\n'
+        "        self.seen = []\n\n"
+        "    def record(self, item):\n"
+        '        """Record."""\n'
+        "        self.seen.append(item)\n\n\n"
+        "ACTIVE = Tracker()\n\n\n"
+        "def bump(item):\n"
+        '    """Bump."""\n'
+        "    ACTIVE.record(item)\n"
+        "    return item\n"
+    ),
+    "repro/chain.py": (
+        '"""Chain."""\n'
+        "from repro.state import bump\n\n"
+        '__all__ = ["top", "fills_own", "fills_local"]\n\n\n'
+        "def top(item):\n"
+        '    """Top."""\n'
+        "    return bump(item)\n\n\n"
+        "def fill(buffer, value):\n"
+        '    """Fill."""\n'
+        "    buffer.append(value)\n\n\n"
+        "def fills_own(buffer):\n"
+        '    """Own param forwarded: caller mutates it too."""\n'
+        "    fill(buffer, 1)\n\n\n"
+        "def fills_local():\n"
+        '    """Fresh local: mutation stays internal."""\n'
+        "    scratch = []\n"
+        "    fill(scratch, 1)\n"
+        "    return scratch\n"
+    ),
+}
+
+
+class TestInterproceduralPropagation:
+    def test_receiver_mutation_escalates_to_global_and_propagates(self, tmp_path):
+        _, project = load(tmp_path, PROPAGATION_FILES)
+        verdicts = labels(project)
+        assert verdicts["repro.state.Tracker.record"] == "mutates-param(self)"
+        assert verdicts["repro.state.bump"] == "mutates-global"
+        assert verdicts["repro.chain.top"] == "mutates-global"
+
+    def test_param_mutation_is_argument_aware(self, tmp_path):
+        _, project = load(tmp_path, PROPAGATION_FILES)
+        verdicts = labels(project)
+        assert verdicts["repro.chain.fill"] == "mutates-param(buffer)"
+        assert verdicts["repro.chain.fills_own"] == "mutates-param(buffer)"
+        assert verdicts["repro.chain.fills_local"] == "pure"
+
+    def test_effect_summary_reason_names_the_call_chain(self, tmp_path):
+        _, project = load(tmp_path, PROPAGATION_FILES)
+        effects = infer_effects(project)
+        summary = effects[("repro.chain", "top")]
+        assert isinstance(summary, EffectSummary)
+        reason = summary.effects["mutates-global"]
+        assert "bump" in reason and "repro.state" in reason
+
+    def test_closure_mutation_does_not_propagate_to_callers(self, tmp_path):
+        files = dict(PROPAGATION_FILES)
+        files["repro/closed.py"] = (
+            '"""Closed."""\n\n'
+            '__all__ = ["stable"]\n\n\n'
+            "def counter():\n"
+            '    """Counter."""\n'
+            "    total = 0\n\n"
+            "    def tick():\n"
+            '        """Tick."""\n'
+            "        nonlocal total\n"
+            "        total = total + 1\n"
+            "        return total\n\n"
+            "    return tick()\n\n\n"
+            "def stable():\n"
+            '    """Calls counter; no visible effect."""\n'
+            "    return counter()\n"
+        )
+        _, project = load(tmp_path, files)
+        verdicts = labels(project)
+        assert verdicts["repro.closed.counter.tick"] == "mutates-closure"
+        assert verdicts["repro.closed.counter"] == "pure"
+        assert verdicts["repro.closed.stable"] == "pure"

@@ -1,0 +1,113 @@
+"""The bench regression gate: ``tools/bench_compare.py``.
+
+``compare_reports`` is pure over two report dicts, so these tests build
+synthetic baselines/fresh runs and never time anything.
+"""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_compare", REPO_ROOT / "tools" / "bench_compare.py"
+)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def record(name, speedup, bit_identical=True, params=None):
+    return {
+        "name": name,
+        "speedup": speedup,
+        "bit_identical": bit_identical,
+        "params": dict(params or {"repeats": 3}),
+    }
+
+
+def report(*records):
+    return {"records": list(records)}
+
+
+class TestCompareReports:
+    def test_within_tolerance_passes(self):
+        lines, problems = bench_compare.compare_reports(
+            report(record("solver", 3.0)),
+            report(record("solver", 2.8)),
+        )
+        assert problems == []
+        assert lines == ["solver: baseline=3.00x fresh=2.80x (-6.7%) ok"]
+
+    def test_regression_beyond_tolerance_fails(self):
+        _, problems = bench_compare.compare_reports(
+            report(record("solver", 3.0)),
+            report(record("solver", 2.5)),
+        )
+        assert len(problems) == 1
+        assert "regressed" in problems[0] and "'solver'" in problems[0]
+
+    def test_lost_bit_identity_fails_regardless_of_speedup(self):
+        _, problems = bench_compare.compare_reports(
+            report(record("solver", 3.0)),
+            report(record("solver", 9.0, bit_identical=False)),
+        )
+        assert problems == ["record 'solver' lost bit-identity"]
+
+    def test_missing_record_fails_unless_allowed(self):
+        baseline = report(record("solver", 3.0), record("eval", 2.0))
+        fresh = report(record("solver", 3.0))
+        _, problems = bench_compare.compare_reports(baseline, fresh)
+        assert problems == ["record 'eval' missing from fresh run"]
+        lines, problems = bench_compare.compare_reports(
+            baseline, fresh, allow_missing=True
+        )
+        assert problems == []
+        assert "eval: skipped (not in fresh run)" in lines
+
+    def test_differing_params_are_skipped_not_compared(self):
+        # The quick suite shrinks eval parameters: same record name, a
+        # different measurement. Its speedup must not gate anything.
+        lines, problems = bench_compare.compare_reports(
+            report(record("eval", 11.5, params={"vocab": 4096})),
+            report(record("eval", 3.2, params={"vocab": 512})),
+        )
+        assert problems == []
+        assert lines == ["eval: skipped (params differ)"]
+
+    def test_repeats_is_a_harness_knob_not_a_workload_param(self):
+        # check.sh raises --repeats to dampen noise; the speedup is a
+        # ratio of best-of-N timings, so a differing repeat count must
+        # still be compared (and still gate regressions).
+        lines, problems = bench_compare.compare_reports(
+            report(record("solver", 3.0, params={"d_in": 512, "repeats": 3})),
+            report(record("solver", 2.9, params={"d_in": 512, "repeats": 5})),
+        )
+        assert problems == []
+        assert lines == ["solver: baseline=3.00x fresh=2.90x (-3.3%) ok"]
+        _, problems = bench_compare.compare_reports(
+            report(record("solver", 3.0, params={"d_in": 512, "repeats": 3})),
+            report(record("solver", 2.0, params={"d_in": 512, "repeats": 5})),
+        )
+        assert len(problems) == 1 and "regressed" in problems[0]
+
+    def test_custom_tolerance(self):
+        _, strict = bench_compare.compare_reports(
+            report(record("solver", 3.0)),
+            report(record("solver", 2.8)),
+            tolerance=0.05,
+        )
+        assert len(strict) == 1
+        _, loose = bench_compare.compare_reports(
+            report(record("solver", 3.0)),
+            report(record("solver", 2.8)),
+            tolerance=0.10,
+        )
+        assert loose == []
+
+    def test_extra_fresh_records_ignored(self):
+        lines, problems = bench_compare.compare_reports(
+            report(record("solver", 3.0)),
+            report(record("solver", 3.0), record("brand-new", 1.0)),
+        )
+        assert problems == []
+        assert len(lines) == 1

@@ -133,6 +133,25 @@ class TestSharedGramCache:
         cache.gram(x, x)
         assert cache.misses == 2
 
+    def test_cached_grams_are_read_only(self):
+        # Both the miss-path and hit-path returns alias the stored entry;
+        # a caller writing through either would silently corrupt every
+        # later hit, so the cache freezes the array before it escapes.
+        cache = SharedGramCache()
+        x = np.random.default_rng(3).standard_normal((2, 3, 4))
+        flat = x.reshape(-1, 4)
+        fresh = cache.gram(x, flat)
+        hit = cache.gram(x, flat)
+        for gram in (fresh, hit):
+            assert not gram.flags.writeable
+            with pytest.raises(ValueError):
+                gram[0, 0] = 1.0
+        # Accumulating *from* the cached gram (the calibration-hook
+        # pattern) still works.
+        total = np.zeros_like(fresh)
+        total += fresh
+        assert np.array_equal(total, flat.T @ flat)
+
     def test_qkv_hessians_deduped_in_collection(self, trained_micro_model,
                                                  calibration):
         from repro.quant.calibration_hooks import collect_input_stats

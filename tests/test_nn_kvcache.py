@@ -64,6 +64,29 @@ class TestKVCache:
         # 1 -> 2 -> 4 -> 8 -> 16: strict doubling from a single-token start.
         assert sizes == {1, 2, 4, 8, 16}
 
+    def test_exposed_views_are_read_only(self, rng):
+        # The cache owns its buffers: writing through the keys/values
+        # aliases it hands out would corrupt every later decode step, so
+        # they escape read-only.
+        cache = KVCache()
+        k = rng.normal(size=(1, 2, 3, 4))
+        keys, values = cache.append(k, k)
+        for view in (keys, values, cache.keys, cache.values):
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[...] = 0.0
+
+    def test_append_still_writes_after_read_only_views(self, rng):
+        # Marking the escaping views read-only must not freeze the backing
+        # buffer the cache itself appends into.
+        cache = KVCache(capacity=4)
+        k1 = rng.normal(size=(1, 1, 1, 2))
+        k2 = rng.normal(size=(1, 1, 1, 2))
+        cache.append(k1, k1)
+        _ = cache.keys  # freezes only the view, not the buffer
+        keys, _ = cache.append(k2, k2)
+        assert np.array_equal(keys, np.concatenate([k1, k2], axis=2))
+
     def test_multi_token_append(self, rng):
         cache = KVCache(capacity=10)
         chunk = rng.normal(size=(1, 2, 4, 3))

@@ -192,6 +192,26 @@ class TestExecutorParity:
         with pytest.raises(ValueError):
             run_solver_tasks(make_tasks(n_tasks=1), workers=-1)
 
+    def test_active_fault_injector_forces_serial(self):
+        # Fault budgets and fired records live in the parent process, so
+        # the executor must refuse to fork while an injector is active —
+        # and still return bit-identical results.
+        from repro.runtime.faults import FaultInjector
+
+        tasks = make_tasks(n_tasks=3)
+        journal = RunJournal()
+        with FaultInjector():
+            results = run_solver_tasks(
+                tasks, workers=2, journal=journal, min_parallel_cost=0
+            )
+        notices = [e for e in journal.events if e.category == "scheduler"]
+        assert len(notices) == 1
+        assert "fault injector" in notices[0].message
+        assert notices[0].detail["workers"] == 2
+        expected = run_solver_tasks(tasks, workers=0)
+        for a, b in zip(results, expected):
+            assert_results_identical(a, b)
+
 
 class TestRunParallelMap:
     def test_preserves_order_and_values(self):

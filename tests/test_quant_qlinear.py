@@ -1,6 +1,7 @@
 """Tests for the packed QuantizedLinear representation."""
 
 import numpy as np
+import pytest
 
 from repro.quant.groupwise import quantize_groupwise
 from repro.quant.qlinear import QuantizedLinear
@@ -74,6 +75,16 @@ class TestLutAndCache:
         assert np.array_equal(
             ql.forward_array(x), x @ ql._dequantize_direct()
         )
+
+    def test_cached_dense_weight_is_read_only(self, rng):
+        # The memoized dense weight is returned by reference on every
+        # forward; writing through it would poison all later calls.
+        w = rng.normal(size=(32, 8))
+        ql = QuantizedLinear.from_weight(w, 4, 16)
+        ql.forward_array(rng.normal(size=(3, 32)))
+        assert not ql._dense_cache.flags.writeable
+        with pytest.raises(ValueError):
+            ql._dense_cache[0, 0] = 123.0
 
     def test_dequantize_returns_writable_copy(self, rng):
         w = rng.normal(size=(16, 4))

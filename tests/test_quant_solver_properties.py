@@ -126,6 +126,23 @@ class TestFactorCache:
         assert np.array_equal(cached.inv_upper, direct.inv_upper)
         assert np.array_equal(cached.dead, direct.dead)
 
+    def test_cached_factors_are_read_only(self):
+        # Factors are shared across layers and cache hits, so a consumer
+        # mutating one would silently corrupt every other reader.
+        _, hessian = make_problem((20, 4), seed=3)
+        cache = HessianFactorCache()
+        for factor in (
+            cache.factor(hessian, 0.01, False),  # miss
+            cache.factor(hessian, 0.01, False),  # hit
+            cache.factor(hessian, 0.01, True),  # actorder variant
+        ):
+            assert not factor.inv_upper.flags.writeable
+            assert not factor.dead.flags.writeable
+            with pytest.raises(ValueError):
+                factor.inv_upper[0, 0] = 1.0
+            if factor.permutation is not None:
+                assert not factor.permutation.flags.writeable
+
     def test_fingerprint_distinguishes_content(self):
         _, hessian = make_problem((16, 4), seed=4)
         other = hessian.copy()

@@ -1,0 +1,169 @@
+"""Compare a fresh bench run against the committed ``BENCH_quantize.json``.
+
+Usage:  python tools/bench_compare.py [--baseline PATH] [--tolerance F]
+                                      [--repeats N] [--workers N] [--quick]
+
+Re-runs the quantization perf suite and fails (exit 1) when any baseline
+record regresses: a record missing from the fresh run, a record that lost
+``bit_identical``, or a speedup more than ``--tolerance`` (default 10%)
+below the committed number.  Extra fresh records are ignored so new
+benches can land before their baseline is refreshed.  ``--quick`` compares
+only the records the quick suite produces (solver + shrunk eval) — the
+full-suite records absent from a quick run are skipped, not failed.
+
+``compare_reports`` is a pure function over the two report dicts so tests
+can exercise the gate without timing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.report.bench import build_quantize_report  # noqa: E402
+
+#: Fresh speedups may sit this fraction below the baseline before failing.
+DEFAULT_TOLERANCE = 0.10
+
+#: Harness knobs that change measurement stability, not the workload:
+#: a speedup is a ratio of best-of-N timings, comparable across N, so a
+#: differing repeat count must not disqualify the comparison.
+HARNESS_PARAMS = frozenset({"repeats"})
+
+
+def _workload_params(record: dict) -> dict:
+    params = record.get("params")
+    if not isinstance(params, dict):
+        return {"params": params}
+    return {k: v for k, v in params.items() if k not in HARNESS_PARAMS}
+
+
+def compare_reports(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    allow_missing: bool = False,
+) -> tuple[list[str], list[str]]:
+    """Compare two bench reports; returns ``(summary_lines, problems)``.
+
+    Every baseline record is checked against the fresh record of the same
+    name: it must exist (unless ``allow_missing``), keep
+    ``bit_identical``, and keep its speedup within ``tolerance`` of the
+    committed value.
+    """
+    fresh_by_name = {
+        record.get("name"): record for record in fresh.get("records", [])
+    }
+    lines: list[str] = []
+    problems: list[str] = []
+    for record in baseline.get("records", []):
+        name = record.get("name")
+        other = fresh_by_name.get(name)
+        if other is None:
+            if allow_missing:
+                lines.append(f"{name}: skipped (not in fresh run)")
+            else:
+                problems.append(f"record '{name}' missing from fresh run")
+            continue
+        if _workload_params(record) != _workload_params(other):
+            # Different measurement (e.g. the quick suite's shrunk eval
+            # benches): speedups are not comparable.
+            lines.append(f"{name}: skipped (params differ)")
+            continue
+        if not other.get("bit_identical"):
+            problems.append(f"record '{name}' lost bit-identity")
+            continue
+        base_speedup = record.get("speedup")
+        fresh_speedup = other.get("speedup")
+        if not isinstance(base_speedup, (int, float)) or not isinstance(
+            fresh_speedup, (int, float)
+        ):
+            problems.append(f"record '{name}' has a non-numeric speedup")
+            continue
+        floor = base_speedup * (1.0 - tolerance)
+        delta = (fresh_speedup - base_speedup) / base_speedup * 100.0
+        verdict = "ok" if fresh_speedup >= floor else "REGRESSED"
+        lines.append(
+            f"{name}: baseline={base_speedup:.2f}x "
+            f"fresh={fresh_speedup:.2f}x ({delta:+.1f}%) {verdict}"
+        )
+        if fresh_speedup < floor:
+            problems.append(
+                f"record '{name}' regressed: {fresh_speedup:.2f}x is more "
+                f"than {tolerance:.0%} below the baseline "
+                f"{base_speedup:.2f}x"
+            )
+    return lines, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=ROOT / "BENCH_quantize.json",
+        help="committed baseline report (default: BENCH_quantize.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional speedup regression (default: 0.10)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for the pipeline bench",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="quick suite only; baseline records it does not produce are "
+        "skipped instead of failed",
+    )
+    args = parser.parse_args(argv)
+
+    if not (0.0 <= args.tolerance < 1.0):
+        print("bench-compare: --tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, ValueError) as error:
+        print(
+            f"bench-compare: cannot read baseline {args.baseline}: {error}",
+            file=sys.stderr,
+        )
+        return 2
+
+    fresh = build_quantize_report(
+        repeats=args.repeats,
+        workers=args.workers,
+        quick=args.quick,
+        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+    lines, problems = compare_reports(
+        baseline, fresh, tolerance=args.tolerance, allow_missing=args.quick
+    )
+    for line in lines:
+        print(line)
+    if problems:
+        for problem in problems:
+            print(f"bench-compare: {problem}", file=sys.stderr)
+        return 1
+    print(f"bench-compare: {len(lines)} records within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

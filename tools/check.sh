@@ -10,6 +10,10 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== repro-lint --whole-program --strict =="
 python -m repro.analysis --whole-program --strict --stats src/repro
 
+echo "== repro-lint effect & concurrency rules (strict, warm cache) =="
+python -m repro.analysis --whole-program --strict --stats \
+    --select 'wp-*' src/repro
+
 echo "== fault matrix (runtime robustness) =="
 python -m pytest -x -q tests/test_runtime_recovery.py \
     tests/test_runtime_faults.py tests/test_runtime_checkpoint.py \
@@ -18,6 +22,9 @@ python -m pytest -x -q tests/test_runtime_recovery.py \
 echo "== differential + bench smoke (perf engine bit-identity) =="
 python -m pytest -x -q tests/test_quant_differential.py \
     tests/test_quant_golden.py tests/test_bench_schema.py
+
+echo "== bench regression gate (vs committed BENCH_quantize.json) =="
+python tools/bench_compare.py --repeats 5
 
 echo "== eval fast-path smoke (fused NLL / KV cache / packed forward) =="
 python benchmarks/perf/eval_speed.py --smoke
