@@ -99,6 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
         "diagnostics (whole-program mode)",
     )
     parser.add_argument(
+        "--ranges",
+        action="store_true",
+        help="print the declared/inferred integer-range table instead of "
+        "diagnostics (whole-program mode)",
+    )
+    parser.add_argument(
+        "--list-specs",
+        action="store_true",
+        help="list every Shapes:/Bits: annotated function with coverage "
+        "counts and exit",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=0,
@@ -145,6 +157,40 @@ def _list_rules() -> None:
         print(f"{rule_id:28s} [synthetic] {doc}")
 
 
+def _list_specs(paths) -> None:
+    """Enumerate every ``Shapes:``/``Bits:``-annotated function."""
+    from repro.analysis.project import Project
+
+    project = Project.load(paths, ())
+    rows: list = []
+    shapes_count = bits_count = 0
+    modules: set = set()
+    for summary in project.summaries(include_consumers=False):
+        annotated: dict = {}
+        for qualname, spec in summary.specs.items():
+            annotated.setdefault(qualname, [spec.line, []])[1].append("shapes")
+        for qualname, spec in summary.bit_specs.items():
+            annotated.setdefault(qualname, [spec.line, []])[1].append("bits")
+        for qualname, (line, kinds) in annotated.items():
+            shapes_count += "shapes" in kinds
+            bits_count += "bits" in kinds
+            modules.add(summary.module)
+            rows.append(
+                (
+                    summary.path,
+                    line,
+                    f"{summary.path}:{line}: {summary.module}.{qualname} "
+                    f"[{','.join(sorted(kinds))}]",
+                )
+            )
+    for _, _, text in sorted(rows):
+        print(text)
+    print(
+        f"{len(rows)} annotated functions across {len(modules)} modules "
+        f"({shapes_count} with Shapes:, {bits_count} with Bits:)"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the analyzer; returns the process exit status."""
     parser = build_parser()
@@ -159,8 +205,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    if (options.effects or options.jobs) and not options.whole_program:
-        flag = "--effects" if options.effects else "--jobs"
+    if options.list_specs:
+        _list_specs(options.paths)
+        return 0
+
+    if (
+        options.effects or options.ranges or options.jobs
+    ) and not options.whole_program:
+        if options.effects:
+            flag = "--effects"
+        elif options.ranges:
+            flag = "--ranges"
+        else:
+            flag = "--jobs"
         print(f"repro-lint: {flag} requires --whole-program", file=sys.stderr)
         return 2
     if options.jobs < 0:
@@ -212,6 +269,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.analysis.effects import render_effects
 
             print(render_effects(project.effect_summaries()))
+            return 0
+        if options.ranges:
+            from repro.analysis.ranges import render_ranges
+
+            print(render_ranges(project))
             return 0
         diagnostics = project.analyze(select=select, jobs=options.jobs)
         if options.stats:

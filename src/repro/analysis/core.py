@@ -364,10 +364,11 @@ def analyze_source(
     """Run the (optionally ``select``-restricted) rule set over ``source``.
 
     Returns surviving diagnostics sorted by (line, col, rule id).  Raises
-    ``SyntaxError`` if the source does not parse.  When the full rule set
-    runs, stale ``# lint: disable=`` pragmas are reported as warnings unless
+    ``SyntaxError`` if the source does not parse.  Stale ``# lint:
+    disable=`` pragmas are reported as warnings unless
     ``report_unused_suppressions`` is False (the whole-program driver defers
-    that judgement until its own passes have also consumed pragmas).
+    that judgement until its own passes have also consumed pragmas); a
+    pragma only counts as stale when its rule was actually selected to run.
     """
     module = ModuleContext(path, source)
     chosen = all_rules()
@@ -382,7 +383,10 @@ def analyze_source(
         for diagnostic in checker.check(module):
             if not module.is_suppressed(diagnostic.rule_id, diagnostic.line):
                 found.append(diagnostic)
-    if select is None and report_unused_suppressions:
+    if report_unused_suppressions:
+        # Judged against the rules that actually ran: under --select, a
+        # pragma for an excluded rule is never "unused" (its rule was
+        # never given the chance to report).
         found.extend(
             unused_suppression_diagnostics(module, (r.id for r in chosen))
         )

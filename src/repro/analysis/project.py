@@ -37,6 +37,7 @@ from repro.analysis.effects import (
     collect_function_records,
     infer_effects,
 )
+from repro.analysis.ranges import BitsFunctionSpec, collect_bits_specs
 from repro.analysis.shapes import FunctionSpec, parse_docstring_spec
 
 __all__ = [
@@ -129,6 +130,10 @@ class ModuleSummary:
     # of FunctionRecord (effect inference; empty for consumers)
     escapes: list = dataclasses.field(default_factory=list)
     # of EscapeRecord (aliasing pass; empty for consumers)
+    bit_specs: dict = dataclasses.field(default_factory=dict)
+    # qualname -> BitsFunctionSpec (range/bit-width pass)
+    bit_errors: list = dataclasses.field(default_factory=list)
+    # [line, message] pairs from malformed Bits: sections
 
     def to_json(self) -> dict:
         """Serializable form (cache storage)."""
@@ -147,6 +152,8 @@ class ModuleSummary:
             "annotations": self.annotations,
             "functions": [record.to_json() for record in self.functions],
             "escapes": [record.to_json() for record in self.escapes],
+            "bit_specs": {k: v.to_json() for k, v in self.bit_specs.items()},
+            "bit_errors": self.bit_errors,
         }
 
     @staticmethod
@@ -177,6 +184,13 @@ class ModuleSummary:
             ],
             escapes=[
                 EscapeRecord.from_json(r) for r in record.get("escapes", [])
+            ],
+            bit_specs={
+                k: BitsFunctionSpec.from_json(v)
+                for k, v in record.get("bit_specs", {}).items()
+            },
+            bit_errors=[
+                list(entry) for entry in record.get("bit_errors", [])
             ],
         )
 
@@ -456,6 +470,7 @@ def build_summary(context: ModuleContext, is_consumer: bool) -> ModuleSummary:
     tree = context.tree
     module = context.module_name
     specs, spec_errors = _collect_specs(tree)
+    bit_specs, bit_errors = collect_bits_specs(tree)
     return ModuleSummary(
         module=module,
         path=context.path,
@@ -474,6 +489,8 @@ def build_summary(context: ModuleContext, is_consumer: bool) -> ModuleSummary:
         annotations=_collect_annotations(tree),
         functions=[] if is_consumer else collect_function_records(tree),
         escapes=[] if is_consumer else collect_escapes(tree),
+        bit_specs=bit_specs,
+        bit_errors=bit_errors,
     )
 
 
@@ -493,6 +510,9 @@ class ModuleRecord:
     dataflow_diags: Optional[list] = None  # cached dataflow diagnostics
     dataflow_used: Optional[set] = None
     dataflow_key: Optional[str] = None  # spec fingerprint the cache is valid for
+    ranges_diags: Optional[list] = None  # cached range-pass diagnostics
+    ranges_used: Optional[set] = None
+    ranges_key: Optional[str] = None  # spec fingerprint the cache is valid for
     syntax_error: Optional[Diagnostic] = None
 
     def ensure_context(self) -> Optional[ModuleContext]:
@@ -568,6 +588,15 @@ class Project:
                     for line, rule in entry["dataflow"].get("used_suppr", [])
                 }
                 record.dataflow_key = entry["dataflow"]["key"]
+            if entry.get("ranges") is not None and entry["ranges"].get("key"):
+                record.ranges_diags = [
+                    Diagnostic.from_json(d) for d in entry["ranges"]["diags"]
+                ]
+                record.ranges_used = {
+                    (line, rule)
+                    for line, rule in entry["ranges"].get("used_suppr", [])
+                }
+                record.ranges_key = entry["ranges"]["key"]
             self.stats["cached"] += 1
             self.records[key] = record
             return
@@ -653,6 +682,40 @@ class Project:
                     return self._lookup_function(record.target())
         return None
 
+    def resolve_bits_function(self, module: str, dotted: str):
+        """Resolve ``dotted`` (as written in ``module``) to a BitsFunctionSpec.
+
+        Same resolution strategy as :meth:`resolve_function`, over the
+        ``Bits:`` spec tables instead of the ``Shapes:`` ones.
+        """
+        summary = self.by_module.get(module)
+        if summary is None:
+            return None
+        if dotted in summary.bit_specs:
+            return module, dotted, summary.bit_specs[dotted]
+        head, _, tail = dotted.partition(".")
+        for record in summary.imports:
+            if record.alias == head:
+                target = record.target()
+                full = target + ("." + tail if tail else "")
+                return self._lookup_bits_function(full)
+            if record.alias == dotted and record.name:
+                return self._lookup_bits_function(record.target())
+        if "." in dotted:
+            return self._lookup_bits_function(dotted)
+        return None
+
+    def _lookup_bits_function(self, dotted: str):
+        module_name, _, func = dotted.rpartition(".")
+        summary = self.by_module.get(module_name)
+        if summary is not None and func in summary.bit_specs:
+            return module_name, func, summary.bit_specs[func]
+        if summary is not None:
+            for record in summary.imports:
+                if record.alias == func and record.name:
+                    return self._lookup_bits_function(record.target())
+        return None
+
     def effect_summaries(self) -> dict:
         """Memoized interprocedural effect verdicts (see :mod:`effects`)."""
         if self._effects is None:
@@ -670,18 +733,27 @@ class Project:
         return self._uses_index
 
     def spec_fingerprint(self) -> str:
-        """Stable digest of every ``Shapes:`` spec in the project.
+        """Stable digest of every ``Shapes:``/``Bits:`` spec in the project.
 
-        Cached dataflow results are only valid while this is unchanged —
-        a spec edit anywhere can change the verdict at any call site.
+        Cached dataflow and range results are only valid while this is
+        unchanged — a spec edit anywhere can change the verdict at any
+        call site.
         """
         import hashlib
         import json
 
         payload = {
-            summary.module: {k: v.to_json() for k, v in sorted(summary.specs.items())}
+            summary.module: {
+                "shapes": {
+                    k: v.to_json() for k, v in sorted(summary.specs.items())
+                },
+                "bits": {
+                    k: v.to_json()
+                    for k, v in sorted(summary.bit_specs.items())
+                },
+            }
             for summary in self.summaries()
-            if summary.specs
+            if summary.specs or summary.bit_specs
         }
         blob = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -692,14 +764,15 @@ class Project:
     def _module_pass(self, key: str, spec_fp: str) -> tuple:
         """Compute whatever per-module results ``key`` is missing.
 
-        Returns ``(key, module_part, flow_part)`` where each part is a
-        ``(diagnostics, sorted_used_suppressions)`` pair or None when the
-        cached result is still valid.  Deliberately read-only on ``self``
-        (results are merged by the caller) so that ``--jobs`` can run it
-        inside forked workers without breaking the fork-safety contract
-        this very analyzer enforces.
+        Returns ``(key, module_part, flow_part, ranges_part)`` where each
+        part is a ``(diagnostics, sorted_used_suppressions)`` pair or None
+        when the cached result is still valid.  Deliberately read-only on
+        ``self`` (results are merged by the caller) so that ``--jobs`` can
+        run it inside forked workers without breaking the fork-safety
+        contract this very analyzer enforces.
         """
         from repro.analysis.dataflow import analyze_module_dataflow
+        from repro.analysis.ranges import analyze_module_ranges
 
         record = self.records[key]
         summary = record.summary
@@ -723,7 +796,16 @@ class Project:
                 self, summary, context
             )
             flow_part = (flow_diags, sorted(flow_used))
-        return key, module_part, flow_part
+        ranges_part = None
+        if summary.bit_specs and (
+            record.ranges_diags is None or record.ranges_key != spec_fp
+        ):
+            context = record.ensure_context()
+            range_diags, range_used = analyze_module_ranges(
+                self, summary, context
+            )
+            ranges_part = (range_diags, sorted(range_used))
+        return key, module_part, flow_part, ranges_part
 
     def analyze(
         self, select: Optional[Iterable[str]] = None, jobs: int = 0
@@ -757,6 +839,13 @@ class Project:
                         or record.dataflow_key != spec_fp
                     )
                 )
+                or (
+                    record.summary.bit_specs
+                    and (
+                        record.ranges_diags is None
+                        or record.ranges_key != spec_fp
+                    )
+                )
             )
         ]
         parallel = jobs > 0 and len(pending) >= ANALYSIS_JOBS_MIN_FILES
@@ -771,7 +860,7 @@ class Project:
             outcomes = run_parallel_map(analyze_one, pending, workers=jobs)
         else:
             outcomes = [self._module_pass(key, spec_fp) for key in pending]
-        for key, module_part, flow_part in outcomes:
+        for key, module_part, flow_part, ranges_part in outcomes:
             record = self.records[key]
             if module_part is not None:
                 record.module_diags = module_part[0]
@@ -782,6 +871,10 @@ class Project:
                 record.dataflow_diags = flow_part[0]
                 record.dataflow_used = {tuple(item) for item in flow_part[1]}
                 record.dataflow_key = spec_fp
+            if ranges_part is not None:
+                record.ranges_diags = ranges_part[0]
+                record.ranges_used = {tuple(item) for item in ranges_part[1]}
+                record.ranges_key = spec_fp
 
         for key, record in self.records.items():
             summary = record.summary
@@ -795,6 +888,9 @@ class Project:
             if summary.specs:
                 diagnostics.extend(record.dataflow_diags)
                 used.setdefault(key, set()).update(record.dataflow_used or set())
+            if summary.bit_specs:
+                diagnostics.extend(record.ranges_diags or [])
+                used.setdefault(key, set()).update(record.ranges_used or set())
 
         # Whole-program passes always run; they are summary-driven and cheap.
         for checker in all_wp_rules():
@@ -814,6 +910,9 @@ class Project:
         else:
             wanted = set(select)
             diagnostics = [d for d in diagnostics if d.rule_id in wanted]
+            # A pragma is only "unused" when its rule is in the selection:
+            # pragmas for rules excluded by the glob are left alone.
+            diagnostics.extend(self._unused_suppressions(used, wanted))
 
         self._write_cache(spec_fp)
         diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule_id))
@@ -856,6 +955,15 @@ class Project:
                         "used_suppr": sorted(record.dataflow_used or set()),
                     }
                     if record.dataflow_diags is not None
+                    else None
+                ),
+                "ranges": (
+                    {
+                        "key": spec_fp,
+                        "diags": [d.to_json() for d in record.ranges_diags],
+                        "used_suppr": sorted(record.ranges_used or set()),
+                    }
+                    if record.ranges_diags is not None
                     else None
                 ),
             }

@@ -26,6 +26,31 @@ __all__ = ["save_state_dict", "load_state_dict"]
 _CONFIG_KEY = "__config_json__"
 
 
+def _encode_config(config: LlamaConfig) -> np.ndarray:
+    """``config`` as a JSON byte array embeddable in the ``.npz`` archive.
+
+    ``json.dumps`` keeps its default ``ensure_ascii=True``, so the encoded
+    record is pure 7-bit ASCII — the contract :func:`_decode_config`
+    assumes when it decodes the bytes back.
+
+    Bits:
+        return: u8[0, 127]
+    """
+    return np.frombuffer(
+        json.dumps(config.to_dict()).encode(), dtype=np.uint8
+    )
+
+
+def _decode_config(raw: np.ndarray) -> LlamaConfig:
+    """Inverse of :func:`_encode_config`.
+
+    Bits:
+        raw: u8[0, 127]
+        return: any
+    """
+    return LlamaConfig.from_dict(json.loads(raw.tobytes().decode()))
+
+
 def save_state_dict(path: str | Path, model: Module, config: LlamaConfig) -> None:
     """Write ``model``'s parameters and ``config`` to a single ``.npz``.
 
@@ -36,9 +61,7 @@ def save_state_dict(path: str | Path, model: Module, config: LlamaConfig) -> Non
     blindly.
     """
     payload = dict(model.state_dict())
-    payload[_CONFIG_KEY] = np.frombuffer(
-        json.dumps(config.to_dict()).encode(), dtype=np.uint8
-    )
+    payload[_CONFIG_KEY] = _encode_config(config)
     atomic_save_npz(path, payload)
     write_checksum(path)
 
@@ -72,8 +95,7 @@ def load_state_dict(
             "written by save_state_dict"
         )
     try:
-        config_bytes = raw.pop(_CONFIG_KEY).tobytes()
-        config = LlamaConfig.from_dict(json.loads(config_bytes.decode()))
+        config = _decode_config(raw.pop(_CONFIG_KEY))
     except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as error:
         raise CheckpointError(
             f"checkpoint {path} carries a corrupt config record: {error}"

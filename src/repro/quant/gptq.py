@@ -36,6 +36,9 @@ __all__ = [
 def layer_block_index(layer_name: str) -> int | None:
     """Transformer block index of a layer name, None for e.g. ``lm_head``.
 
+    Bits:
+        return: i64[0, *]
+
     Raises
     ------
     ValueError
@@ -85,6 +88,11 @@ def gptq_quantize_layer(
     Shapes:
         hessian: (d_in, d_in) f64
         bits: scalar
+        return: any
+
+    Bits:
+        bits: i64[1, 32]
+        group_size: i64[1, *]
         return: any
     """
     result = quantize_with_hessian(

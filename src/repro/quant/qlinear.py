@@ -61,7 +61,12 @@ class QuantizedLinear:
     # ------------------------------------------------------------------
     @classmethod
     def from_group_result(cls, result: GroupQuantResult) -> "QuantizedLinear":
-        """Pack an unpacked group-quantization result into storage form."""
+        """Pack an unpacked group-quantization result into storage form.
+
+        Bits:
+            result.bits: i64[1, 32]
+            return: any
+        """
         return cls(
             packed=pack_codes(result.codes, result.bits),
             scales=result.scales,
@@ -75,26 +80,47 @@ class QuantizedLinear:
     def from_weight(
         cls, weight: np.ndarray, bits: int, group_size: int | None = None
     ) -> "QuantizedLinear":
-        """Round-to-nearest quantize and pack a float weight matrix."""
+        """Round-to-nearest quantize and pack a float weight matrix.
+
+        Bits:
+            bits: i64[1, 32]
+            group_size: i64[1, *]
+            return: any
+        """
         return cls.from_group_result(quantize_groupwise(weight, bits, group_size))
 
     # ------------------------------------------------------------------
     def codes(self) -> np.ndarray:
-        """Unpack the stored codes back to a ``(d_in, d_out)`` int array."""
+        """Unpack the stored codes back to a ``(d_in, d_out)`` int array.
+
+        Bits:
+            self.bits: i64[1, 32]
+            return: i64[0, 2**self.bits - 1]
+        """
         d_in, d_out = self.shape
         return unpack_codes(self.packed, self.bits, d_in * d_out).reshape(
             d_in, d_out
         )
 
     def _group_of_row(self) -> np.ndarray:
-        """Group index of every input row (last group absorbs the remainder)."""
+        """Group index of every input row (last group absorbs the remainder).
+
+        Bits:
+            self.group_size: i64[1, *]
+            return: i64[0, *]
+        """
         d_in = self.shape[0]
         return np.minimum(
             np.arange(d_in) // self.group_size, self.scales.shape[0] - 1
         )
 
     def _dequantize_direct(self) -> np.ndarray:
-        """Reference reconstruction: elementwise ``(code - zero) * scale``."""
+        """Reference reconstruction: elementwise ``(code - zero) * scale``.
+
+        Bits:
+            self.bits: i64[1, 32]
+            return: f64
+        """
         codes = self.codes().astype(np.float64)
         scales = self.scales.astype(np.float64)
         zeros = self.zeros.astype(np.float64)
@@ -108,6 +134,13 @@ class QuantizedLinear:
         code ``c`` in group ``g``, column ``j`` is the one float operation
         ``(c - zeros[g, j]) * scales[g, j]`` the direct path performs, and
         the gather just replays those results.
+
+        Only reached when ``bits <= _LUT_MAX_BITS`` (see ``_dense_weight``),
+        so the ``2**bits``-entry table covers every code the gather reads.
+
+        Bits:
+            self.bits: i64[1, 8]
+            return: f64
         """
         levels = np.arange(1 << self.bits, dtype=np.float64)
         scales = self.scales.astype(np.float64)
@@ -142,7 +175,12 @@ class QuantizedLinear:
         return self._dense_cache
 
     def dequantize(self) -> np.ndarray:
-        """Dense float64 weight reconstructed from storage (fresh copy)."""
+        """Dense float64 weight reconstructed from storage (fresh copy).
+
+        Bits:
+            self.bits: i64[1, 32]
+            return: f64
+        """
         return self._dense_weight().copy()
 
     def forward_array(self, x: np.ndarray) -> np.ndarray:
@@ -150,17 +188,30 @@ class QuantizedLinear:
 
         Serves the matmul from the memoised dense weight, so an evaluation
         loop dequantizes each layer once, not once per call.
+
+        Bits:
+            x: any
+            return: any
         """
         return x @ self._dense_weight()
 
     # ------------------------------------------------------------------
     def storage_bytes(self) -> int:
-        """Bytes of the packed representation (codes + fp16 grids)."""
+        """Bytes of the packed representation (codes + fp16 grids).
+
+        Bits:
+            return: i64[0, *]
+        """
         return (
             self.packed.nbytes + self.scales.nbytes + self.zeros.nbytes
         )
 
     def compression_ratio(self, reference_bytes_per_weight: float = 2.0) -> float:
-        """Size reduction versus an fp16 dense layer."""
+        """Size reduction versus an fp16 dense layer.
+
+        Bits:
+            reference_bytes_per_weight: f64
+            return: f64
+        """
         dense = self.shape[0] * self.shape[1] * reference_bytes_per_weight
         return dense / self.storage_bytes()

@@ -228,7 +228,13 @@ class HessianFactorCache:
 def _static_group_grids(
     working: np.ndarray, group_size: int, bits: int
 ) -> tuple[list[QuantParams], np.ndarray, np.ndarray]:
-    """Fit every group's grid up front on the pre-compensation weights."""
+    """Fit every group's grid up front on the pre-compensation weights.
+
+    Bits:
+        group_size: i64[1, *]
+        bits: i64[1, 32]
+        return: any
+    """
     d_in, d_out = working.shape
     n_groups = (d_in + group_size - 1) // group_size
     grids: list[QuantParams] = []
@@ -251,7 +257,14 @@ def _sweep_reference(
 ) -> tuple[np.ndarray, np.ndarray, float]:
     """Column-at-a-time sweep: eager rank-1 updates over the full trailing
     matrix (the executable specification the blocked schedule is tested
-    against)."""
+    against).
+
+    Bits:
+        working: f64
+        inv_upper: f64
+        group_size: i64[1, *]
+        return: any
+    """
     d_in, d_out = working.shape
     quantized = np.empty_like(working)
     codes = np.empty((d_in, d_out), dtype=np.int64)
@@ -285,6 +298,13 @@ def _sweep_blocked(
     Rank-1 updates touch at most ``MICRO_BLOCKSIZE`` rows; each tile then
     flushes its accumulated errors into the rest of the block, and each
     block flushes into the trailing matrix, with single matrix products.
+
+    Bits:
+        working: f64
+        inv_upper: f64
+        group_size: i64[1, *]
+        blocksize: i64[1, *]
+        return: any
     """
     d_in, d_out = working.shape
     quantized = np.empty_like(working)
@@ -350,6 +370,12 @@ def quantize_with_hessian(
     (``"blocked"`` fast path or the ``"reference"`` column loop — both
     produce bit-identical results, see module docstring); ``cache`` reuses
     Cholesky factors across calls sharing a Hessian.
+
+    Bits:
+        bits: i64[1, 32]
+        group_size: i64[1, *]
+        blocksize: i64[1, *]
+        return: any
     """
     weight = np.asarray(weight, dtype=np.float64)
     if weight.ndim != 2:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import time
 from pathlib import Path
 from typing import Callable
@@ -46,6 +47,9 @@ __all__ = [
     "build_quantize_report",
     "validate_bench_report",
     "write_bench_report",
+    "append_bench_history",
+    "load_bench_history",
+    "render_bench_trend",
 ]
 
 #: Version of the ``BENCH_quantize.json`` schema (bump on shape changes).
@@ -452,3 +456,108 @@ def write_bench_report(path: str | Path, report: dict) -> Path:
     path = Path(path)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def _git_commit(cwd: str | Path | None = None) -> str:
+    """Short hash of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def append_bench_history(
+    path: str | Path, report: dict, commit: str | None = None
+) -> dict:
+    """Append one per-commit line to the JSONL bench history at ``path``.
+
+    The line keeps only what a trend needs — commit (short hash, resolved
+    from git when not supplied), timestamp, and each record's speedup and
+    bit-identity — not the full timing payloads.  Returns the entry.
+    """
+    entry = {
+        "commit": commit if commit is not None else _git_commit(Path(path).parent),
+        "timestamp": report.get("timestamp"),
+        "records": [
+            {
+                "name": record.get("name"),
+                "speedup": record.get("speedup"),
+                "bit_identical": record.get("bit_identical"),
+            }
+            for record in report.get("records", [])
+        ],
+    }
+    path = Path(path)
+    with path.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_bench_history(path: str | Path) -> list[dict]:
+    """Parse a JSONL bench history, oldest first; corrupt lines are skipped
+    (a torn append must not take the whole trend down)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: list[dict] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
+def render_bench_trend(history: list[dict]) -> str:
+    """Markdown speedup-trend table over a bench history, oldest first.
+
+    One row per history entry, one column per benchmark name (in first
+    appearance order); a record that lost bit-identity is marked with
+    ``!``, and benches absent from an entry show ``—``.
+    """
+    names: list[str] = []
+    for entry in history:
+        for record in entry.get("records", []):
+            name = record.get("name")
+            if name and name not in names:
+                names.append(name)
+    lines = [
+        "# Bench speedup trend",
+        "",
+        "Per-commit speedups appended by `tools/bench.py --append` "
+        "(`!` marks a record that lost bit-identity).",
+        "",
+    ]
+    if not names:
+        lines.append("(no history recorded yet)")
+        return "\n".join(lines) + "\n"
+    header = ["commit", "timestamp"] + names
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("| " + " | ".join("---" for _ in header) + " |")
+    for entry in history:
+        by_name = {
+            record.get("name"): record for record in entry.get("records", [])
+        }
+        cells = [str(entry.get("commit", "?")), str(entry.get("timestamp", "?"))]
+        for name in names:
+            record = by_name.get(name)
+            speedup = record.get("speedup") if record else None
+            if not isinstance(speedup, (int, float)):
+                cells.append("—")
+                continue
+            flag = "" if record.get("bit_identical") else " !"
+            cells.append(f"{speedup:.2f}x{flag}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"

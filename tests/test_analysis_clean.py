@@ -192,6 +192,135 @@ class TestSeededWholeProgramViolations:
         assert "repro.scratch.launch: pure" in proc.stdout
 
 
+SEEDED_RANGES = (
+    '"""Scratch module with a LUT gather past its table."""\n'
+    "import numpy as np\n\n"
+    '__all__ = ["lut_get"]\n\n\n'
+    "def lut_get(idx):\n"
+    '    """Gather from a 256-entry table.\n\n'
+    "    Bits:\n"
+    "        idx: i64[0, 300]\n"
+    "        return: f64\n"
+    '    """\n'
+    "    table = np.arange(256, dtype=np.float64)\n"
+    "    return table[idx]\n"
+)
+
+
+class TestSeededRangeViolations:
+    def _seed(self, tmp_path, source):
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "__init__.py").write_text('"""Pkg."""\n__all__ = []\n')
+        (package / "scratch.py").write_text(source)
+        return package
+
+    def test_lut_domain_caught_with_pinned_anchor(self, tmp_path):
+        package = self._seed(tmp_path, SEEDED_RANGES)
+        proc = run_cli(
+            "--whole-program",
+            "--no-cache",
+            "--select",
+            "wp-int-*,wp-lossy-cast,wp-lut-domain,wp-bits-spec-violation",
+            str(package),
+        )
+        assert proc.returncode == 1
+        assert "wp-lut-domain" in proc.stdout
+        assert f"{package / 'scratch.py'}:15" in proc.stdout
+
+    def test_sarif_carries_the_range_rule_descriptors(self, tmp_path):
+        package = self._seed(tmp_path, SEEDED_RANGES)
+        proc = run_cli(
+            "--whole-program",
+            "--no-cache",
+            "--format",
+            "sarif",
+            str(package),
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        driver = payload["runs"][0]["tool"]["driver"]
+        descriptors = {rule["id"]: rule for rule in driver["rules"]}
+        assert "wp-lut-domain" in descriptors
+        assert descriptors["wp-lut-domain"]["shortDescription"]["text"]
+        results = payload["runs"][0]["results"]
+        lut = [r for r in results if r["ruleId"] == "wp-lut-domain"]
+        assert len(lut) == 1
+        region = lut[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 15
+
+    def test_ranges_table_renders_declared_and_inferred(self, tmp_path):
+        package = self._seed(tmp_path, SEEDED_RANGES)
+        proc = run_cli(
+            "--whole-program", "--no-cache", "--ranges", str(package)
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "repro.scratch.lut_get" in proc.stdout
+        assert "idx: i64 [0, 300]" in proc.stdout
+
+
+class TestListSpecs:
+    def test_list_specs_counts_annotated_functions(self):
+        proc = run_cli("--list-specs", str(SRC_TREE / "quant"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "repro.quant.packing.pack_codes [bits]" in proc.stdout
+        assert "repro.quant.gptq.gptq_quantize_layer [bits,shapes]" in (
+            proc.stdout
+        )
+        summary = proc.stdout.strip().splitlines()[-1]
+        assert "annotated functions across" in summary
+        assert "with Shapes:" in summary and "with Bits:" in summary
+
+    def test_list_specs_works_without_whole_program_flag(self, tmp_path):
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "__init__.py").write_text('"""Pkg."""\n__all__ = []\n')
+        (package / "scratch.py").write_text(SEEDED_RANGES)
+        proc = run_cli("--list-specs", str(package))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "repro.scratch.lut_get [bits]" in proc.stdout
+        assert "1 annotated functions across 1 modules" in proc.stdout
+
+
+SEEDED_EXCLUDED_PRAGMA = (
+    '"""Scratch module with a pragma for a rule the select excludes."""\n\n'
+    '__all__ = ["double"]\n\n\n'
+    "def double(x):\n"
+    '    """Doubles."""\n'
+    "    return 2 * x  # lint: disable=numeric-raw-exp\n"
+)
+
+
+class TestSuppressionSelectInteraction:
+    """A stale pragma is only stale when its rule actually ran: excluding
+    the rule via ``--select`` (glob or literal) must not flag the pragma."""
+
+    def test_pragma_for_glob_excluded_rule_not_flagged(self, tmp_path):
+        bad = tmp_path / "scratch.py"
+        bad.write_text(SEEDED_EXCLUDED_PRAGMA)
+        proc = run_cli("--select", "api-*", "--strict", str(bad))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_same_pragma_flagged_when_its_rule_runs(self, tmp_path):
+        bad = tmp_path / "scratch.py"
+        bad.write_text(SEEDED_EXCLUDED_PRAGMA)
+        proc = run_cli("--select", "numeric-*", "--strict", str(bad))
+        assert proc.returncode == 1
+        assert "lint-unused-suppression" in proc.stdout
+        proc = run_cli("--strict", str(bad))
+        assert proc.returncode == 1
+        assert "lint-unused-suppression" in proc.stdout
+
+    def test_unknown_rule_pragma_always_flagged(self, tmp_path):
+        bad = tmp_path / "scratch.py"
+        bad.write_text(
+            SEEDED_EXCLUDED_PRAGMA.replace("numeric-raw-exp", "no-such-rule")
+        )
+        proc = run_cli("--select", "api-*", "--strict", str(bad))
+        assert proc.returncode == 1
+        assert "unknown rule 'no-such-rule'" in proc.stdout
+
+
 class TestCliValidation:
     def test_effects_requires_whole_program(self, tmp_path):
         bad = tmp_path / "scratch.py"
@@ -199,6 +328,13 @@ class TestCliValidation:
         proc = run_cli("--effects", str(bad))
         assert proc.returncode == 2
         assert "--effects requires --whole-program" in proc.stderr
+
+    def test_ranges_requires_whole_program(self, tmp_path):
+        bad = tmp_path / "scratch.py"
+        bad.write_text(SEEDED_BAD)
+        proc = run_cli("--ranges", str(bad))
+        assert proc.returncode == 2
+        assert "--ranges requires --whole-program" in proc.stderr
 
     def test_jobs_requires_whole_program(self, tmp_path):
         bad = tmp_path / "scratch.py"
@@ -245,5 +381,9 @@ class TestListRules:
             "wp-unordered-merge",
             "wp-order-dependent-reduction",
             "wp-cache-writable-escape",
+            "wp-int-overflow",
+            "wp-lossy-cast",
+            "wp-lut-domain",
+            "wp-bits-spec-violation",
         ):
             assert rule_id in proc.stdout

@@ -104,10 +104,21 @@ class TestCompareReports:
         )
         assert loose == []
 
-    def test_extra_fresh_records_ignored(self):
+    def test_extra_fresh_records_informational_not_failures(self):
         lines, problems = bench_compare.compare_reports(
             report(record("solver", 3.0)),
             report(record("solver", 3.0), record("brand-new", 1.0)),
         )
         assert problems == []
-        assert len(lines) == 1
+        assert "brand-new: new benchmark (no baseline yet)" in lines
+        assert len(lines) == 2
+
+    def test_new_benchmark_lines_never_gate_even_without_bit_identity(self):
+        # A record with no baseline cannot regress anything, whatever its
+        # payload looks like; it only earns the informational line.
+        lines, problems = bench_compare.compare_reports(
+            report(),
+            report(record("fresh-only", 0.5, bit_identical=False)),
+        )
+        assert problems == []
+        assert lines == ["fresh-only: new benchmark (no baseline yet)"]

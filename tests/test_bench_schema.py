@@ -16,9 +16,12 @@ import pytest
 
 from repro.report.bench import (
     BENCH_SCHEMA_VERSION,
+    append_bench_history,
     best_of,
     build_quantize_report,
     eval_bench_records,
+    load_bench_history,
+    render_bench_trend,
     solver_bench_records,
     validate_bench_report,
     write_bench_report,
@@ -171,3 +174,88 @@ class TestSchemaValidation:
         with pytest.raises(ValueError):
             best_of(lambda: None, repeats=0)
         assert best_of(lambda: None, repeats=2) >= 0.0
+
+
+class TestHistoryAndTrend:
+    @staticmethod
+    def _report(timestamp, *records):
+        return {"timestamp": timestamp, "records": list(records)}
+
+    @staticmethod
+    def _record(name, speedup, bit_identical=True):
+        return {
+            "name": name,
+            "speedup": speedup,
+            "bit_identical": bit_identical,
+        }
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        history = tmp_path / "BENCH_history.jsonl"
+        entry = append_bench_history(
+            history,
+            self._report("t0", self._record("solver", 3.0)),
+            commit="abc1234",
+        )
+        assert entry["commit"] == "abc1234"
+        append_bench_history(
+            history,
+            self._report("t1", self._record("solver", 3.1)),
+            commit="def5678",
+        )
+        entries = load_bench_history(history)
+        assert [e["commit"] for e in entries] == ["abc1234", "def5678"]
+        assert entries[0]["records"] == [
+            {"name": "solver", "speedup": 3.0, "bit_identical": True}
+        ]
+
+    def test_commit_resolved_from_git_when_not_supplied(self, tmp_path):
+        # tmp_path is outside any checkout only if pytest's tmp dir is;
+        # either way the resolver must return a non-empty token.
+        entry = append_bench_history(
+            tmp_path / "h.jsonl", self._report("t0", self._record("s", 1.0))
+        )
+        assert isinstance(entry["commit"], str) and entry["commit"]
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        history = tmp_path / "h.jsonl"
+        append_bench_history(
+            history, self._report("t0", self._record("s", 2.0)), commit="aaa"
+        )
+        with history.open("a") as handle:
+            handle.write("{torn json\n")
+        append_bench_history(
+            history, self._report("t1", self._record("s", 2.1)), commit="bbb"
+        )
+        assert [e["commit"] for e in load_bench_history(history)] == [
+            "aaa",
+            "bbb",
+        ]
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert load_bench_history(tmp_path / "absent.jsonl") == []
+
+    def test_trend_table_layout(self, tmp_path):
+        history = [
+            {
+                "commit": "aaa",
+                "timestamp": "t0",
+                "records": [self._record("solver", 3.0)],
+            },
+            {
+                "commit": "bbb",
+                "timestamp": "t1",
+                "records": [
+                    self._record("solver", 3.25),
+                    self._record("eval", 2.0, bit_identical=False),
+                ],
+            },
+        ]
+        table = render_bench_trend(history)
+        assert "| commit | timestamp | solver | eval |" in table
+        # The first entry predates the eval bench: placeholder, not a crash.
+        assert "| aaa | t0 | 3.00x | — |" in table
+        # Lost bit-identity is flagged inline.
+        assert "| bbb | t1 | 3.25x | 2.00x ! |" in table
+
+    def test_trend_table_empty_history(self):
+        assert "(no history recorded yet)" in render_bench_trend([])

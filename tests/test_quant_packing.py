@@ -28,7 +28,7 @@ def pack_codes_reference(codes, bits):
 
 class TestRoundTrip:
     @given(
-        st.integers(1, 16),
+        st.integers(1, 32),
         st.integers(0, 3000),
         st.integers(0, 2**31),
     )
@@ -60,7 +60,7 @@ class TestFastPathsMatchReference:
     pre-PR-5 ``np.bitwise_or.at`` packer."""
 
     @given(
-        st.integers(1, 16),
+        st.integers(1, 32),
         st.integers(0, 3000),
         st.integers(0, 2**31),
     )
@@ -72,7 +72,7 @@ class TestFastPathsMatchReference:
             pack_codes(codes, bits), pack_codes_reference(codes, bits)
         )
 
-    @pytest.mark.parametrize("bits", [1, 2, 4, 8, 16])
+    @pytest.mark.parametrize("bits", [1, 2, 4, 8, 16, 32])
     def test_aligned_bits_take_no_scatter(self, bits, monkeypatch, rng):
         # For widths dividing 32 no code straddles a word, so the packer
         # must never reach the scatter-OR at all.
@@ -84,7 +84,7 @@ class TestFastPathsMatchReference:
         packed = pack_codes(codes, bits)
         assert np.array_equal(unpack_codes(packed, bits, 257), codes)
 
-    @pytest.mark.parametrize("bits", [3, 5, 7, 11, 13])
+    @pytest.mark.parametrize("bits", [3, 5, 7, 11, 13, 17, 31])
     def test_straddling_bits_round_trip(self, bits, rng):
         codes = rng.integers(0, 1 << bits, size=1000)
         packed = pack_codes(codes, bits)
@@ -99,6 +99,33 @@ class TestFastPathsMatchReference:
         assert words.tolist() == [10, 16, 5]
 
 
+class TestEdgeWidths:
+    """Extreme bit-widths: 1-bit (32 codes per word), 2-bit, and 32-bit
+    (one full word per code, shift amount of zero)."""
+
+    @given(
+        st.sampled_from([1, 2, 32]),
+        st.integers(0, 500),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_extreme_widths_round_trip(self, bits, count, seed):
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, 1 << bits, size=count)
+        packed = pack_codes(codes, bits)
+        assert packed.dtype == np.uint32
+        assert packed.size == (count * bits + 31) // 32
+        assert np.array_equal(unpack_codes(packed, bits, count), codes)
+
+    def test_full_width_words_pass_through(self):
+        # At 32 bits each code IS a word; packing must be the identity
+        # (modulo dtype) including the all-ones pattern.
+        codes = np.array([0, 1, 2**32 - 1, 0xDEADBEEF], dtype=np.uint64)
+        packed = pack_codes(codes, 32)
+        assert packed.tolist() == codes.tolist()
+        assert np.array_equal(unpack_codes(packed, 32, codes.size), codes)
+
+
 class TestValidation:
     def test_out_of_range_code_rejected(self):
         with pytest.raises(ValueError):
@@ -108,7 +135,9 @@ class TestValidation:
         with pytest.raises(ValueError):
             pack_codes(np.array([0]), 0)
         with pytest.raises(ValueError):
-            unpack_codes(np.zeros(1, dtype=np.uint32), 17, 1)
+            pack_codes(np.array([0]), 33)
+        with pytest.raises(ValueError):
+            unpack_codes(np.zeros(1, dtype=np.uint32), 33, 1)
 
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError):

@@ -2,12 +2,31 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.quant.groupwise import quantize_groupwise
 from repro.quant.qlinear import QuantizedLinear
 
 
 class TestRoundTrip:
+    @given(
+        st.sampled_from([1, 2, 3, 4, 8]),
+        st.integers(1, 40),
+        st.integers(1, 48),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_codes_round_trip_any_group_size(self, bits, group_size, d_in, seed):
+        # group_size deliberately unconstrained relative to d_in: the last
+        # group absorbs the remainder when it does not divide the rows.
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(d_in, 6))
+        result = quantize_groupwise(w, bits, group_size)
+        ql = QuantizedLinear.from_group_result(result)
+        assert np.array_equal(ql.codes(), result.codes)
+        assert np.allclose(ql.dequantize(), result.dequantize(), atol=1e-2)
+
     def test_codes_survive_packing(self, rng):
         w = rng.normal(size=(64, 12))
         result = quantize_groupwise(w, 4, 16)

@@ -6,8 +6,9 @@ Usage:  python tools/bench_compare.py [--baseline PATH] [--tolerance F]
 Re-runs the quantization perf suite and fails (exit 1) when any baseline
 record regresses: a record missing from the fresh run, a record that lost
 ``bit_identical``, or a speedup more than ``--tolerance`` (default 10%)
-below the committed number.  Extra fresh records are ignored so new
-benches can land before their baseline is refreshed.  ``--quick`` compares
+below the committed number.  Extra fresh records are reported as
+informational "new benchmark" lines — never failures — so new benches can
+land before their baseline is refreshed.  ``--quick`` compares
 only the records the quick suite produces (solver + shrunk eval) — the
 full-suite records absent from a quick run are skipped, not failed.
 
@@ -55,13 +56,21 @@ def compare_reports(
     Every baseline record is checked against the fresh record of the same
     name: it must exist (unless ``allow_missing``), keep
     ``bit_identical``, and keep its speedup within ``tolerance`` of the
-    committed value.
+    committed value.  Fresh records with no baseline counterpart get an
+    informational summary line and never count as a problem.
     """
     fresh_by_name = {
         record.get("name"): record for record in fresh.get("records", [])
     }
+    baseline_names = {
+        record.get("name") for record in baseline.get("records", [])
+    }
     lines: list[str] = []
     problems: list[str] = []
+    for record in fresh.get("records", []):
+        name = record.get("name")
+        if name not in baseline_names:
+            lines.append(f"{name}: new benchmark (no baseline yet)")
     for record in baseline.get("records", []):
         name = record.get("name")
         other = fresh_by_name.get(name)
