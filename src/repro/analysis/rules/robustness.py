@@ -15,16 +15,28 @@ that :class:`repro.quant.solver.HessianFactorCache` (or the ``cache``
 parameter of ``quantize_with_hessian``/``robust_quantize_layer``) would
 have deduplicated — exactly the regression this PR's fix removed from
 ``quantize_with_hessian`` call sites.
+
+The ``serve-unbounded-queue`` rule protects the serving layer's
+backpressure contract: every queue or deque constructed inside
+:mod:`repro.serve` must carry an explicit bound, because an unbounded
+buffer converts overload into unbounded memory growth and silent latency
+instead of the typed :class:`~repro.runtime.errors.AdmissionError` the
+admission path promises.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import ast
+from typing import Iterator, Optional
 
 from repro.analysis import astutil
 from repro.analysis.core import Diagnostic, ModuleContext, Rule, rule
 
-__all__ = ["RAW_LINALG_ALLOWED", "RAW_FACTORIZATION_ALLOWED"]
+__all__ = [
+    "RAW_LINALG_ALLOWED",
+    "RAW_FACTORIZATION_ALLOWED",
+    "BOUNDED_QUEUE_PACKAGES",
+]
 
 #: Modules allowed to call the raw factorizations (dotted, no ``.py``).
 RAW_LINALG_ALLOWED = (
@@ -86,4 +98,72 @@ def _raw_factorization(self: Rule, module: ModuleContext) -> Iterator[Diagnostic
                 f"(O(d^3)); pass a repro.quant.solver.HessianFactorCache "
                 f"via the cache parameter of quantize_with_hessian / "
                 f"robust_quantize_layer instead",
+            )
+
+
+#: Packages whose queues/deques must carry an explicit bound.
+BOUNDED_QUEUE_PACKAGES = ("repro.serve",)
+
+#: Queue constructors and where their bound parameter lives:
+#: (positional index, keyword name).
+_QUEUE_BOUNDS = {
+    "Queue": (0, "maxsize"),
+    "PriorityQueue": (0, "maxsize"),
+    "LifoQueue": (0, "maxsize"),
+    "deque": (1, "maxlen"),
+}
+
+#: Constructors with no bound parameter at all — never acceptable here.
+_UNBOUNDABLE_QUEUES = {"SimpleQueue"}
+
+
+def _queue_bound_expr(node: ast.Call, tail: str) -> Optional[ast.expr]:
+    """The expression bounding this queue constructor call, or ``None``."""
+    position, keyword_name = _QUEUE_BOUNDS[tail]
+    for keyword in node.keywords:
+        if keyword.arg == keyword_name:
+            return keyword.value
+    if len(node.args) > position:
+        return node.args[position]
+    return None
+
+
+def _is_unbounded_literal(expr: ast.expr) -> bool:
+    """Whether a bound expression is the literal "no limit" (None or 0)."""
+    return isinstance(expr, ast.Constant) and expr.value in (None, 0)
+
+
+@rule(
+    "serve-unbounded-queue",
+    "queue/deque in the serving layer without an explicit bound",
+)
+def _unbounded_queue(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
+    if not module.in_package(*BOUNDED_QUEUE_PACKAGES):
+        return
+    for node in astutil.walk_calls(module.tree):
+        name = astutil.call_name(node)
+        if name is None:
+            continue
+        tail = name.split(".")[-1]
+        if tail in _UNBOUNDABLE_QUEUES:
+            yield self.diagnostic(
+                module,
+                node,
+                f"{name}() cannot be bounded; the serving layer requires "
+                f"explicit backpressure — use a bounded Queue(maxsize=n) "
+                f"and fail fast with AdmissionError when full",
+            )
+            continue
+        if tail not in _QUEUE_BOUNDS:
+            continue
+        bound = _queue_bound_expr(node, tail)
+        if bound is None or _is_unbounded_literal(bound):
+            _, keyword_name = _QUEUE_BOUNDS[tail]
+            yield self.diagnostic(
+                module,
+                node,
+                f"unbounded {name}() buffers overload instead of applying "
+                f"backpressure; pass an explicit {keyword_name} (the "
+                f"admission path rejects with AdmissionError + retry_after "
+                f"when full)",
             )

@@ -203,6 +203,61 @@ class MultiHeadAttention(Module):
         heads = context.transpose(0, 2, 1, 3).reshape(batch, 1, self.d_model)
         return self.o_proj.forward_array(heads)
 
+    def forward_step_ragged(
+        self,
+        x: np.ndarray,
+        positions: np.ndarray,
+        append_kv,
+    ) -> np.ndarray:
+        """Attend one new token per row at *per-row* positions (ragged batch).
+
+        Generalizes :meth:`forward_step` to rows of different lengths — the
+        continuous-batching decode step, where each row belongs to a
+        different request.  ``x`` is ``(batch, 1, d_model)``; ``positions``
+        gives row ``b``'s absolute position; ``append_kv(row, k, v)`` stores
+        the row's new key/value ``(1, h, 1, d)`` in that row's cache (a
+        :class:`KVCache` or a paged block table) and returns the full
+        cached ``(keys, values)`` of shape ``(1, h, len, d)``.
+
+        Per row the arithmetic is exactly :meth:`forward_step` on a
+        batch of one: projections, rope, and the output projection are
+        row-independent, and each row's attention runs against its own
+        gathered keys/values with the same shapes a dedicated
+        :class:`KVCache` would serve.  ``tests/test_serve_paged_cache.py``
+        pins bit-identity against serial :meth:`forward_step` decoding.
+        """
+        batch = x.shape[0]
+        positions = np.asarray(positions, dtype=np.int64).reshape(-1)
+        if positions.size != batch:
+            raise ValueError("positions must provide one entry per row")
+        cos, sin = self.rope.tables(int(positions.max()) + 1)
+        # Per-row rope rows, broadcast over heads: (batch, 1, 1, d_head).
+        cos_t = cos[positions][:, None, None, :]
+        sin_t = sin[positions][:, None, None, :]
+
+        def split(a: np.ndarray) -> np.ndarray:
+            return a.reshape(batch, 1, self.n_heads, self.d_head).transpose(
+                0, 2, 1, 3
+            )
+
+        q = F.apply_rope(split(self.q_proj.forward_array(x)), cos_t, sin_t)
+        k = F.apply_rope(split(self.k_proj.forward_array(x)), cos_t, sin_t)
+        v = split(self.v_proj.forward_array(x))
+        heads = np.empty((batch, 1, self.d_model), dtype=x.dtype)
+        for row in range(batch):
+            keys, values = append_kv(row, k[row : row + 1], v[row : row + 1])
+            scores = (
+                q[row : row + 1]
+                @ np.swapaxes(keys, -1, -2)
+                / np.sqrt(self.d_head)
+            )
+            probs = F.softmax(scores, axis=-1)
+            context = probs @ values
+            heads[row] = context.transpose(0, 2, 1, 3).reshape(
+                1, 1, self.d_model
+            )
+        return self.o_proj.forward_array(heads)
+
     def forward_prefill(self, x: np.ndarray, cache: "KVCache") -> np.ndarray:
         """Attend ``seq`` new tokens against the cache in one batched pass.
 

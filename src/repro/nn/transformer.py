@@ -11,6 +11,7 @@ from repro.nn import functional as F
 from repro.nn.attention import AttentionCapture, KVCache, MultiHeadAttention
 from repro.nn.config import LlamaConfig
 from repro.nn.modules import Embedding, Linear, Module, RMSNorm
+from repro.runtime.errors import RaggedBatchError
 
 __all__ = ["SwiGLU", "TransformerBlock", "LlamaModel"]
 
@@ -181,6 +182,51 @@ class LlamaModel(Module):
             logits = x @ self.embed.weight.data.T
         return logits[:, -1, :]
 
+    def decode_step_ragged(
+        self, ids: np.ndarray, positions: np.ndarray, kv_backend
+    ) -> np.ndarray:
+        """Append one token per row at *per-row* positions (ragged batch).
+
+        The continuous-batching decode step: row ``b`` extends a sequence
+        of length ``positions[b]`` (sequences of different lengths share
+        one batched pass).  ``kv_backend`` abstracts the per-row KV
+        storage with a single duck-typed method::
+
+            append(layer, row, k, v) -> (keys, values)
+
+        where ``k``/``v`` are the row's new key/value ``(1, h, 1, d)`` for
+        ``layer`` and the returned arrays are the row's full cached
+        ``(1, h, len, d)`` history (:class:`repro.serve.PagedKVCache`
+        provides exactly this).  Returns next-token logits
+        ``(batch, vocab)``.  Every layer is row-independent, so row ``b``
+        is bit-identical to a dedicated :meth:`decode_step` on a batch of
+        one — the property the serving layer's replay-after-crash
+        determinism rests on.
+        """
+        ids = np.asarray(ids).reshape(-1, 1)
+        positions = np.asarray(positions, dtype=np.int64).reshape(-1)
+        if int(positions.max()) >= self.config.max_seq_len:
+            raise ValueError("KV cache is full (max_seq_len reached)")
+        x = self.embed.weight.data[ids]
+        for index, block in enumerate(self.blocks):
+            normed = block.input_norm.forward_array(x)
+
+            def append(row, k, v, _layer=index):
+                return kv_backend.append(_layer, row, k, v)
+
+            x = x + block.self_attn.forward_step_ragged(
+                normed, positions, append
+            )
+            x = x + block.mlp.forward_array(
+                block.post_attn_norm.forward_array(x)
+            )
+        x = self.final_norm.forward_array(x)
+        if self.lm_head is not None:
+            logits = self.lm_head.forward_array(x)
+        else:
+            logits = x @ self.embed.weight.data.T
+        return logits[:, -1, :]
+
     def prefill(
         self, ids: np.ndarray, caches: list[KVCache]
     ) -> np.ndarray:
@@ -269,10 +315,12 @@ class LlamaModel(Module):
         if isinstance(prompts, (list, tuple)):
             lengths = {len(np.asarray(p).reshape(-1)) for p in prompts}
             if len(lengths) > 1:
-                raise ValueError(
+                raise RaggedBatchError(
                     "generate_batch requires equal-length prompts (got "
-                    f"lengths {sorted(lengths)}); pad or call "
-                    "generate_cached per prompt"
+                    f"lengths {sorted(lengths)}); ragged batches are served "
+                    "by the paged path — repro.serve.ContinuousBatchScheduler "
+                    "over a PagedKVCache — or pad / call generate_cached "
+                    "per prompt"
                 )
         prompts = np.atleast_2d(np.asarray(prompts))
         batch, prompt_len = prompts.shape

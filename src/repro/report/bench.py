@@ -40,11 +40,14 @@ from repro.quant.solver import (
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "BENCH_SUITES",
     "best_of",
     "solver_bench_records",
     "eval_bench_records",
     "pipeline_bench_record",
+    "serve_bench_records",
     "build_quantize_report",
+    "build_serve_report",
     "validate_bench_report",
     "write_bench_report",
     "append_bench_history",
@@ -54,6 +57,9 @@ __all__ = [
 
 #: Version of the ``BENCH_quantize.json`` schema (bump on shape changes).
 BENCH_SCHEMA_VERSION = 1
+
+#: Suites a bench report may declare (one JSON artifact per suite).
+BENCH_SUITES = ("quantize", "serve")
 
 #: Keys every record must carry (checked by :func:`validate_bench_report`).
 _RECORD_KEYS = ("name", "kind", "params", "timings", "speedup", "bit_identical")
@@ -372,6 +378,200 @@ def pipeline_bench_record(
     }
 
 
+def serve_bench_records(
+    repeats: int = 3,
+    seed: int = 0,
+    n_requests: int = 24,
+    max_new: int = 16,
+) -> list[dict]:
+    """Time the serving layer against serial per-request decoding.
+
+    Two records, both re-checking bit-identity at measure time:
+
+    * ``serve-paged-decode`` — B ragged sequences decoded as one
+      continuous batch over the :class:`~repro.serve.paged_cache.PagedKVCache`
+      (via :class:`~repro.serve.engine.InProcessWorker`) vs a serial
+      :meth:`generate_cached` loop;
+    * ``serve-continuous-batching`` — the full async
+      :class:`~repro.serve.scheduler.ContinuousBatchScheduler` over a
+      seeded open-loop workload vs the same serial loop, with latency
+      percentiles and throughput under ``metrics`` (run-varying numbers
+      live there, not in ``params``, so the regression gate still pairs
+      records across runs).
+    """
+    import asyncio
+
+    from repro.nn.transformer import LlamaConfig, LlamaModel
+    from repro.serve.engine import InProcessWorker
+    from repro.serve.loadgen import build_workload, run_open_loop
+    from repro.serve.scheduler import ContinuousBatchScheduler, ServeConfig
+
+    config = LlamaConfig(
+        vocab_size=96,
+        d_model=48,
+        n_layers=3,
+        n_heads=2,
+        d_ff=64,
+        max_seq_len=64,
+    )
+    model = LlamaModel(config, seed=seed)
+    workload = build_workload(
+        n_requests,
+        vocab_size=config.vocab_size,
+        seed=seed,
+        min_prompt=2,
+        max_prompt=12,
+        min_new=max(2, max_new // 2),
+        max_new=max_new,
+        arrival_rate=1e6,  # all arrivals at ~t=0: a standing backlog
+    )
+    params = {
+        "d_model": config.d_model,
+        "n_layers": config.n_layers,
+        "n_requests": n_requests,
+        "max_new": max_new,
+        "repeats": repeats,
+        "seed": seed,
+    }
+
+    def serial() -> list[np.ndarray]:
+        return [
+            model.generate_cached(
+                spec["prompt"], spec["max_new_tokens"], temperature=0.0
+            )
+            for spec in workload
+        ]
+
+    def paged() -> dict[str, np.ndarray]:
+        worker = InProcessWorker(model, block_size=8, num_blocks=128)
+        live = []
+        for spec in workload:
+            logits = worker.prefill(spec["request_id"], spec["prompt"])
+            tokens = [int(np.argmax(logits))]
+            live.append([spec, tokens, int(spec["prompt"].size)])
+        outputs: dict[str, np.ndarray] = {}
+        while live:
+            entries = [
+                (spec["request_id"], tokens[-1], position)
+                for spec, tokens, position in live
+            ]
+            logits, _ = worker.decode(entries)
+            done = []
+            for row, item in enumerate(live):
+                spec, tokens, _ = item
+                tokens.append(int(np.argmax(logits[row])))
+                item[2] += 1
+                if len(tokens) >= spec["max_new_tokens"]:
+                    done.append(item)
+            for item in done:
+                spec, tokens, _ = item
+                live.remove(item)
+                worker.release(spec["request_id"])
+                outputs[spec["request_id"]] = np.concatenate(
+                    [spec["prompt"], np.asarray(tokens, dtype=np.int64)]
+                )
+        return outputs
+
+    serial_outputs = serial()
+    paged_outputs = paged()
+    paged_identical = all(
+        np.array_equal(paged_outputs[spec["request_id"]], reference)
+        for spec, reference in zip(workload, serial_outputs)
+    )
+    serial_seconds = best_of(serial, repeats)
+    paged_seconds = best_of(paged, repeats)
+    records = [
+        {
+            "name": "serve-paged-decode",
+            "kind": "serve",
+            "params": params,
+            "timings": {"serial": serial_seconds, "paged": paged_seconds},
+            "speedup": serial_seconds / paged_seconds,
+            "bit_identical": paged_identical,
+        }
+    ]
+
+    def served() -> "object":
+        async def run():
+            scheduler = ContinuousBatchScheduler(
+                model,
+                ServeConfig(
+                    block_size=8,
+                    num_blocks=128,
+                    max_batch=8,
+                    max_queue=n_requests + 1,
+                ),
+            )
+            result = await run_open_loop(scheduler, workload)
+            scheduler.close()
+            return result
+
+        return asyncio.run(run())
+
+    start = time.perf_counter()
+    timed_load = served()
+    served_seconds = time.perf_counter() - start
+    for _ in range(repeats - 1):
+        start = time.perf_counter()
+        candidate = served()
+        elapsed = time.perf_counter() - start
+        if elapsed < served_seconds:
+            served_seconds, timed_load = elapsed, candidate
+    served_identical = len(timed_load.completed) == len(workload) and all(
+        np.array_equal(timed_load.completed[spec["request_id"]], reference)
+        for spec, reference in zip(workload, serial_outputs)
+    )
+    records.append(
+        {
+            "name": "serve-continuous-batching",
+            "kind": "serve",
+            "params": params,
+            "timings": {"serial": serial_seconds, "served": served_seconds},
+            "speedup": serial_seconds / served_seconds,
+            "bit_identical": served_identical,
+            "metrics": {
+                "p50_latency": timed_load.p50,
+                "p99_latency": timed_load.p99,
+                "throughput_rps": timed_load.throughput,
+                "completed": len(timed_load.completed),
+                "failed": len(timed_load.failed),
+                "rejected": len(timed_load.rejected),
+            },
+        }
+    )
+    return records
+
+
+def build_serve_report(
+    repeats: int = 3,
+    quick: bool = False,
+    timestamp: str | None = None,
+) -> dict:
+    """Assemble the full ``BENCH_serve.json`` report.
+
+    ``quick`` shrinks the workload for tier-1 smoke use; the full run
+    backs the committed artifact that ``tools/bench_compare.py --suite
+    serve`` gates against.
+    """
+    if quick:
+        records = serve_bench_records(repeats=1, n_requests=6, max_new=6)
+    else:
+        records = serve_bench_records(repeats=repeats)
+    report = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "serve",
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "records": records,
+    }
+    if timestamp is not None:
+        report["timestamp"] = timestamp
+    return report
+
+
 def build_quantize_report(
     repeats: int = 3,
     workers: int = 2,
@@ -410,8 +610,12 @@ def build_quantize_report(
     return report
 
 
-def validate_bench_report(report: dict) -> list[str]:
-    """Schema check; returns a list of problems (empty when valid)."""
+def validate_bench_report(report: dict, suite: str | None = None) -> list[str]:
+    """Schema check; returns a list of problems (empty when valid).
+
+    ``suite`` pins the expected suite name; ``None`` accepts any name in
+    :data:`BENCH_SUITES`.
+    """
     problems: list[str] = []
     if not isinstance(report, dict):
         return ["report must be a JSON object"]
@@ -420,8 +624,11 @@ def validate_bench_report(report: dict) -> list[str]:
             f"schema_version must be {BENCH_SCHEMA_VERSION}, "
             f"got {report.get('schema_version')!r}"
         )
-    if report.get("suite") != "quantize":
-        problems.append(f"suite must be 'quantize', got {report.get('suite')!r}")
+    allowed = BENCH_SUITES if suite is None else (suite,)
+    if report.get("suite") not in allowed:
+        problems.append(
+            f"suite must be one of {allowed}, got {report.get('suite')!r}"
+        )
     records = report.get("records")
     if not isinstance(records, list) or not records:
         return problems + ["records must be a non-empty list"]
@@ -445,6 +652,21 @@ def validate_bench_report(report: dict) -> list[str]:
             problems.append(f"{where}.speedup must be a positive number")
         if record.get("bit_identical") is not True:
             problems.append(f"{where}.bit_identical must be true")
+        metrics = record.get("metrics")
+        if metrics is not None:
+            if not isinstance(metrics, dict) or not metrics:
+                problems.append(f"{where}.metrics must be a non-empty object")
+            elif any(
+                not isinstance(v, (int, float))
+                or isinstance(v, bool)
+                or not np.isfinite(v)
+                or v < 0
+                for v in metrics.values()
+            ):
+                problems.append(
+                    f"{where}.metrics values must be finite non-negative "
+                    "numbers"
+                )
     return problems
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.report.tables import format_table
 from repro.runtime.journal import RunHealth
 
-__all__ = ["format_run_health"]
+__all__ = ["format_request_timeline", "format_run_health"]
 
 
 def format_run_health(health: RunHealth, title: str = "run health") -> str:
@@ -38,4 +38,33 @@ def format_run_health(health: RunHealth, title: str = "run health") -> str:
         rows,
         columns=["#", "category", "layer", "message"],
         title=f"{header} ({counts})",
+    )
+
+
+def format_request_timeline(health: RunHealth, request_id: str) -> str:
+    """Render one serve request's lifecycle as an aligned text table.
+
+    Uses the journal's ``request_id`` scoping
+    (:meth:`~repro.runtime.journal.RunHealth.for_request`): the rows are
+    exactly the events the scheduler recorded for this request —
+    admission, prefill, replays, preemptions, and the terminal state — in
+    order, so a post-mortem can reconstruct what the serving layer did to
+    any single request.
+    """
+    events = health.for_request(request_id)
+    header = f"request {request_id}"
+    if not events:
+        return f"{header}: no journaled events"
+    rows = [
+        {
+            "#": index,
+            "category": event.category,
+            "message": event.message,
+        }
+        for index, event in enumerate(events)
+    ]
+    return format_table(
+        rows,
+        columns=["#", "category", "message"],
+        title=f"{header} ({len(events)} events)",
     )

@@ -20,15 +20,26 @@ from repro.runtime.checkpoint import (
     write_checksum,
 )
 from repro.runtime.errors import (
+    AdmissionError,
+    CacheExhausted,
     CalibrationError,
     CheckpointError,
+    DeadlineExceeded,
     InjectedFault,
     NumericalRecoveryError,
+    RaggedBatchError,
     ReproRuntimeError,
+    RequestCancelled,
+    RequestShed,
+    ServeError,
+    WorkerCrashed,
+    WorkerFailure,
+    WorkerStalled,
 )
 from repro.runtime.faults import (
     FaultInjector,
     active_injector,
+    fault_value,
     flip_bit,
     maybe_fault,
     transform_batch,
@@ -38,6 +49,7 @@ from repro.runtime.journal import DegradationEvent, RunHealth, RunJournal
 from repro.runtime.parallel import (
     EVAL_AUTO_SERIAL_MIN_TOKENS,
     MIN_PARALLEL_COST,
+    ForkedWorker,
     SolverTask,
     run_parallel_map,
     run_solver_tasks,
@@ -57,6 +69,17 @@ __all__ = [
     "CalibrationError",
     "NumericalRecoveryError",
     "InjectedFault",
+    "ServeError",
+    "RaggedBatchError",
+    "AdmissionError",
+    "RequestShed",
+    "DeadlineExceeded",
+    "RequestCancelled",
+    "CacheExhausted",
+    "WorkerCrashed",
+    "WorkerStalled",
+    "WorkerFailure",
+    "ForkedWorker",
     "DegradationEvent",
     "RunJournal",
     "RunHealth",
@@ -82,6 +105,7 @@ __all__ = [
     "FaultInjector",
     "active_injector",
     "maybe_fault",
+    "fault_value",
     "transform_batch",
     "truncate_file",
     "flip_bit",

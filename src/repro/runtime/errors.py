@@ -15,6 +15,16 @@ __all__ = [
     "CalibrationError",
     "NumericalRecoveryError",
     "InjectedFault",
+    "ServeError",
+    "RaggedBatchError",
+    "AdmissionError",
+    "RequestShed",
+    "DeadlineExceeded",
+    "RequestCancelled",
+    "CacheExhausted",
+    "WorkerCrashed",
+    "WorkerStalled",
+    "WorkerFailure",
 ]
 
 
@@ -54,4 +64,90 @@ class InjectedFault(ReproRuntimeError):
     Used by the fault-injection harness to simulate process crashes at
     precise points (e.g. "die when block 2 starts"); never raised outside
     an active :class:`~repro.runtime.faults.FaultInjector` context.
+    """
+
+
+class ServeError(ReproRuntimeError):
+    """Base class of every error raised by the :mod:`repro.serve` layer.
+
+    The serving robustness contract promises that a request either
+    completes or fails *fast* with one of these subclasses — never a bare
+    ``Exception``, never a silent hang.
+    """
+
+
+class RaggedBatchError(ServeError, ValueError):
+    """A batched generation API received unequal-length prompts.
+
+    Subclasses :class:`ValueError` so pre-existing callers that guard
+    ``generate_batch`` with ``except ValueError`` keep working.  The
+    paged serving path (:class:`repro.serve.PagedKVCache` behind
+    :class:`repro.serve.ContinuousBatchScheduler`) has no such
+    restriction — ragged requests join and leave a running batch freely.
+    """
+
+
+class AdmissionError(ServeError):
+    """The admission queue is full; the request was rejected at submit.
+
+    Carries ``retry_after`` (seconds) — the server's estimate of when
+    capacity frees up — so clients back off instead of hammering a loaded
+    server.  Explicit rejection *is* the backpressure mechanism: the queue
+    is bounded and never grows silently.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class RequestShed(ServeError):
+    """A queued request was shed to relieve overload.
+
+    Raised into the request's handle (not at submit) when the scheduler
+    degrades under sustained deadline pressure and drops the
+    lowest-priority queued work; carries ``retry_after`` like
+    :class:`AdmissionError`.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceeded(ServeError):
+    """A request missed its deadline and was cancelled cooperatively."""
+
+
+class RequestCancelled(ServeError):
+    """The client cancelled the request before completion."""
+
+
+class CacheExhausted(ServeError):
+    """The paged KV block pool has no free block for a reservation.
+
+    The scheduler treats this as a preemption signal (evict and replay the
+    lowest-priority running sequence), never as a request failure.
+    """
+
+
+class WorkerCrashed(ServeError):
+    """A decode worker died mid-operation (process exit or injected crash).
+
+    In-flight KV state living in the worker is lost; the supervisor
+    restarts the worker and the scheduler replays affected sequences from
+    their last completed token.
+    """
+
+
+class WorkerStalled(ServeError):
+    """A decode worker failed to respond within its hang-detection timeout."""
+
+
+class WorkerFailure(ServeError):
+    """A request exhausted its worker-failure retry budget.
+
+    Terminal, typed, and raised before the deadline — the fail-fast half
+    of the serving contract when crashes/stalls persist past
+    exponential-backoff restarts.
     """

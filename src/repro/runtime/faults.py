@@ -19,6 +19,21 @@ Sites wired into the runtime:
 * ``"calibration-batch"`` — transforms (poisons) the matching calibration
   batch in :func:`repro.quant.calibration_hooks.collect_input_stats`.
 
+Serving fault sites (wired into :mod:`repro.serve`):
+
+* ``"worker-crash"`` — key is ``"prefill:<seq>"`` / ``"decode:<step>"``;
+  raises :class:`~repro.runtime.errors.WorkerCrashed` inside the decode
+  worker, simulating a dead worker process whose KV state is lost.
+* ``"worker-stall"`` — same keys; raises
+  :class:`~repro.runtime.errors.WorkerStalled`, simulating a hang caught
+  by the supervisor's poll timeout.
+* ``"slow-decode-step"`` — *value* plan (see :meth:`FaultInjector.delay_at`);
+  the matching decode step takes the given extra seconds, advancing the
+  scheduler's clock so deadline enforcement can be tested deterministically.
+* ``"admission-burst"`` — value plan consumed by the load generator: the
+  matching arrival tick submits that many extra requests at once, driving
+  the bounded admission queue into backpressure.
+
 File-corruption helpers (:func:`truncate_file`, :func:`flip_bit`) act on
 checkpoint files directly; they need no active injector.
 """
@@ -32,11 +47,12 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.runtime.errors import InjectedFault
+from repro.runtime.errors import InjectedFault, WorkerCrashed, WorkerStalled
 
 __all__ = [
     "FaultInjector",
     "maybe_fault",
+    "fault_value",
     "transform_batch",
     "active_injector",
     "truncate_file",
@@ -75,6 +91,7 @@ class FaultInjector:
     def __init__(self) -> None:
         self._plans: list[_PlannedFault] = []
         self._batch_plans: list[tuple[int, str, int, list]] = []
+        self._value_plans: list[list] = []
         self.fired: list[tuple[str, str]] = []
 
     # -- plan builders --------------------------------------------------
@@ -113,6 +130,56 @@ class FaultInjector:
         self._plans.append(_PlannedFault(site, pattern, times, action))
         return self
 
+    def crash_worker(self, pattern: str = "*", times: int = 1) -> "FaultInjector":
+        """Raise :class:`WorkerCrashed` at matching ``"worker-crash"`` sites.
+
+        Keys are ``"prefill:<seq>"`` for prefill operations and
+        ``"decode:<step>"`` for decode steps (step is the worker's global
+        decode-step counter), so e.g. ``crash_worker("decode:3")`` kills
+        the worker exactly when it executes its fourth decode step.
+        """
+
+        def action(key: str) -> None:
+            raise WorkerCrashed(f"injected worker crash at {key!r}")
+
+        self._plans.append(_PlannedFault("worker-crash", pattern, times, action))
+        return self
+
+    def stall_worker(self, pattern: str = "*", times: int = 1) -> "FaultInjector":
+        """Raise :class:`WorkerStalled` at matching ``"worker-stall"`` sites."""
+
+        def action(key: str) -> None:
+            raise WorkerStalled(f"injected worker stall at {key!r}")
+
+        self._plans.append(_PlannedFault("worker-stall", pattern, times, action))
+        return self
+
+    def delay_at(
+        self, site: str, pattern: str, seconds: float, times: int = 1
+    ) -> "FaultInjector":
+        """Register a *value* plan: matching hook points read ``seconds``.
+
+        Unlike exception plans these do not raise — production code polls
+        :func:`fault_value` and interprets the number (extra seconds for
+        ``"slow-decode-step"``, extra arrivals for ``"admission-burst"``).
+        """
+        if seconds < 0:
+            raise ValueError("injected delay must be non-negative")
+        self._value_plans.append([site, pattern, float(seconds), times, [0]])
+        return self
+
+    def slow_decode(
+        self, pattern: str = "*", seconds: float = 1.0, times: int = 1
+    ) -> "FaultInjector":
+        """Make matching ``"slow-decode-step"`` sites take ``seconds`` extra."""
+        return self.delay_at("slow-decode-step", pattern, seconds, times)
+
+    def admission_burst(
+        self, pattern: str = "*", extra: int = 8, times: int = 1
+    ) -> "FaultInjector":
+        """Inject ``extra`` simultaneous arrivals at matching load-gen ticks."""
+        return self.delay_at("admission-burst", pattern, float(extra), times)
+
     def poison_batch(
         self, batch_index: int, mode: str = "nan", times: int = 1
     ) -> "FaultInjector":
@@ -136,6 +203,21 @@ class FaultInjector:
                 self.fired.append((site, key))
                 plan.action(key)
                 return
+
+    def value(self, site: str, key: str) -> float:
+        """Sum of matching value plans at this hook point (0.0 when none)."""
+        total = 0.0
+        for plan in self._value_plans:
+            plan_site, pattern, seconds, times, fired = plan
+            if (
+                plan_site == site
+                and fired[0] < times
+                and fnmatch.fnmatchcase(key, pattern)
+            ):
+                fired[0] += 1
+                self.fired.append((site, key))
+                total += seconds
+        return total
 
     def transform(self, batch_index: int, batch: np.ndarray) -> np.ndarray:
         """Return ``batch``, poisoned if a batch plan matches its index."""
@@ -175,6 +257,13 @@ def maybe_fault(site: str, key: str) -> None:
     """Hook point: fire any active fault plan matching ``(site, key)``."""
     if _ACTIVE is not None:
         _ACTIVE.check(site, key)
+
+
+def fault_value(site: str, key: str) -> float:
+    """Hook point: value injected by the active injector (0.0 when none)."""
+    if _ACTIVE is not None:
+        return _ACTIVE.value(site, key)
+    return 0.0
 
 
 def transform_batch(batch_index: int, batch: np.ndarray) -> np.ndarray:

@@ -34,24 +34,30 @@ class DegradationEvent:
     ``category`` is a short machine-readable tag (``"retry"``,
     ``"damp-escalation"``, ``"eigenvalue-clip"``, ``"rtn-fallback"``,
     ``"checkpoint"``, ``"resume"``, ``"warning"``, ...); ``layer`` names the
-    affected layer ("" for run-level events); ``detail`` carries
+    affected layer ("" for run-level events); ``request_id`` scopes the
+    event to one served request ("" for events that are not request-bound,
+    i.e. everything outside :mod:`repro.serve`); ``detail`` carries
     category-specific JSON-serializable context (attempt numbers, damping
-    values, block indices).
+    values, block indices, token counts).
     """
 
     category: str
     layer: str
     message: str
     detail: Mapping[str, object] = dataclasses.field(default_factory=dict)
+    request_id: str = ""
 
     def to_json(self) -> dict:
         """Plain-dict form stored in checkpoints and reports."""
-        return {
+        record = {
             "category": self.category,
             "layer": self.layer,
             "message": self.message,
             "detail": dict(self.detail),
         }
+        if self.request_id:
+            record["request_id"] = self.request_id
+        return record
 
     @staticmethod
     def from_json(record: Mapping) -> "DegradationEvent":
@@ -61,6 +67,7 @@ class DegradationEvent:
             layer=str(record["layer"]),
             message=str(record["message"]),
             detail=dict(record.get("detail", {})),
+            request_id=str(record.get("request_id", "")),
         )
 
 
@@ -71,10 +78,15 @@ class RunJournal:
         self.events: list[DegradationEvent] = list(events)
 
     def record(
-        self, category: str, layer: str = "", message: str = "", **detail
+        self,
+        category: str,
+        layer: str = "",
+        message: str = "",
+        request_id: str = "",
+        **detail,
     ) -> DegradationEvent:
-        """Append (and return) a new event."""
-        event = DegradationEvent(category, layer, message, detail)
+        """Append (and return) a new event, optionally request-scoped."""
+        event = DegradationEvent(category, layer, message, detail, request_id)
         self.events.append(event)
         return event
 
@@ -121,6 +133,24 @@ class RunHealth:
     def by_category(self, category: str) -> tuple[DegradationEvent, ...]:
         """Every event with the given category, in recording order."""
         return tuple(e for e in self.events if e.category == category)
+
+    def for_request(self, request_id: str) -> tuple[DegradationEvent, ...]:
+        """Every event scoped to one served request, in recording order.
+
+        The returned slice is a request's full lifecycle timeline —
+        admission, prefill, decode milestones, retries/preemptions, and the
+        terminal completion or typed failure — rendered by
+        :func:`repro.report.format_request_timeline`.
+        """
+        return tuple(e for e in self.events if e.request_id == request_id)
+
+    def request_ids(self) -> tuple[str, ...]:
+        """Distinct request ids appearing in the journal, in first-seen order."""
+        seen: dict[str, None] = {}
+        for event in self.events:
+            if event.request_id and event.request_id not in seen:
+                seen[event.request_id] = None
+        return tuple(seen)
 
     def to_json(self) -> dict:
         """Plain-dict form (checkpoint storage, report export)."""

@@ -39,12 +39,15 @@ was exactly this cost, ~70 ms of forking for ~30 ms of solver work.
 
 from __future__ import annotations
 
+import builtins
 import dataclasses
 import multiprocessing
 from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from repro.runtime import errors as _errors
+from repro.runtime.errors import WorkerCrashed, WorkerStalled
 from repro.runtime.journal import DegradationEvent, RunJournal
 from repro.runtime.recovery import RecoveryPolicy, robust_quantize_layer
 
@@ -53,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "SolverTask",
+    "ForkedWorker",
     "run_solver_tasks",
     "run_parallel_map",
     "solver_task_cost",
@@ -154,6 +158,136 @@ def run_parallel_map(
         finally:
             _FORK_FN = previous
     return [fn(item) for item in items]
+
+
+def _forked_worker_loop(conn, handler) -> None:
+    """Child-process loop of :class:`ForkedWorker`.
+
+    Reads payloads off the pipe, applies the fork-inherited ``handler``,
+    and ships ``(True, result)`` / ``(False, (type_name, message))`` back.
+    A ``None`` payload (or a closed pipe) shuts the loop down cleanly.
+    """
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if payload is None:
+            break
+        try:
+            result = handler(payload)
+        except Exception as error:
+            conn.send((False, (type(error).__name__, str(error))))
+        else:
+            conn.send((True, result))
+    conn.close()
+
+
+class ForkedWorker:
+    """A persistent forked worker process with crash and hang detection.
+
+    Unlike the transient pools of :func:`run_parallel_map`, a
+    ``ForkedWorker`` stays alive across calls and may hold mutable state
+    (a serving worker's paged KV cache) in the child.  The handler and its
+    closed-over objects (live models included) reach the child by fork
+    inheritance at construction time — nothing is pickled except the
+    per-call payloads and results.
+
+    The failure surface is fully typed for the serving supervisor:
+
+    * a dead child (crash, ``kill()``, OOM) raises
+      :class:`~repro.runtime.errors.WorkerCrashed`;
+    * a child that does not answer within ``timeout`` raises
+      :class:`~repro.runtime.errors.WorkerStalled` — the worker must then
+      be discarded (a late answer would desynchronize the pipe protocol);
+    * a handler exception in the child is re-raised in the parent as the
+      matching :mod:`repro.runtime.errors` type when the name resolves to
+      one, else as :class:`~repro.runtime.errors.ReproRuntimeError`.
+    """
+
+    def __init__(self, handler, name: str = "forked-worker") -> None:
+        context = multiprocessing.get_context("fork")
+        self._conn, child_conn = context.Pipe()
+        self._process = context.Process(
+            target=_forked_worker_loop,
+            args=(child_conn, handler),
+            daemon=True,
+            name=name,
+        )
+        self._process.start()
+        child_conn.close()
+
+    @property
+    def pid(self) -> int | None:
+        """Child process id (``None`` once closed)."""
+        return self._process.pid
+
+    def alive(self) -> bool:
+        """Whether the child process is still running."""
+        return self._process.is_alive()
+
+    def call(self, payload, timeout: float | None = None):
+        """Execute ``handler(payload)`` in the child and return its result.
+
+        ``timeout`` (seconds) bounds the wait for an answer; ``None``
+        waits forever (only sensible in tests).  Raises the typed errors
+        documented on the class.
+        """
+        if not self._process.is_alive():
+            raise WorkerCrashed(
+                f"worker {self._process.name!r} is dead "
+                f"(exitcode {self._process.exitcode})"
+            )
+        try:
+            self._conn.send(payload)
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerCrashed(
+                f"worker {self._process.name!r} pipe is broken: {error}"
+            ) from error
+        if timeout is not None and not self._conn.poll(timeout):
+            if self._process.is_alive():
+                raise WorkerStalled(
+                    f"worker {self._process.name!r} gave no answer within "
+                    f"{timeout:g}s"
+                )
+            raise WorkerCrashed(
+                f"worker {self._process.name!r} died mid-call "
+                f"(exitcode {self._process.exitcode})"
+            )
+        try:
+            ok, value = self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise WorkerCrashed(
+                f"worker {self._process.name!r} died mid-call: {error}"
+            ) from error
+        if ok:
+            return value
+        type_name, message = value
+        error_type = getattr(_errors, type_name, None)
+        if error_type is None:
+            error_type = getattr(builtins, type_name, None)
+        if isinstance(error_type, type) and issubclass(error_type, Exception):
+            raise error_type(message)
+        raise _errors.ReproRuntimeError(f"{type_name}: {message}")
+
+    def kill(self) -> None:
+        """SIGKILL the child (crash simulation for supervisor tests)."""
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Shut the child down cleanly (falls back to terminate)."""
+        if self._process.is_alive():
+            try:
+                self._conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            self._process.join(timeout=1.0)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=5.0)
+        self._conn.close()
 
 
 @dataclasses.dataclass

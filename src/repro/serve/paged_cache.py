@@ -1,0 +1,267 @@
+"""Paged KV cache: a block-pool allocator behind the ragged decode path.
+
+:class:`repro.nn.attention.KVCache` preallocates one contiguous
+``max_seq_len`` buffer per layer per sequence, which forces every row of a
+batch to share one length.  :class:`PagedKVCache` lifts that restriction the
+way vLLM's PagedAttention does: key/value storage is a fixed pool of
+fixed-size *blocks* shared by all sequences, and each sequence maps its
+token positions onto pool blocks through a block table.  Sequences of any
+length can therefore join and leave a running batch, and freeing a finished
+sequence returns its blocks to the pool immediately.
+
+Two access protocols are exposed:
+
+* :meth:`PagedKVCache.layer_view` returns an adapter with the
+  ``.length`` / ``.append(k, v) -> (keys, values)`` surface of
+  :class:`~repro.nn.attention.KVCache`, so
+  :meth:`~repro.nn.transformer.LlamaModel.prefill` works per sequence
+  unchanged.
+* :meth:`PagedKVCache.append` is the ``append(layer, row, ...)`` backend
+  consumed by :meth:`~repro.nn.transformer.LlamaModel.decode_step_ragged`
+  via :class:`RaggedView`.
+
+Gathered histories are exact copies of what was appended (block writes and
+fancy-index gathers move bytes, never round), returned as read-only arrays;
+attention over a paged sequence is therefore bit-identical to attention
+over a contiguous :class:`~repro.nn.attention.KVCache` — the property the
+serving layer's determinism contract rests on.
+
+Exhaustion is a typed, recoverable signal: :meth:`reserve` raises
+:class:`~repro.runtime.errors.CacheExhausted` *before* any bytes are
+written, so the scheduler can preempt a victim sequence and retry without
+ever observing a half-written cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.errors import CacheExhausted
+
+__all__ = ["PagedKVCache", "RaggedView"]
+
+
+class PagedKVCache:
+    """Block-pooled KV storage shared by all sequences of one worker.
+
+    ``num_blocks`` blocks of ``block_size`` token slots each are shared
+    across sequences; every block stores all ``n_layers`` layers, so one
+    block reservation covers the whole depth of the model.  Pools are
+    allocated lazily on the first append (head count, head dimension and
+    dtype are taken from the first key tensor seen).
+    """
+
+    def __init__(
+        self, n_layers: int, block_size: int = 16, num_blocks: int = 64
+    ) -> None:
+        if n_layers < 1:
+            raise ValueError("n_layers must be positive")
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        if num_blocks < 1:
+            raise ValueError("num_blocks must be positive")
+        self.n_layers = int(n_layers)
+        self.block_size = int(block_size)
+        self.num_blocks = int(num_blocks)
+        # Free list is a stack; blocks are handed out from the end and
+        # returned in free() order, keeping allocation deterministic for a
+        # deterministic sequence of operations.
+        self._free: list[int] = list(range(self.num_blocks - 1, -1, -1))
+        self._tables: dict[str, list[int]] = {}
+        self._lengths: dict[str, list[int]] = {}
+        self._keys: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+
+    # -- pool accounting -------------------------------------------------
+    @property
+    def free_blocks(self) -> int:
+        """Blocks currently available in the pool."""
+        return len(self._free)
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently assigned to live sequences."""
+        return self.num_blocks - len(self._free)
+
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` positions."""
+        if tokens <= 0:
+            return 0
+        return -(-tokens // self.block_size)
+
+    def can_reserve(self, seq_id: str, total_tokens: int) -> bool:
+        """Whether :meth:`reserve` for ``total_tokens`` would succeed."""
+        held = len(self._tables.get(seq_id, ()))
+        return self.blocks_for(total_tokens) - held <= len(self._free)
+
+    def seq_ids(self) -> tuple[str, ...]:
+        """Live sequence ids, in allocation order."""
+        return tuple(self._tables)
+
+    def length(self, seq_id: str, layer: int = 0) -> int:
+        """Committed token count of a sequence at ``layer``."""
+        return self._lengths[seq_id][layer]
+
+    # -- sequence lifecycle ----------------------------------------------
+    def allocate(self, seq_id: str) -> None:
+        """Register an empty sequence (no blocks reserved yet)."""
+        if seq_id in self._tables:
+            raise ValueError(f"sequence {seq_id!r} is already allocated")
+        self._tables[seq_id] = []
+        self._lengths[seq_id] = [0] * self.n_layers
+
+    def reserve(self, seq_id: str, total_tokens: int) -> None:
+        """Grow the block table to cover ``total_tokens`` positions.
+
+        Allocation-only — no cache bytes are touched — so a
+        :class:`CacheExhausted` here leaves every sequence consistent and
+        the scheduler free to preempt and retry.
+        """
+        table = self._tables[seq_id]
+        needed = self.blocks_for(total_tokens) - len(table)
+        if needed <= 0:
+            return
+        if needed > len(self._free):
+            raise CacheExhausted(
+                f"KV block pool exhausted: sequence {seq_id!r} needs "
+                f"{needed} more block(s), {len(self._free)} free "
+                f"(pool {self.num_blocks} x {self.block_size} tokens)"
+            )
+        for _ in range(needed):
+            table.append(self._free.pop())
+
+    def free(self, seq_id: str) -> int:
+        """Release a sequence's blocks back to the pool; returns the count."""
+        table = self._tables.pop(seq_id, None)
+        self._lengths.pop(seq_id, None)
+        if table is None:
+            return 0
+        self._free.extend(table)
+        return len(table)
+
+    def free_all(self) -> None:
+        """Release every sequence (worker reset)."""
+        for seq_id in list(self._tables):
+            self.free(seq_id)
+
+    # -- storage ----------------------------------------------------------
+    def _ensure_pools(self, template: np.ndarray) -> None:
+        """Allocate the K/V pools from the first key tensor's geometry."""
+        if self._keys is not None:
+            return
+        heads, d_head = template.shape[1], template.shape[3]
+        shape = (self.n_layers, self.num_blocks, heads, self.block_size, d_head)
+        self._keys = np.zeros(shape, dtype=template.dtype)
+        self._values = np.zeros(shape, dtype=template.dtype)
+
+    def append(
+        self, layer: int, seq_id: str, k: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Append ``(1, heads, t, d_head)`` keys/values for one sequence.
+
+        Returns the sequence's full cached history at ``layer`` as two
+        read-only ``(1, heads, length, d_head)`` arrays, mirroring
+        :meth:`repro.nn.attention.KVCache.append`.
+        """
+        k = np.asarray(k)
+        v = np.asarray(v)
+        if k.ndim != 4 or k.shape[0] != 1:
+            raise ValueError(
+                f"expected (1, heads, t, d_head) keys, got {k.shape}"
+            )
+        self._ensure_pools(k)
+        lengths = self._lengths[seq_id]
+        start = lengths[layer]
+        step = k.shape[2]
+        end = start + step
+        self.reserve(seq_id, end)
+        table = self._tables[seq_id]
+        pos = start
+        taken = 0
+        while pos < end:
+            block = table[pos // self.block_size]
+            offset = pos % self.block_size
+            take = min(self.block_size - offset, end - pos)
+            sel = (layer, block, slice(None), slice(offset, offset + take))
+            self._keys[sel] = k[0][:, taken : taken + take]
+            self._values[sel] = v[0][:, taken : taken + take]
+            pos += take
+            taken += take
+        lengths[layer] = end
+        return self.gather(layer, seq_id)
+
+    def gather(
+        self, layer: int, seq_id: str
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The sequence's cached ``(1, heads, length, d_head)`` history.
+
+        Returned arrays are freshly gathered copies with the write flag
+        cleared — callers cannot corrupt pool state through them.
+        """
+        length = self._lengths[seq_id][layer]
+        table = self._tables[seq_id]
+        blocks = np.asarray(table[: self.blocks_for(length)], dtype=np.intp)
+        out = []
+        for pool in (self._keys, self._values):
+            stacked = pool[layer, blocks]  # (n_blocks, heads, block, d_head)
+            heads, d_head = stacked.shape[1], stacked.shape[3]
+            flat = stacked.transpose(1, 0, 2, 3).reshape(heads, -1, d_head)
+            history = np.ascontiguousarray(flat[None, :, :length])
+            history.flags.writeable = False
+            out.append(history)
+        return out[0], out[1]
+
+    # -- model-facing adapters -------------------------------------------
+    def layer_view(self, seq_id: str, layer: int) -> "_LayerView":
+        """A per-``(sequence, layer)`` adapter with the ``KVCache`` surface.
+
+        ``[cache.layer_view(seq, l) for l in range(n_layers)]`` drops into
+        :meth:`~repro.nn.transformer.LlamaModel.prefill` in place of a
+        ``KVCache`` list.
+        """
+        return _LayerView(self, seq_id, layer)
+
+    def ragged_view(self, seq_ids: list[str]) -> "RaggedView":
+        """The ``append(layer, row, k, v)`` backend for a decode batch."""
+        return RaggedView(self, seq_ids)
+
+
+class _LayerView:
+    """Adapter giving one (sequence, layer) the ``KVCache`` protocol."""
+
+    def __init__(self, cache: PagedKVCache, seq_id: str, layer: int) -> None:
+        self._cache = cache
+        self._seq_id = seq_id
+        self._layer = layer
+
+    @property
+    def length(self) -> int:
+        """Committed token count, as ``KVCache.length``."""
+        return self._cache.length(self._seq_id, self._layer)
+
+    def append(
+        self, k: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Append new keys/values; returns the full read-only history."""
+        return self._cache.append(self._layer, self._seq_id, k, v)
+
+
+class RaggedView:
+    """Maps decode-batch row indices onto paged sequences.
+
+    The backend object handed to
+    :meth:`~repro.nn.transformer.LlamaModel.decode_step_ragged`: row ``b``
+    of the batch reads and extends sequence ``seq_ids[b]``.
+    """
+
+    def __init__(self, cache: PagedKVCache, seq_ids: list[str]) -> None:
+        self._cache = cache
+        self._seq_ids = list(seq_ids)
+
+    def append(
+        self, layer: int, row: int, k: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Append row ``row``'s new K/V at ``layer``; returns its history."""
+        return self._cache.append(layer, self._seq_ids[row], k, v)

@@ -1,0 +1,187 @@
+"""Request/response surface of the serving layer.
+
+A caller builds a :class:`GenerationRequest`, submits it to the scheduler
+and receives a :class:`RequestHandle` — an awaitable, streamable view of
+the request's lifecycle.  Every terminal outcome is typed: completion
+yields the full token sequence, failure raises one of the
+:class:`~repro.runtime.errors.ServeError` subclasses (deadline, shed,
+cancellation, worker failure), and nothing is ever silently dropped.
+
+Time is injected.  :class:`WallClock` serves real traffic;
+:class:`ManualClock` gives the chaos tests a deterministic timeline where
+injected delays (:func:`repro.runtime.faults.fault_value`) advance time by
+exact amounts, so deadline enforcement is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import AsyncIterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "GenerationRequest",
+    "ManualClock",
+    "RequestHandle",
+    "WallClock",
+]
+
+
+class WallClock:
+    """Real time: ``now`` is monotonic seconds, ``advance`` sleeps."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        return time.monotonic()
+
+    def advance(self, seconds: float) -> None:
+        """Block for ``seconds`` (used for worker-restart backoff)."""
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock:
+    """Deterministic virtual time for tests: advances only on demand."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move virtual time forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += float(seconds)
+
+
+@dataclasses.dataclass(frozen=True)
+class GenerationRequest:
+    """One generation job: prompt, budget, priority and deadline.
+
+    ``deadline`` is absolute scheduler-clock time (seconds); ``None``
+    disables enforcement.  ``seed`` feeds a per-request generator when
+    ``temperature > 0`` — sampling state lives in the scheduler, never in
+    a worker, so crash replay resumes the exact random stream.  Higher
+    ``priority`` wins under overload; ties break by submission order.
+    """
+
+    request_id: str
+    prompt: np.ndarray
+    max_new_tokens: int
+    temperature: float = 0.0
+    seed: int = 0
+    priority: int = 0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        prompt = np.asarray(self.prompt, dtype=np.int64).reshape(-1)
+        if prompt.size == 0:
+            raise ValueError("prompt must contain at least one token")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be positive")
+        object.__setattr__(self, "prompt", prompt)
+
+
+_STREAM_END = object()
+
+
+class RequestHandle:
+    """Caller-side view of a submitted request.
+
+    Tokens stream through a *bounded* queue sized to the request's token
+    budget (generation can never outrun the bound, so the scheduler never
+    blocks on a slow consumer).  ``await result()`` returns the full
+    sequence or raises the request's typed failure.
+    """
+
+    def __init__(self, request: GenerationRequest) -> None:
+        self.request = request
+        self.state = "queued"
+        self.tokens: list[int] = []
+        self.error: Optional[BaseException] = None
+        self.submitted_at: float = 0.0
+        self.finished_at: float = 0.0
+        self.cancel_requested = False
+        # +1 slot for the end-of-stream sentinel; the bound is a hard
+        # invariant, not backpressure: at most max_new_tokens are ever put.
+        self._stream: asyncio.Queue = asyncio.Queue(
+            maxsize=request.max_new_tokens + 1
+        )
+        self._done = asyncio.Event()
+
+    @property
+    def request_id(self) -> str:
+        """The wrapped request's id."""
+        return self.request.request_id
+
+    @property
+    def done(self) -> bool:
+        """Whether the request reached a terminal state."""
+        return self._done.is_set()
+
+    @property
+    def latency(self) -> float:
+        """Seconds from submission to the terminal state."""
+        return self.finished_at - self.submitted_at
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation.
+
+        The scheduler observes the flag at its next step and fails the
+        request with :class:`~repro.runtime.errors.RequestCancelled`;
+        tokens already streamed remain valid.
+        """
+        self.cancel_requested = True
+
+    # -- scheduler-side transitions (not part of the caller API) ---------
+    def _push_token(self, token: int) -> None:
+        """Record and stream one generated token."""
+        self.tokens.append(token)
+        self._stream.put_nowait(token)
+
+    def _finish(self, state: str, now: float,
+                error: Optional[BaseException] = None) -> None:
+        """Move to a terminal state exactly once."""
+        if self._done.is_set():
+            return
+        self.state = state
+        self.error = error
+        self.finished_at = now
+        self._stream.put_nowait(_STREAM_END)
+        self._done.set()
+
+    # -- caller API -------------------------------------------------------
+    async def stream(self) -> AsyncIterator[int]:
+        """Yield generated tokens as they land; ends at the terminal state.
+
+        A failed request's stream simply ends early — call
+        :meth:`result` afterwards to surface the typed error.
+        """
+        while True:
+            item = await self._stream.get()
+            if item is _STREAM_END:
+                return
+            yield item
+
+    async def result(self) -> np.ndarray:
+        """Wait for completion; returns ``prompt + generated`` token ids.
+
+        Raises the request's typed :class:`~repro.runtime.errors.ServeError`
+        (or :class:`~repro.runtime.errors.RequestCancelled`) on failure.
+        """
+        await self._done.wait()
+        if self.error is not None:
+            raise self.error
+        return np.concatenate(
+            [self.request.prompt, np.asarray(self.tokens, dtype=np.int64)]
+        )
+
+    def exception(self) -> Optional[BaseException]:
+        """The terminal error, or ``None`` (not finished / completed)."""
+        return self.error

@@ -31,6 +31,7 @@ EXPECTED_RULE_IDS = {
     "api-mutable-default",
     "api-bare-except",
     "runtime-raw-linalg",
+    "serve-unbounded-queue",
     "perf-raw-factorization",
     "perf-full-logsoftmax",
 }
@@ -300,6 +301,75 @@ class TestRobustnessRules:
             "    return np.linalg.eigh(h)\n"
         )
         assert hits(src, "runtime-raw-linalg") == []
+
+
+class TestServeUnboundedQueueRule:
+    SERVE_PATH = "src/repro/serve/example.py"
+
+    @staticmethod
+    def _snippet(expr):
+        return (
+            '"""m."""\nimport asyncio\nimport collections\nimport queue\n'
+            '\n\ndef f():\n    """D."""\n'
+            f"    return {expr}\n"
+        )
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "asyncio.Queue()",
+            "queue.Queue()",
+            "asyncio.Queue(maxsize=0)",
+            "queue.Queue(0)",
+            "asyncio.PriorityQueue()",
+            "queue.LifoQueue(maxsize=None)",
+            "collections.deque()",
+            "collections.deque([], None)",
+        ],
+    )
+    def test_unbounded_constructors_flagged(self, expr):
+        assert hits(
+            self._snippet(expr), "serve-unbounded-queue", path=self.SERVE_PATH
+        ) == [("serve-unbounded-queue", 9)]
+
+    def test_simplequeue_always_flagged(self):
+        diagnostics = analyze_source(
+            self._snippet("queue.SimpleQueue()"),
+            path=self.SERVE_PATH,
+            select=["serve-unbounded-queue"],
+        )
+        assert len(diagnostics) == 1
+        assert "cannot be bounded" in diagnostics[0].message
+        assert "AdmissionError" in diagnostics[0].message
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            "asyncio.Queue(maxsize=8)",
+            "queue.Queue(16)",
+            "asyncio.Queue(maxsize=limit)",
+            "collections.deque(maxlen=4)",
+            "collections.deque([], 32)",
+        ],
+    )
+    def test_bounded_constructors_clean(self, expr):
+        src = self._snippet(expr).replace(
+            "def f():", "def f(limit=8):"
+        )
+        assert (
+            hits(src, "serve-unbounded-queue", path=self.SERVE_PATH) == []
+        )
+
+    def test_rule_scoped_to_serving_packages(self):
+        from repro.analysis.rules.robustness import BOUNDED_QUEUE_PACKAGES
+
+        assert "repro.serve" in BOUNDED_QUEUE_PACKAGES
+        src = self._snippet("asyncio.Queue()")
+        for path in (
+            "src/repro/runtime/example.py",
+            "src/repro/nn/example.py",
+        ):
+            assert hits(src, "serve-unbounded-queue", path=path) == []
 
 
 class TestPerfFactorizationRule:

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.report",
     "repro.runtime",
+    "repro.serve",
 ]
 
 

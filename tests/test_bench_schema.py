@@ -16,18 +16,22 @@ import pytest
 
 from repro.report.bench import (
     BENCH_SCHEMA_VERSION,
+    BENCH_SUITES,
     append_bench_history,
     best_of,
     build_quantize_report,
+    build_serve_report,
     eval_bench_records,
     load_bench_history,
     render_bench_trend,
+    serve_bench_records,
     solver_bench_records,
     validate_bench_report,
     write_bench_report,
 )
 
 ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_quantize.json"
+SERVE_ARTIFACT = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
 
 
 class TestCommittedArtifact:
@@ -89,6 +93,46 @@ class TestCommittedArtifact:
             assert record["params"]["auto_serial"] is True, record
             assert record["speedup"] >= 0.8, record
             assert record["bit_identical"] is True
+
+
+class TestServeArtifact:
+    def test_artifact_exists_and_validates(self):
+        assert SERVE_ARTIFACT.exists(), (
+            "BENCH_serve.json missing at the repo root; regenerate with "
+            "`python tools/bench.py --suite serve`"
+        )
+        report = json.loads(SERVE_ARTIFACT.read_text())
+        assert validate_bench_report(report, suite="serve") == []
+        assert report["suite"] in BENCH_SUITES
+
+    def test_committed_serve_records_meet_bar(self):
+        report = json.loads(SERVE_ARTIFACT.read_text())
+        by_name = {record["name"]: record for record in report["records"]}
+        assert set(by_name) == {
+            "serve-paged-decode",
+            "serve-continuous-batching",
+        }, "missing serve records; rerun `python tools/bench.py --suite serve`"
+        for record in by_name.values():
+            # The whole serving layer is built on the bit-identity contract.
+            assert record["bit_identical"] is True, record
+        # Continuous batching must beat serial request-at-a-time decoding.
+        assert by_name["serve-paged-decode"]["speedup"] > 1.0
+        assert by_name["serve-continuous-batching"]["speedup"] > 1.0
+        metrics = by_name["serve-continuous-batching"]["metrics"]
+        for key in ("p50_latency", "p99_latency", "throughput_rps"):
+            assert key in metrics, metrics
+        assert metrics["p99_latency"] >= metrics["p50_latency"]
+        assert metrics["failed"] == 0 and metrics["rejected"] == 0
+
+    def test_quick_serve_report_validates_live(self):
+        report = build_serve_report(repeats=1, quick=True)
+        assert validate_bench_report(report, suite="serve") == []
+        for record in report["records"]:
+            assert record["bit_identical"] is True, record
+
+    def test_serve_records_reject_bad_repeats(self):
+        with pytest.raises(ValueError):
+            serve_bench_records(repeats=0)
 
 
 class TestLiveSmoke:
@@ -160,6 +204,13 @@ class TestSchemaValidation:
             good, records=[dict(good["records"][0], timings={"a": -1.0})]
         )
         assert any("timings" in p for p in validate_bench_report(negative))
+        bad_metrics = dict(
+            good,
+            records=[dict(good["records"][0], metrics={"p50": float("nan")})],
+        )
+        assert any("metrics" in p for p in validate_bench_report(bad_metrics))
+        wrong_suite = dict(good, suite="serve")
+        assert validate_bench_report(wrong_suite, suite="quantize")
 
     def test_writer_refuses_invalid_report(self, tmp_path):
         with pytest.raises(ValueError, match="invalid bench report"):

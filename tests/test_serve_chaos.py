@@ -1,0 +1,201 @@
+"""Chaos acceptance: seeded fault-injected load against the serving layer.
+
+The contract under test (ISSUE 8): for a seeded fault plan — worker
+crashes, worker stalls, slow decode steps, admission bursts — every
+submitted request either
+
+* **completes with output bit-identical to an unfaulted run** (which, by
+  the serving layer's determinism contract, equals a serial
+  ``generate_cached`` of the same prompt), or
+* **fails fast with a typed error** (admission rejection, shed, deadline,
+  replay-budget exhaustion) well before hanging;
+
+and **no request is ever lost**: completed + failed + rejected covers the
+whole workload exactly.  Runs on a :class:`~repro.serve.session.ManualClock`
+so the same seed gives the same timeline every time.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.nn.config import LlamaConfig
+from repro.nn.transformer import LlamaModel
+from repro.runtime.errors import (
+    AdmissionError,
+    DeadlineExceeded,
+    RequestShed,
+    ServeError,
+    WorkerFailure,
+)
+from repro.runtime.faults import FaultInjector
+from repro.serve import (
+    ContinuousBatchScheduler,
+    ManualClock,
+    ServeConfig,
+    build_workload,
+    run_open_loop,
+)
+
+CONFIG = LlamaConfig(
+    vocab_size=61,
+    d_model=16,
+    n_layers=2,
+    n_heads=2,
+    d_ff=24,
+    max_seq_len=48,
+)
+
+SERVE_CONFIG = dict(
+    block_size=4,
+    num_blocks=48,
+    max_batch=4,
+    max_queue=6,
+    max_request_retries=4,
+    backoff_base=0.01,
+)
+
+WORKLOAD = dict(
+    n_requests=12,
+    seed=7,
+    min_prompt=2,
+    max_prompt=10,
+    min_new=2,
+    max_new=8,
+    arrival_rate=4.0,
+    deadline=6.0,
+)
+
+TYPED_FAILURES = (
+    AdmissionError,
+    RequestShed,
+    DeadlineExceeded,
+    WorkerFailure,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LlamaModel(CONFIG, seed=0)
+
+
+def chaos_injector():
+    """The seeded fault plan: crash, stall, slowdown, burst."""
+    return (
+        FaultInjector()
+        .crash_worker("decode:4")
+        .crash_worker("prefill:load-6")
+        .stall_worker("decode:11")
+        .slow_decode("decode:14", seconds=0.8)
+        .admission_burst("arrival:3", extra=6)
+    )
+
+
+def run_load(model, injector=None, **workload_overrides):
+    """One full open-loop run; returns (LoadResult, RunHealth)."""
+    spec = dict(WORKLOAD)
+    spec.update(workload_overrides)
+    workload = build_workload(vocab_size=CONFIG.vocab_size, **spec)
+
+    async def main():
+        scheduler = ContinuousBatchScheduler(
+            model, ServeConfig(**SERVE_CONFIG), clock=ManualClock()
+        )
+        if injector is not None:
+            with injector:
+                result = await run_open_loop(
+                    scheduler, workload, step_cost=0.02
+                )
+        else:
+            result = await run_open_loop(scheduler, workload, step_cost=0.02)
+        health = scheduler.journal.health()
+        scheduler.close()
+        return result, health
+
+    return asyncio.run(main()), workload
+
+
+class TestChaosAcceptance:
+    def test_no_request_lost_and_all_outcomes_typed(self, model):
+        (chaos, health), workload = run_load(model, injector=chaos_injector())
+        submitted = len(workload) + 6  # burst clones included
+        assert chaos.total == submitted
+        for error in list(chaos.failed.values()) + list(
+            chaos.rejected.values()
+        ):
+            assert isinstance(error, TYPED_FAILURES), error
+            assert isinstance(error, ServeError)
+
+    def test_completed_outputs_bit_identical_to_unfaulted_run(self, model):
+        (chaos, _), workload = run_load(model, injector=chaos_injector())
+        (clean, _), _ = run_load(model, injector=None)
+        by_id = {spec["request_id"]: spec for spec in workload}
+        assert chaos.completed, "chaos run completed nothing"
+        for request_id, sequence in chaos.completed.items():
+            base_id = request_id.split(".")[0]
+            spec = by_id[base_id]
+            reference = model.generate_cached(
+                spec["prompt"], spec["max_new_tokens"], temperature=0.0
+            )
+            np.testing.assert_array_equal(sequence, reference)
+            if base_id in clean.completed:
+                np.testing.assert_array_equal(
+                    sequence, clean.completed[base_id]
+                )
+
+    def test_faults_actually_fired_and_were_survived(self, model):
+        injector = chaos_injector()
+        (chaos, health), _ = run_load(model, injector=injector)
+        fired_sites = {site for site, _ in injector.fired}
+        assert "worker-crash" in fired_sites
+        assert "worker-stall" in fired_sites
+        assert "slow-decode-step" in fired_sites
+        assert "admission-burst" in fired_sites
+        categories = [event.category for event in health.events]
+        assert "worker-restart" in categories
+        assert "rebuild" in categories
+        # Replayed requests still completed: the vast majority finish.
+        assert len(chaos.completed) >= len(chaos.failed)
+
+    def test_deterministic_same_seed_same_outcome(self, model):
+        (first, _), _ = run_load(model, injector=chaos_injector())
+        (second, _), _ = run_load(model, injector=chaos_injector())
+        assert sorted(first.completed) == sorted(second.completed)
+        assert sorted(first.failed) == sorted(second.failed)
+        assert sorted(first.rejected) == sorted(second.rejected)
+        for request_id, sequence in first.completed.items():
+            np.testing.assert_array_equal(
+                sequence, second.completed[request_id]
+            )
+
+    def test_burst_drives_backpressure_on_tiny_queue(self, model):
+        injector = FaultInjector().admission_burst("arrival:0", extra=12)
+        (result, health), workload = run_load(
+            model,
+            injector=injector,
+            n_requests=2,
+            arrival_rate=0.2,
+            deadline=None,
+        )
+        assert len(result.rejected) > 0  # queue bound enforced
+        for error in result.rejected.values():
+            assert isinstance(error, AdmissionError)
+            assert error.retry_after > 0
+        assert any(event.category == "reject" for event in health.events)
+        assert result.total == len(workload) + 12
+
+    def test_repeated_crashes_exhaust_replay_budget_typed(self, model):
+        injector = FaultInjector().crash_worker("decode:*", times=50)
+        (result, health), workload = run_load(
+            model,
+            injector=injector,
+            n_requests=3,
+            deadline=None,
+        )
+        assert result.total == len(workload)
+        assert not result.completed  # every decode step crashes the worker
+        for error in result.failed.values():
+            assert isinstance(error, WorkerFailure)
+        categories = [event.category for event in health.events]
+        assert categories.count("worker-restart") >= 3

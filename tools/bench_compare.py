@@ -1,9 +1,10 @@
-"""Compare a fresh bench run against the committed ``BENCH_quantize.json``.
+"""Compare a fresh bench run against its committed ``BENCH_<suite>.json``.
 
-Usage:  python tools/bench_compare.py [--baseline PATH] [--tolerance F]
+Usage:  python tools/bench_compare.py [--suite quantize|serve]
+                                      [--baseline PATH] [--tolerance F]
                                       [--repeats N] [--workers N] [--quick]
 
-Re-runs the quantization perf suite and fails (exit 1) when any baseline
+Re-runs the selected perf suite and fails (exit 1) when any baseline
 record regresses: a record missing from the fresh run, a record that lost
 ``bit_identical``, or a speedup more than ``--tolerance`` (default 10%)
 below the committed number.  Extra fresh records are reported as
@@ -27,7 +28,10 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.report.bench import build_quantize_report  # noqa: E402
+from repro.report.bench import (  # noqa: E402
+    build_quantize_report,
+    build_serve_report,
+)
 
 #: Fresh speedups may sit this fraction below the baseline before failing.
 DEFAULT_TOLERANCE = 0.10
@@ -115,10 +119,16 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--suite",
+        choices=("quantize", "serve"),
+        default="quantize",
+        help="bench suite to re-run (default: quantize)",
+    )
+    parser.add_argument(
         "--baseline",
         type=Path,
-        default=ROOT / "BENCH_quantize.json",
-        help="committed baseline report (default: BENCH_quantize.json)",
+        default=None,
+        help="committed baseline report (default: BENCH_<suite>.json)",
     )
     parser.add_argument(
         "--tolerance",
@@ -146,21 +156,30 @@ def main(argv: list[str] | None = None) -> int:
     if not (0.0 <= args.tolerance < 1.0):
         print("bench-compare: --tolerance must be in [0, 1)", file=sys.stderr)
         return 2
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = ROOT / f"BENCH_{args.suite}.json"
     try:
-        baseline = json.loads(args.baseline.read_text())
+        baseline = json.loads(baseline_path.read_text())
     except (OSError, ValueError) as error:
         print(
-            f"bench-compare: cannot read baseline {args.baseline}: {error}",
+            f"bench-compare: cannot read baseline {baseline_path}: {error}",
             file=sys.stderr,
         )
         return 2
 
-    fresh = build_quantize_report(
-        repeats=args.repeats,
-        workers=args.workers,
-        quick=args.quick,
-        timestamp=datetime.now(timezone.utc).isoformat(timespec="seconds"),
-    )
+    timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    if args.suite == "serve":
+        fresh = build_serve_report(
+            repeats=args.repeats, quick=args.quick, timestamp=timestamp
+        )
+    else:
+        fresh = build_quantize_report(
+            repeats=args.repeats,
+            workers=args.workers,
+            quick=args.quick,
+            timestamp=timestamp,
+        )
     lines, problems = compare_reports(
         baseline, fresh, tolerance=args.tolerance, allow_missing=args.quick
     )
