@@ -28,6 +28,7 @@ DATA_MUTATION_ALLOWED = (
 DTYPE_NARROWING_ALLOWED = (
     "repro.quant.packing",
     "repro.quant.qlinear",
+    "repro.quant.formats",
     "repro.quant.deploy",
     "repro.nn.serialize",
     "repro.report",
@@ -214,5 +215,6 @@ def _dtype_drift(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
                 node,
                 f"narrowing to {narrowed} in autograd-visible code; the "
                 "engine differentiates float64 only (storage formats belong "
-                "in repro.quant.packing/deploy or repro.nn.serialize)",
+                "in repro.quant.packing/formats/deploy or "
+                "repro.nn.serialize)",
             )

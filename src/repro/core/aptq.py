@@ -45,6 +45,7 @@ from repro.core.sensitivity import LayerSensitivity, compute_sensitivities
 from repro.data.calibration import CalibrationSet
 from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
+from repro.quant.formats import QuantFormat, QuantizedTensor, resolve_format
 from repro.quant.groupwise import GroupQuantResult
 from repro.quant.solver import HessianFactorCache, SolverResult
 from repro.runtime import faults
@@ -70,6 +71,12 @@ class APTQConfig:
     high_bits: int = 4
     low_bits: int = 2
     group_size: int | None = 32
+    # Storage format of the high-bit layers, by registry name
+    # (repro.quant.formats): "int" keeps the error-compensated solver for
+    # every layer; any other registered format (nf4, fp4, mx4, sparse24,
+    # ...) round-to-nearest-encodes the high-bit layers with that format
+    # while low-bit layers stay on the int solver path.
+    format: str = "int"
     percdamp: float = 0.01
     n_probes: int = 8
     batch_size: int = 16
@@ -106,6 +113,12 @@ class APTQResult:
     average_bits: float
     health: RunHealth = dataclasses.field(
         default_factory=lambda: RunHealth(events=())
+    )
+    # Layers encoded by a non-"int" APTQConfig.format: their exact
+    # QuantizedTensor payloads, disjoint from layer_results; feed to
+    # pack_model(format_results=...) for lossless deployment.
+    format_results: dict[str, QuantizedTensor] = dataclasses.field(
+        default_factory=dict
     )
 
 
@@ -309,6 +322,24 @@ def _try_resume(
     return _unpack_run_checkpoint(arrays, meta)
 
 
+def _format_encode(
+    layers: dict,
+    names: list[str],
+    fmt: QuantFormat,
+    config: APTQConfig,
+    format_results: dict[str, QuantizedTensor],
+) -> None:
+    """Round-to-nearest-encode ``names`` with ``fmt``, rewriting weights.
+
+    Runs *after* a stage's Hessians were captured, so the sequential
+    protocol's ordering (measure, then rewrite) is preserved.
+    """
+    for name in names:
+        tensor = fmt.encode(layers[name].weight.data, config.group_size)
+        layers[name].weight.data = fmt.decode(tensor)  # lint: disable=autograd-inplace-data
+        format_results[name] = tensor
+
+
 def aptq_quantize_model(
     model: LlamaModel,
     calibration: CalibrationSet,
@@ -317,6 +348,14 @@ def aptq_quantize_model(
 ) -> APTQResult:
     """Quantize ``model`` in place with APTQ; returns the full run record."""
     config = dataclasses.replace(config or APTQConfig(), **overrides)
+    fmt: QuantFormat | None = None
+    if config.format != "int":
+        fmt = resolve_format(config.format)
+        if config.checkpoint_path is not None:
+            raise CheckpointError(
+                "per-block checkpoints only cover the int solver path; "
+                f"format {config.format!r} runs must drop checkpoint_path"
+            )
     layers = model.quantizable_linears()
     journal = RunJournal()
     # Q/K/V (and gate/up) Hessians are bit-identical after the shared-Gram
@@ -344,6 +383,7 @@ def aptq_quantize_model(
     # sensitivities, allocation, and partially quantized weights instead.
     # ------------------------------------------------------------------
     layer_results: dict[str, SolverResult]
+    format_results: dict[str, QuantizedTensor] = {}
     fp_hessian_cache: dict[int, AttentionHessians] = {}
     if resumed is not None:
         model_state, run_state, start_block = resumed
@@ -425,8 +465,12 @@ def aptq_quantize_model(
         # solves are independent: one executor stage.
         stage_tasks: list[SolverTask] = []
         spans: list[tuple[str, slice, bool]] = []
+        format_stage: list[str] = []
         for projection in _ATTENTION_PROJECTIONS:
             name = f"{prefix}self_attn.{projection}"
+            if fmt is not None and allocation[name] == config.high_bits:
+                format_stage.append(name)
+                continue
             tasks = _projection_tasks(
                 name,
                 layers[name].weight.data,
@@ -460,35 +504,48 @@ def aptq_quantize_model(
             # The APTQ core is a quantizer: weight rewrites are its output.
             linear.weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
             layer_results[name] = result
+        if fmt is not None:
+            _format_encode(layers, format_stage, fmt, config, format_results)
 
         if mlp_names:
-            stats = collect_input_stats(
-                model,
-                calibration.segments,
-                layer_names=mlp_names,
-                batch_size=config.batch_size,
-            )
-            mlp_tasks = [
-                SolverTask(
-                    key=name,
-                    weight=layers[name].weight.data,
-                    hessian=stats[name].normalised_hessian(),
-                    bits=allocation[name],
-                    group_size=config.group_size,
-                    percdamp=config.percdamp,
-                )
+            format_mlp = [
+                name
                 for name in mlp_names
+                if fmt is not None and allocation[name] == config.high_bits
             ]
-            mlp_results = run_solver_tasks(
-                mlp_tasks,
-                workers=config.workers,
-                policy=config.recovery,
-                journal=journal,
-                cache=factor_cache,
-            )
-            for name, result in zip(mlp_names, mlp_results):
-                layers[name].weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
-                layer_results[name] = result
+            solver_mlp = [
+                name for name in mlp_names if name not in format_mlp
+            ]
+            if solver_mlp:
+                stats = collect_input_stats(
+                    model,
+                    calibration.segments,
+                    layer_names=solver_mlp,
+                    batch_size=config.batch_size,
+                )
+                mlp_tasks = [
+                    SolverTask(
+                        key=name,
+                        weight=layers[name].weight.data,
+                        hessian=stats[name].normalised_hessian(),
+                        bits=allocation[name],
+                        group_size=config.group_size,
+                        percdamp=config.percdamp,
+                    )
+                    for name in solver_mlp
+                ]
+                mlp_results = run_solver_tasks(
+                    mlp_tasks,
+                    workers=config.workers,
+                    policy=config.recovery,
+                    journal=journal,
+                    cache=factor_cache,
+                )
+                for name, result in zip(solver_mlp, mlp_results):
+                    layers[name].weight.data = result.quantized_weight  # lint: disable=autograd-inplace-data
+                    layer_results[name] = result
+            if fmt is not None:
+                _format_encode(layers, format_mlp, fmt, config, format_results)
 
         if checkpoint_file is not None:
             journal.record(
@@ -509,7 +566,19 @@ def aptq_quantize_model(
             )
 
     # Any non-block layer (untied lm_head) quantizes with the GPTQ Hessian.
-    remaining = [name for name in layers if name not in layer_results]
+    remaining = [
+        name
+        for name in layers
+        if name not in layer_results and name not in format_results
+    ]
+    format_tail = [
+        name
+        for name in remaining
+        if fmt is not None and allocation[name] == config.high_bits
+    ]
+    remaining = [name for name in remaining if name not in format_tail]
+    if fmt is not None:
+        _format_encode(layers, format_tail, fmt, config, format_results)
     if remaining:
         stats = collect_input_stats(
             model,
@@ -556,6 +625,11 @@ def aptq_quantize_model(
                 journal,
             )
 
+    if fmt is not None:
+        # Storage-honest accounting: format-encoded layers occupy the
+        # format's code width, whatever high_bits requested.
+        for name in format_results:
+            allocation[name] = fmt.bits
     counts = {name: layers[name].weight.size for name in layers}
     return APTQResult(
         allocation=allocation,
@@ -563,4 +637,5 @@ def aptq_quantize_model(
         layer_results=layer_results,
         average_bits=average_bits(allocation, counts),
         health=journal.health(),
+        format_results=format_results,
     )

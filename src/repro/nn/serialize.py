@@ -21,9 +21,10 @@ from repro.nn.modules import Module
 from repro.runtime.checkpoint import atomic_save_npz, verify_checksum, write_checksum
 from repro.runtime.errors import CheckpointError
 
-__all__ = ["save_state_dict", "load_state_dict"]
+__all__ = ["save_arrays", "load_arrays", "save_state_dict", "load_state_dict"]
 
 _CONFIG_KEY = "__config_json__"
+_META_KEY = "__meta_json__"
 
 
 def _encode_config(config: LlamaConfig) -> np.ndarray:
@@ -49,6 +50,61 @@ def _decode_config(raw: np.ndarray) -> LlamaConfig:
         return: any
     """
     return LlamaConfig.from_dict(json.loads(raw.tobytes().decode()))
+
+
+def save_arrays(
+    path: str | Path, arrays: dict[str, np.ndarray], meta: dict | None = None
+) -> Path:
+    """Write named arrays plus a JSON header to a single ``.npz``.
+
+    The generic sibling of :func:`save_state_dict` used by payload
+    producers that are not plain state dicts (the quantization format
+    registry's packed artifacts).  The write is atomic and leaves a
+    SHA-256 sidecar; ``meta`` must be JSON-serialisable and is embedded
+    under a reserved ``__meta_json__`` key.
+    """
+    payload = dict(arrays)
+    if _META_KEY in payload:
+        raise ValueError(f"array name {_META_KEY!r} is reserved for the header")
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta if meta is not None else {}).encode(), dtype=np.uint8
+    )
+    out = atomic_save_npz(path, payload)
+    write_checksum(out)
+    return out
+
+
+def load_arrays(
+    path: str | Path, verify: bool = True
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Read an archive written by :func:`save_arrays` → (arrays, meta).
+
+    Mirrors :func:`load_state_dict`'s failure taxonomy: checksum mismatch,
+    unreadable archive, or a missing/corrupt header raise
+    :class:`CheckpointError`; a missing file stays ``FileNotFoundError``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    if verify:
+        verify_checksum(path, required=False)
+    try:
+        with np.load(path) as archive:
+            raw = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as error:
+        raise CheckpointError(f"unreadable archive {path}: {error}") from error
+    if _META_KEY not in raw:
+        raise CheckpointError(
+            f"archive {path} carries no {_META_KEY} entry; it was not "
+            "written by save_arrays"
+        )
+    try:
+        meta = json.loads(raw.pop(_META_KEY).tobytes().decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CheckpointError(
+            f"archive {path} carries a corrupt header record: {error}"
+        ) from error
+    return raw, meta
 
 
 def save_state_dict(path: str | Path, model: Module, config: LlamaConfig) -> None:

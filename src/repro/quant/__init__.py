@@ -6,6 +6,11 @@ Building blocks
 * :mod:`repro.quant.groupwise` — group-wise quantization over input channels.
 * :mod:`repro.quant.packing` — dense bit-packing of integer codes.
 * :mod:`repro.quant.qlinear` — packed quantized linear layer representation.
+* :mod:`repro.quant.formats` — low-precision format registry (int-k, FP4,
+  NF4, MX-style shared exponent, 2:4 sparse) behind one
+  encode/decode/pack protocol with declared error bounds.
+* :mod:`repro.quant.observer` — calibration observers (absmax/percentile)
+  driving the lookup-table formats' scale selection.
 * :mod:`repro.quant.solver` — the shared second-order error-compensation
   solver (GPTQ Cholesky inner loop; APTQ reuses it with its own Hessians).
 
@@ -31,6 +36,25 @@ from repro.quant.uniform import (
 from repro.quant.groupwise import GroupQuantResult, quantize_groupwise
 from repro.quant.packing import pack_codes, unpack_codes
 from repro.quant.qlinear import QuantizedLinear
+from repro.quant.formats import (
+    FormatLinear,
+    IntFormat,
+    LutFormat,
+    MxFormat,
+    QuantFormat,
+    QuantizedTensor,
+    Sparse24Format,
+    available_formats,
+    get_format,
+    register_format,
+    resolve_format,
+)
+from repro.quant.observer import (
+    AbsmaxObserver,
+    Observer,
+    PercentileObserver,
+    get_observer,
+)
 from repro.quant.deploy import PackedModel, pack_model
 from repro.quant.solver import (
     HessianFactor,
@@ -61,6 +85,21 @@ __all__ = [
     "pack_codes",
     "unpack_codes",
     "QuantizedLinear",
+    "QuantFormat",
+    "QuantizedTensor",
+    "IntFormat",
+    "LutFormat",
+    "MxFormat",
+    "Sparse24Format",
+    "FormatLinear",
+    "register_format",
+    "get_format",
+    "resolve_format",
+    "available_formats",
+    "Observer",
+    "AbsmaxObserver",
+    "PercentileObserver",
+    "get_observer",
     "PackedModel",
     "pack_model",
     "SolverResult",

@@ -9,18 +9,24 @@ remainder (embeddings, norms) as fp16, all in one ``.npz``.
 ``pack_model`` captures a quantized model (after any method from
 ``repro.quant``/``repro.core`` ran on it); ``PackedModel.to_model()``
 reconstructs a runnable :class:`~repro.nn.transformer.LlamaModel` whose
-weights equal the packed representation exactly.
+weights equal the packed representation exactly.  Layers may be stored in
+the legacy int-k form (:class:`~repro.quant.qlinear.QuantizedLinear`) or
+in any registered format of :mod:`repro.quant.formats`
+(:class:`~repro.quant.formats.FormatLinear`); the on-disk archive is
+written through :func:`repro.nn.serialize.save_arrays`, so it is atomic
+and checksummed like every other checkpoint in the repo.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import numpy as np
 
 from repro.nn.config import LlamaConfig
+from repro.nn.serialize import load_arrays, save_arrays
 from repro.nn.transformer import LlamaModel
+from repro.quant.formats import FormatLinear, get_format, resolve_format
 from repro.quant.qlinear import QuantizedLinear
 
 __all__ = ["PackedModel", "pack_model"]
@@ -32,7 +38,7 @@ class PackedModel:
     def __init__(
         self,
         config: LlamaConfig,
-        layers: dict[str, QuantizedLinear],
+        layers: dict[str, QuantizedLinear | FormatLinear],
         full_precision: dict[str, np.ndarray],
     ) -> None:
         self.config = config
@@ -71,12 +77,16 @@ class PackedModel:
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> Path:
-        """Write the artifact as a single compressed ``.npz``."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Write the artifact as one atomic, checksummed ``.npz``."""
         payload: dict[str, np.ndarray] = {}
         meta: dict[str, dict] = {}
         for name, packed in self.layers.items():
+            if isinstance(packed, FormatLinear):
+                arrays, header = packed.payload()
+                for key, array in arrays.items():
+                    payload[f"packed/{name}/{key}"] = array
+                meta[name] = header
+                continue
             payload[f"packed/{name}/codes"] = packed.packed
             payload[f"packed/{name}/scales"] = packed.scales
             payload[f"packed/{name}/zeros"] = packed.zeros
@@ -88,25 +98,31 @@ class PackedModel:
         for name, array in self.full_precision.items():
             payload[f"fp/{name}"] = array.astype(np.float16)
         header = {"config": self.config.to_dict(), "layers": meta}
-        payload["__meta__"] = np.frombuffer(
-            json.dumps(header).encode(), dtype=np.uint8
-        )
-        np.savez_compressed(path, **payload)
-        return path
+        return save_arrays(path, payload, header)
 
     @classmethod
     def load(cls, path: str | Path) -> "PackedModel":
         """Inverse of :meth:`save`."""
-        with np.load(Path(path)) as archive:
-            raw = {key: archive[key] for key in archive.files}
-        header = json.loads(raw.pop("__meta__").tobytes().decode())
+        raw, header = load_arrays(path)
         config = LlamaConfig.from_dict(header["config"])
-        layers: dict[str, QuantizedLinear] = {}
+        layers: dict[str, QuantizedLinear | FormatLinear] = {}
         for name, meta in header["layers"].items():
+            prefix = f"packed/{name}/"
+            if "format" in meta:
+                fmt = get_format(meta["format"])
+                arrays = {
+                    key[len(prefix):]: array
+                    for key, array in raw.items()
+                    if key.startswith(prefix)
+                }
+                layers[name] = FormatLinear(
+                    fmt, fmt.unpack_payload(arrays, meta)
+                )
+                continue
             layers[name] = QuantizedLinear(
-                packed=raw[f"packed/{name}/codes"],
-                scales=raw[f"packed/{name}/scales"],
-                zeros=raw[f"packed/{name}/zeros"],
+                packed=raw[f"{prefix}codes"],
+                scales=raw[f"{prefix}scales"],
+                zeros=raw[f"{prefix}zeros"],
                 bits=int(meta["bits"]),
                 group_size=int(meta["group_size"]),
                 shape=tuple(meta["shape"]),
@@ -124,6 +140,8 @@ def pack_model(
     bits: int | dict[str, int],
     group_size: int | None = 32,
     layer_results: dict | None = None,
+    format: str = "int",
+    format_results: dict | None = None,
 ) -> PackedModel:
     """Pack a (typically already fake-quantized) model for deployment.
 
@@ -134,17 +152,48 @@ def pack_model(
     current weights are re-rounded onto a fresh min/max grid, which may
     shift entries by up to half a quantization step.  Non-quantizable
     parameters (embeddings, norm gains) are carried at fp16.
+
+    ``format`` selects a registry entry from :mod:`repro.quant.formats`
+    for the re-rounding path (``"int"`` keeps the legacy affine path, any
+    other name must be registered).  ``format_results`` (e.g.
+    ``APTQResult.format_results``) supplies already-encoded
+    :class:`~repro.quant.formats.QuantizedTensor` payloads whose exact
+    codes are packed losslessly, analogous to ``layer_results`` for the
+    solver path.
     """
+    if format != "int":
+        # Validate the name up front: unknown formats fail with the
+        # registry listing, not deep inside the per-layer loop.
+        resolve_format(format)
     quantizable = model.quantizable_linears()
-    layers: dict[str, QuantizedLinear] = {}
+    layers: dict[str, QuantizedLinear | FormatLinear] = {}
     for name, linear in quantizable.items():
+        tensor = (format_results or {}).get(name)
+        if tensor is not None:
+            layers[name] = FormatLinear(get_format(tensor.format), tensor)
+            continue
         result = (layer_results or {}).get(name)
         if result is not None and result.permutation is None:
             layers[name] = QuantizedLinear.from_group_result(
                 result.group_result
             )
             continue
-        layer_bits = bits[name] if isinstance(bits, dict) else int(bits)
+        if format != "int":
+            layers[name] = FormatLinear.from_weight(
+                linear.weight.data, format, group_size
+            )
+            continue
+        if isinstance(bits, dict):
+            try:
+                layer_bits = bits[name]
+            except KeyError:
+                known = ", ".join(sorted(bits)) or "<empty>"
+                raise ValueError(
+                    f"no bit allocation for layer {name!r}; allocation "
+                    f"covers: {known}"
+                ) from None
+        else:
+            layer_bits = int(bits)
         layers[name] = QuantizedLinear.from_weight(
             linear.weight.data, layer_bits, group_size
         )

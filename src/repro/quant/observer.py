@@ -1,0 +1,108 @@
+"""Calibration observers: per-column magnitude bounds for scale selection.
+
+A lookup-table format (FP4/NF4, see :mod:`repro.quant.formats`) needs one
+scale per (group, column) that maps the column's weight range onto the
+fixed code book.  An *observer* is the policy that turns a block of
+weights into that per-column magnitude bound:
+
+* :class:`AbsmaxObserver` — the exact absolute maximum; nothing clips,
+  but a single outlier stretches the grid for the whole column;
+* :class:`PercentileObserver` — a high percentile of the absolute values;
+  outliers beyond the percentile clip onto the extreme code, trading a
+  bounded clipping error for finer resolution everywhere else.
+
+Both are deterministic pure functions of the block, so an encoded tensor
+(and its golden pin) is reproducible from the weight alone.  The clipped
+mass that :class:`PercentileObserver` leaves outside the bound is exactly
+the ``absmax - bound`` excess that
+:meth:`repro.quant.formats.LutFormat.error_bound` folds into its declared
+reconstruction bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Observer",
+    "AbsmaxObserver",
+    "PercentileObserver",
+    "get_observer",
+]
+
+
+class Observer:
+    """Policy mapping a ``(rows, d_out)`` block to per-column bounds."""
+
+    #: Registry/display name; concrete observers override.
+    name = "base"
+
+    def bound(self, block: np.ndarray) -> np.ndarray:
+        """Per-column non-negative magnitude bound for ``block``.
+
+        Bits:
+            block: any
+            return: f64[0, *]
+        """
+        raise NotImplementedError
+
+
+class AbsmaxObserver(Observer):
+    """Exact per-column absolute maximum (nothing ever clips)."""
+
+    name = "absmax"
+
+    def bound(self, block: np.ndarray) -> np.ndarray:
+        """Column-wise ``max |block|``.
+
+        Bits:
+            block: any
+            return: f64[0, *]
+        """
+        return np.abs(np.asarray(block, dtype=np.float64)).max(axis=0)
+
+
+class PercentileObserver(Observer):
+    """Per-column percentile of the absolute values.
+
+    ``percentile`` is in ``(0, 100]``; ``100`` degenerates to absmax.  The
+    linear-interpolation percentile of ``np.percentile`` is used, so the
+    bound is deterministic and scale-equivariant (doubling the block
+    doubles the bound).
+    """
+
+    def __init__(self, percentile: float = 99.9) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        self.percentile = float(percentile)
+        self.name = f"p{self.percentile:g}"
+
+    def bound(self, block: np.ndarray) -> np.ndarray:
+        """Column-wise ``percentile(|block|)``.
+
+        Bits:
+            block: any
+            return: f64[0, *]
+        """
+        magnitudes = np.abs(np.asarray(block, dtype=np.float64))
+        return np.percentile(magnitudes, self.percentile, axis=0)
+
+
+def get_observer(name: str) -> Observer:
+    """Observer instance for ``name`` (``absmax`` or ``pQ`` e.g. ``p99.9``).
+
+    Bits:
+        name: any
+        return: any
+    """
+    if name == "absmax":
+        return AbsmaxObserver()
+    if name.startswith("p"):
+        try:
+            return PercentileObserver(float(name[1:]))
+        except ValueError:
+            pass
+    raise ValueError(
+        f"unknown observer {name!r}; expected 'absmax' or 'p<percentile>' "
+        "such as 'p99.9'"
+    )

@@ -44,6 +44,7 @@ __all__ = [
     "best_of",
     "solver_bench_records",
     "eval_bench_records",
+    "format_bench_records",
     "pipeline_bench_record",
     "serve_bench_records",
     "build_quantize_report",
@@ -305,6 +306,58 @@ def eval_bench_records(
             "bit_identical": bool(np.array_equal(per_call, memoised)),
         }
     )
+    return records
+
+
+def format_bench_records(
+    repeats: int = 3, seed: int = 0, size: int = 512
+) -> list[dict]:
+    """Dequant/forward timing for every registered quant format.
+
+    One ``format-forward-<name>-<N>x<N>`` record per registry entry of
+    :mod:`repro.quant.formats`: decode-then-matmul per call vs the
+    memoised dense reconstruction of
+    :class:`~repro.quant.formats.FormatLinear`, with the bit-identity of
+    the two paths re-checked at measure time.  The registry completeness
+    test (``tests/test_quant_formats.py``) requires a record per format
+    in the committed artifact.
+    """
+    from repro.quant.formats import FormatLinear, available_formats, get_format
+
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((size, size))
+    x = rng.standard_normal((64, size))
+    records = []
+    for name in available_formats():
+        fmt = get_format(name)
+        tensor = fmt.encode(weight, 32)
+        linear = FormatLinear(fmt, tensor)
+        per_call = x @ fmt.decode(tensor)
+        memoised = linear.forward_array(x)  # warm the cache before timing
+        per_call_seconds = best_of(lambda: x @ fmt.decode(tensor), repeats)
+        memoised_seconds = best_of(lambda: linear.forward_array(x), repeats)
+        records.append(
+            {
+                "name": f"format-forward-{name}-{size}x{size}",
+                "kind": "format-forward",
+                "params": {
+                    "format": name,
+                    "d_in": size,
+                    "d_out": size,
+                    "bits": fmt.bits,
+                    "group_size": 32,
+                    "batch": 64,
+                    "repeats": repeats,
+                    "seed": seed,
+                },
+                "timings": {
+                    "per_call": per_call_seconds,
+                    "memoised": memoised_seconds,
+                },
+                "speedup": per_call_seconds / memoised_seconds,
+                "bit_identical": bool(np.array_equal(per_call, memoised)),
+            }
+        )
     return records
 
 
@@ -591,8 +644,10 @@ def build_quantize_report(
                 repeats=1, vocab=512, generate_tokens=48, packed_size=128
             )
         )
+        records.extend(format_bench_records(repeats=1, size=64))
     else:
         records.extend(eval_bench_records(repeats=repeats))
+        records.extend(format_bench_records(repeats=repeats))
         records.append(pipeline_bench_record(workers=workers))
     report = {
         "schema_version": BENCH_SCHEMA_VERSION,

@@ -511,7 +511,13 @@ class TestBitsCoverage:
     REPO_SRC = __import__("pathlib").Path(__file__).resolve().parents[1] / "src"
 
     @pytest.mark.parametrize(
-        "rel", ["repro/quant/packing.py", "repro/quant/qlinear.py"]
+        "rel",
+        [
+            "repro/quant/packing.py",
+            "repro/quant/qlinear.py",
+            "repro/quant/formats.py",
+            "repro/quant/observer.py",
+        ],
     )
     def test_public_functions_carry_bits_specs(self, rel):
         import ast

@@ -217,6 +217,7 @@ class TestAutogradRules:
         src = '"""m."""\nimport numpy as np\n\n\ndef f(x):\n    """D."""\n    return x.astype(np.float16)\n'
         for path in (
             "src/repro/quant/packing.py",
+            "src/repro/quant/formats.py",
             "src/repro/quant/deploy.py",
             "src/repro/nn/serialize.py",
         ):

@@ -22,6 +22,7 @@ from repro.report.bench import (
     build_quantize_report,
     build_serve_report,
     eval_bench_records,
+    format_bench_records,
     load_bench_history,
     render_bench_trend,
     serve_bench_records,
@@ -78,6 +79,26 @@ class TestCommittedArtifact:
             assert record["speedup"] > 1.0, record
         at_bar = [r for r in fast_paths if r["speedup"] >= 2.0]
         assert len(at_bar) >= 2, fast_paths
+
+    def test_committed_format_records_cover_registry(self):
+        # PR-9 acceptance: every registered quant format carries a
+        # dequant/forward record, bit-identical, with the memoised path
+        # never a slowdown.
+        from repro.quant.formats import available_formats
+
+        report = json.loads(ARTIFACT.read_text())
+        by_format = {
+            record["params"]["format"]: record
+            for record in report["records"]
+            if record["kind"] == "format-forward"
+        }
+        assert set(by_format) == set(available_formats()), (
+            "format-forward records out of sync with the registry; "
+            "regenerate with `python tools/bench.py`"
+        )
+        for record in by_format.values():
+            assert record["bit_identical"] is True, record
+            assert record["speedup"] > 1.0, record
 
     def test_committed_pipeline_no_longer_reports_slowdown(self):
         # The pre-PR-5 artifact recorded aptq-micro-workers2 at 0.29x (fork
@@ -145,6 +166,18 @@ class TestLiveSmoke:
         assert solver["bit_identical"] is True
         cache = next(r for r in records if r["kind"] == "factor-cache")
         assert cache["speedup"] > 1.0, cache
+
+    def test_format_forward_live_smoke(self):
+        # Shrunk size, loose bar: catches a lost bit-identity or a
+        # de-memoised FormatLinear without re-proving committed numbers.
+        records = format_bench_records(repeats=1, size=96)
+        assert len(records) == len(
+            {r["params"]["format"] for r in records}
+        ), "duplicate format records"
+        for record in records:
+            assert record["kind"] == "format-forward"
+            assert record["bit_identical"] is True, record
+            assert record["speedup"] > 0.5, record
 
     def test_eval_fast_paths_live_smoke(self):
         # Shrunk problem sizes with deliberately loose bars: the point is

@@ -6,6 +6,8 @@ import pytest
 from repro.core.aptq import APTQConfig, aptq_quantize_model
 from repro.eval.perplexity import perplexity
 from repro.quant.deploy import PackedModel, pack_model
+from repro.quant.formats import FormatLinear
+from repro.runtime.errors import CheckpointError
 from tests.conftest import clone
 
 
@@ -85,6 +87,52 @@ class TestRoundTrip:
     def test_uniform_bits_shortcut(self, trained_micro_model):
         packed = pack_model(clone(trained_micro_model), bits=4, group_size=8)
         assert packed.average_bits() == pytest.approx(4.0)
+
+    def test_archive_is_checksummed_and_detects_corruption(
+        self, packed_setup, tmp_path
+    ):
+        # PackedModel.save now routes through nn.serialize.save_arrays:
+        # the artifact carries a SHA-256 sidecar, and a bit-flip fails
+        # loudly instead of deserializing garbage.
+        _, _, packed = packed_setup
+        path = packed.save(tmp_path / "model.npz")
+        assert path.with_name(path.name + ".sha256").exists()
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError):
+            PackedModel.load(path)
+
+    def test_format_rerounding_path(self, trained_micro_model, tmp_path):
+        # format= selects a registry entry for the re-rounding path; the
+        # packed layers are FormatLinear and survive save/load exactly.
+        packed = pack_model(
+            clone(trained_micro_model), bits=4, group_size=8, format="nf4"
+        )
+        assert all(
+            isinstance(layer, FormatLinear)
+            for layer in packed.layers.values()
+        )
+        loaded = PackedModel.load(packed.save(tmp_path / "nf4.npz"))
+        for name, layer in packed.layers.items():
+            assert loaded.layers[name].format_name == "nf4"
+            assert np.array_equal(
+                loaded.layers[name].dequantize(), layer.dequantize()
+            )
+
+    def test_unknown_format_error_names_registry(self, trained_micro_model):
+        with pytest.raises(ValueError) as excinfo:
+            pack_model(clone(trained_micro_model), bits=4, format="int4.5")
+        message = str(excinfo.value)
+        assert "registered formats" in message and "sparse24" in message
+
+    def test_missing_allocation_error_names_layer_and_coverage(
+        self, trained_micro_model
+    ):
+        model = clone(trained_micro_model)
+        some_layer = next(iter(model.quantizable_linears()))
+        with pytest.raises(ValueError, match="no bit allocation for layer"):
+            pack_model(model, {some_layer: 4})
 
     def test_rerounding_path_bounded_by_grid_step(
         self, trained_micro_model, calibration

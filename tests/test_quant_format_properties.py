@@ -1,0 +1,81 @@
+"""Hypothesis property tests for the quant format registry.
+
+Random weight geometries — including non-dividing group sizes,
+single-element groups, single-row/column matrices, and adversarial value
+distributions — replay the shared conformance obligations of
+``tests/format_conformance.py`` on every registered format, plus the
+invariants hypothesis is uniquely good at: pack/unpack byte-identity
+under arbitrary geometry, the int family's bit-identity with the legacy
+layer, and the 2:4 structural guarantee.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from format_conformance import run_conformance
+from repro.quant.formats import (
+    available_formats,
+    get_format,
+    resolve_format,
+)
+from repro.quant.qlinear import QuantizedLinear
+
+
+@st.composite
+def weight_cases(draw):
+    """(weight, group_size): random geometry and value distribution."""
+    d_in = draw(st.integers(min_value=1, max_value=48))
+    d_out = draw(st.integers(min_value=1, max_value=10))
+    group_size = draw(
+        st.one_of(
+            st.none(),  # whole-matrix group
+            st.just(1),  # single-element groups
+            st.integers(min_value=2, max_value=d_in + 3),  # incl. non-dividing
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    magnitude = draw(st.sampled_from([1e-3, 1.0, 50.0]))
+    rng = np.random.default_rng(seed)
+    weight = rng.standard_normal((d_in, d_out)) * magnitude
+    if draw(st.booleans()):
+        # Sparsify some entries to exercise exact zeros and ties.
+        weight *= rng.random(weight.shape) > 0.3
+    return weight, group_size
+
+
+class TestConformanceProperties:
+    @given(case=weight_cases(), name=st.sampled_from(available_formats()))
+    @settings(max_examples=60, deadline=None)
+    def test_obligations_hold_on_random_geometry(self, case, name):
+        weight, group_size = case
+        run_conformance(get_format(name), weight, group_size)
+
+    @given(
+        case=weight_cases(),
+        bits=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_int_family_bit_identical_to_legacy_layer(self, case, bits):
+        weight, group_size = case
+        fmt = resolve_format("int", bits)
+        tensor = fmt.encode(weight, group_size)
+        legacy = QuantizedLinear.from_weight(weight, bits, group_size)
+        assert np.array_equal(tensor.codes, legacy.codes())
+        assert np.array_equal(fmt.decode(tensor), legacy.dequantize())
+        run_conformance(fmt, weight, group_size)
+
+    @given(case=weight_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_sparse_mask_structure_any_geometry(self, case):
+        weight, group_size = case
+        fmt = get_format("sparse24")
+        tensor = fmt.encode(weight, group_size)
+        mask = tensor.mask
+        d_in = weight.shape[0]
+        full = (d_in // 4) * 4
+        if full:
+            per_block = mask[:full].reshape(-1, 4, weight.shape[1]).sum(axis=1)
+            assert np.all(per_block == 2)
+        assert mask[full:].all()
+        assert np.all(fmt.decode(tensor)[~mask] == 0.0)

@@ -28,6 +28,10 @@ echo "== differential + bench smoke (perf engine bit-identity) =="
 python -m pytest -x -q tests/test_quant_differential.py \
     tests/test_quant_golden.py tests/test_bench_schema.py
 
+echo "== format conformance (registry zoo: round trip, pack, goldens) =="
+python -m pytest -x -q tests/test_quant_formats.py \
+    tests/test_quant_format_properties.py tests/test_quant_format_golden.py
+
 echo "== serve chaos smoke (continuous batching under injected faults) =="
 python -m pytest -x -q tests/test_serve_chaos.py \
     tests/test_serve_scheduler.py tests/test_serve_supervisor.py \
