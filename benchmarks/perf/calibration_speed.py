@@ -1,0 +1,88 @@
+"""Calibration fast-path bench: streamed captures, batched probes, KronQ.
+
+Usage:  python benchmarks/perf/calibration_speed.py [--repeats K] [--smoke]
+
+Times the calibration fast path against the legacy per-block protocol
+(see :func:`repro.report.bench.calibration_bench_records`) and prints the
+records, re-checking each equivalence claim at measure time:
+
+* ``calibration-capture`` must stay bit-identical — the streamed capture
+  plus batched-probe estimator reproduces the legacy per-block Hessians
+  element for element;
+* ``calibration-kron`` and ``calibration-trace-hutchinson`` are
+  error-bounded — their measured metrics must sit inside the declared
+  bounds of their ``equivalence`` blocks.
+
+``--smoke`` shrinks the bench model for a seconds-scale CI gate.  For the
+committed perf artifact use ``tools/bench.py`` (the records ride in
+``BENCH_quantize.json``; ``tools/bench.py --suite calibration`` writes a
+focused standalone report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.report.bench import calibration_bench_records  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the calibration benches and print their records."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small bench model (CI gate: asserts equivalence flags)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        records = calibration_bench_records(
+            repeats=1, n_layers=4, n_segments=2
+        )
+    else:
+        records = calibration_bench_records(repeats=args.repeats)
+    failures = 0
+    for record in records:
+        timings = ", ".join(
+            f"{label}={seconds:.4f}s"
+            for label, seconds in sorted(record["timings"].items())
+        )
+        equivalence = record.get("equivalence")
+        if equivalence is None:
+            verdict = f"bit_identical={record['bit_identical']}"
+            ok = record["bit_identical"] is True
+        else:
+            metrics = ", ".join(
+                f"{key}={value:.3g} (bound {equivalence['bounds'][key]:g})"
+                for key, value in sorted(equivalence["metrics"].items())
+            )
+            verdict = (
+                f"within_bounds={equivalence['within_bounds']}  [{metrics}]"
+            )
+            ok = equivalence["within_bounds"] is True
+        print(
+            f"{record['name']}: {timings}  "
+            f"speedup={record['speedup']:.2f}x  {verdict}"
+        )
+        if not ok:
+            failures += 1
+    if failures:
+        print(
+            f"{failures} record(s) failed their equivalence check",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,12 +13,13 @@ everything else should route through ``gather_nll``/``cross_entropy``.
 
 from __future__ import annotations
 
+import ast
 from typing import Iterator
 
 from repro.analysis import astutil
 from repro.analysis.core import Diagnostic, ModuleContext, Rule, rule
 
-__all__ = ["FULL_LOGSOFTMAX_ALLOWED"]
+__all__ = ["FULL_LOGSOFTMAX_ALLOWED", "CALIBRATION_REFORWARD_ALLOWED"]
 
 #: Modules allowed to call ``log_softmax`` directly (dotted, no ``.py``):
 #: the numpy and autograd primitive definitions, whose reference
@@ -50,3 +51,60 @@ def _full_logsoftmax(self: Rule, module: ModuleContext) -> Iterator[Diagnostic]:
                 "repro.nn.functional.gather_nll (or ops.gather_nll on the "
                 "autograd path), which is bit-identical and allocation-free",
             )
+
+
+#: Modules allowed to re-forward the model per (block, batch) pair: the
+#: reference calibration path (``capture_attention`` and the legacy
+#: ``attention_hessians`` entry point) that the streaming fast path is
+#: certified against lives in ``repro.core.hessian``.
+CALIBRATION_REFORWARD_ALLOWED = ("repro.core.hessian",)
+
+
+@rule(
+    "perf-calibration-reforward",
+    "per-block model re-forward in a calibration loop; stream captures",
+)
+def _calibration_reforward(
+    self: Rule, module: ModuleContext
+) -> Iterator[Diagnostic]:
+    if module.in_package(*CALIBRATION_REFORWARD_ALLOWED):
+        return
+    reported: set[int] = set()
+    for loop in ast.walk(module.tree):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        block_loop = isinstance(loop, ast.For) and "blocks" in ast.unparse(
+            loop.iter
+        )
+        for node in astutil.walk_calls(loop):
+            if id(node) in reported:
+                continue
+            name = astutil.call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if parts[-1] == "capture_attention":
+                reported.add(id(node))
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "capture_attention restarts at the embedding for every "
+                    "(block, batch) pair — O(L^2) block forwards over a "
+                    "calibration run; stream per-block captures through "
+                    "repro.core.hessian.CalibrationCaptureStream instead "
+                    "(bit-identical, one block forward per batch)",
+                )
+            elif (
+                block_loop
+                and parts[-1] in ("forward", "forward_array")
+                and any("model" in part for part in parts[:-1])
+            ):
+                reported.add(id(node))
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "full-model forward inside a loop over blocks re-runs "
+                    "the whole quantized prefix per block; cache the "
+                    "running hidden states via "
+                    "repro.core.hessian.CalibrationCaptureStream",
+                )

@@ -38,8 +38,15 @@ from repro.core.allocation import (
 )
 from repro.core.hessian import (
     AttentionHessians,
-    attention_hessians,
+    CalibrationCaptureStream,
+    attention_hessians_from_captures,
     head_column_slices,
+)
+from repro.core.kron import (
+    HESSIAN_MODES,
+    KronAttentionHessians,
+    KronFactor,
+    kron_attention_hessians_from_captures,
 )
 from repro.core.sensitivity import LayerSensitivity, compute_sensitivities
 from repro.data.calibration import CalibrationSet
@@ -81,6 +88,12 @@ class APTQConfig:
     n_probes: int = 8
     batch_size: int = 16
     seed: int = 0
+    # Attention q/k Hessian engine: "probed" is the exact Rademacher
+    # Gauss-Newton estimator (the default, byte-identical to the original
+    # pipeline); "kron" is the Kronecker-factored KronQ approximation
+    # (repro.core.kron) — all heads share one input-Gram factorization,
+    # trading a measured, bench-bounded accuracy delta for speed.
+    hessian_mode: str = "probed"
     # Recompute attention Hessians per block on the partially quantized
     # model (sequential, the faithful protocol); False reuses the
     # full-precision Hessians from the sensitivity pass (faster).
@@ -235,7 +248,7 @@ def _unpack_run_checkpoint(
 def _projection_tasks(
     name: str,
     weight: np.ndarray,
-    hessians: list[np.ndarray] | np.ndarray,
+    hessians: list[np.ndarray] | np.ndarray | KronFactor,
     bits: int,
     config: APTQConfig,
 ) -> list[SolverTask]:
@@ -249,6 +262,24 @@ def _projection_tasks(
                 bits=bits,
                 group_size=config.group_size,
                 percdamp=config.percdamp,
+            )
+        ]
+    if isinstance(hessians, KronFactor):
+        # Every head shares the input-Gram array object, so the factor
+        # cache computes one Cholesky per block and rescales per head.
+        d_model = weight.shape[0]
+        return [
+            SolverTask(
+                key=f"{name}[head {head}]",
+                weight=weight[:, cols],
+                hessian=hessians.input_gram,
+                bits=bits,
+                group_size=config.group_size,
+                percdamp=config.percdamp,
+                hessian_scale=float(hessians.gains[head]),
+            )
+            for head, cols in enumerate(
+                head_column_slices(d_model, hessians.n_heads)
             )
         ]
     d_model = weight.shape[0]
@@ -348,6 +379,11 @@ def aptq_quantize_model(
 ) -> APTQResult:
     """Quantize ``model`` in place with APTQ; returns the full run record."""
     config = dataclasses.replace(config or APTQConfig(), **overrides)
+    if config.hessian_mode not in HESSIAN_MODES:
+        raise ValueError(
+            f"unknown hessian_mode {config.hessian_mode!r}; expected one "
+            f"of {HESSIAN_MODES}"
+        )
     fmt: QuantFormat | None = None
     if config.format != "int":
         fmt = resolve_format(config.format)
@@ -384,7 +420,7 @@ def aptq_quantize_model(
     # ------------------------------------------------------------------
     layer_results: dict[str, SolverResult]
     format_results: dict[str, QuantizedTensor] = {}
-    fp_hessian_cache: dict[int, AttentionHessians] = {}
+    fp_hessian_cache: dict[int, AttentionHessians | KronAttentionHessians] = {}
     if resumed is not None:
         model_state, run_state, start_block = resumed
         model.load_state_dict(model_state)
@@ -411,6 +447,8 @@ def aptq_quantize_model(
             batch_size=config.batch_size,
             seed=config.seed,
             attention_cache=fp_hessian_cache,
+            hessian_mode=config.hessian_mode,
+            workers=config.workers,
         )
         if config.allocation_override is not None:
             missing = set(layers) - set(config.allocation_override)
@@ -428,8 +466,19 @@ def aptq_quantize_model(
             )
 
     # ------------------------------------------------------------------
-    # Step 1: sequential Hessian-attention-based quantization.
+    # Step 1: sequential Hessian-attention-based quantization.  The
+    # capture stream replaces the per-(block, batch) embedding re-forward:
+    # it caches each batch's running hidden state and re-runs only the
+    # just-quantized block when the next one is requested — bitwise
+    # identical to the legacy capture_attention protocol (each cached
+    # state is computed with exactly the weights the full re-forward
+    # would have seen, since APTQ finishes a block before moving on).
     # ------------------------------------------------------------------
+    capture_stream: CalibrationCaptureStream | None = None
+    if config.sequential:
+        capture_stream = CalibrationCaptureStream(
+            model, calibration.segments, batch_size=config.batch_size
+        )
     for block_index in range(start_block, len(model.blocks)):
         faults.maybe_fault("block-start", str(block_index))
         prefix = f"blocks.{block_index}."
@@ -443,18 +492,29 @@ def aptq_quantize_model(
         ]
 
         if config.sequential:
-            hessians = attention_hessians(
-                model,
-                block_index,
-                calibration.segments,
-                n_probes=config.n_probes,
-                batch_size=config.batch_size,
-                seed=config.seed + block_index,
-            )
+            captures = capture_stream.block_captures(block_index)
+            attn = model.blocks[block_index].self_attn
+            if config.hessian_mode == "kron":
+                hessians = kron_attention_hessians_from_captures(
+                    attn,
+                    captures,
+                    n_probes=config.n_probes,
+                    seed=config.seed + block_index,
+                )
+            else:
+                hessians = attention_hessians_from_captures(
+                    attn,
+                    captures,
+                    n_probes=config.n_probes,
+                    seed=config.seed + block_index,
+                )
+            del captures
         else:
             hessians = fp_hessian_cache[block_index]
 
-        per_projection: dict[str, list[np.ndarray] | np.ndarray] = {
+        per_projection: dict[
+            str, list[np.ndarray] | np.ndarray | KronFactor
+        ] = {
             "q_proj": hessians.q,
             "k_proj": hessians.k,
             "v_proj": hessians.v,

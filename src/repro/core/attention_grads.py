@@ -34,6 +34,8 @@ __all__ = [
     "rope_adjoint",
     "softmax_vjp",
     "attention_seeded_gradients",
+    "attention_seeded_gradients_batched",
+    "attention_preactivation_gradients_batched",
 ]
 
 
@@ -136,6 +138,114 @@ def attention_seeded_gradients(
     def merge(per_head: np.ndarray) -> np.ndarray:
         """(h, D, d) -> (D, h·d), interleaving heads along columns."""
         return per_head.transpose(1, 0, 2).reshape(d_model, d_model)
+
+    return AttentionWeights(
+        q=merge(grad_q), k=merge(grad_k), v=merge(grad_v), o=grad_o
+    )
+
+
+def _batched_upstream_context(
+    attn: MultiHeadAttention, seeds: np.ndarray
+) -> np.ndarray:
+    """Per-head upstream of the context for a stack of seeds.
+
+    ``S (W_h^O)^T`` with a leading probe axis: ``(p, b, s, D) -> (p, b, h,
+    s, d)``.  The einsum differs from the unbatched one only by the extra
+    batch label, which numpy evaluates slice-by-slice — each probe's result
+    is bitwise identical to the per-seed call.
+    """
+    w_o = attn.o_proj.weight.data
+    w_o_heads = w_o.reshape(attn.n_heads, attn.d_head, attn.d_model)
+    return np.einsum("pbsD,hdD->pbhsd", seeds, w_o_heads)
+
+
+def attention_preactivation_gradients_batched(
+    attn: MultiHeadAttention,
+    capture: AttentionCapture,
+    seeds: np.ndarray,
+    upstream_context: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-RoPE-input q/k gradients for a stack of seeds at once.
+
+    Runs the softmax-adjoint chain of Eqs. (12)/(13) for all ``p`` seeds in
+    stacked einsums, stopping *before* the final contraction with the block
+    input X.  Returns ``(grad_q_pre, grad_k_pre)``, each ``(p, b, h, s,
+    d)`` — exactly the per-seed ``grad_q_pre``/``grad_k_pre`` of
+    :func:`attention_seeded_gradients` stacked along a new leading axis.
+    The KronQ output-side factors consume these directly (the X contraction
+    is what the Kronecker structure factors away).
+
+    Shapes:
+        attn: any
+        capture: any
+        seeds: (p, b, s, D) f64
+        upstream_context: (p, b, h, s, d) f64
+        return: any
+    """
+    s = capture.x.shape[1]
+    scale = 1.0 / np.sqrt(attn.d_head)
+    cos, sin = attn.rope.tables(s)
+    if upstream_context is None:
+        upstream_context = _batched_upstream_context(attn, seeds)
+    upstream_probs = np.einsum(
+        "pbhsd,bhtd->pbhst", upstream_context, capture.v
+    )
+    omega = softmax_vjp(capture.probs, upstream_probs)  # (p, b, h, s, s)
+    grad_q_rot = scale * np.einsum("pbhst,bhtd->pbhsd", omega, capture.k)
+    grad_k_rot = scale * np.einsum("pbhst,bhsd->pbhtd", omega, capture.q)
+    return rope_adjoint(grad_q_rot, cos, sin), rope_adjoint(
+        grad_k_rot, cos, sin
+    )
+
+
+def attention_seeded_gradients_batched(
+    attn: MultiHeadAttention,
+    capture: AttentionCapture,
+    seeds: np.ndarray,
+) -> AttentionWeights:
+    """All four projection gradients for a stack of seeds at once.
+
+    Equivalent to stacking ``attention_seeded_gradients(attn, capture,
+    seeds[p])`` over ``p`` — and *bitwise* so: every stacked einsum and
+    broadcast matmul here evaluates each probe slice with the same
+    operand order and accumulation pattern as the unbatched call (pinned
+    by the differential tests).  Returns an :class:`AttentionWeights`
+    whose arrays carry a leading probe axis: ``(p, D, D)``.
+
+    Shapes:
+        attn: any
+        capture: any
+        seeds: (p, b, s, D) f64
+        return: any
+    """
+    x = capture.x
+    b, s, d_model = x.shape
+    n_probes = seeds.shape[0]
+
+    # Eq. (9): one GEMM per probe via a broadcast matmul.
+    heads_flat = capture.heads.reshape(b * s, d_model)
+    grad_o = heads_flat.T @ seeds.reshape(n_probes, b * s, d_model)
+
+    upstream_context = _batched_upstream_context(attn, seeds)
+
+    # Eq. (10), batched over probes.
+    grad_v_heads = np.einsum(
+        "bhts,pbhtd->pbhsd", capture.probs, upstream_context
+    )
+    grad_v = np.einsum("bsD,pbhsd->phDd", x, grad_v_heads)
+
+    # Eqs. (12)/(13) through the softmax, batched over probes.
+    grad_q_pre, grad_k_pre = attention_preactivation_gradients_batched(
+        attn, capture, seeds, upstream_context=upstream_context
+    )
+    grad_q = np.einsum("bsD,pbhsd->phDd", x, grad_q_pre)
+    grad_k = np.einsum("bsD,pbhsd->phDd", x, grad_k_pre)
+
+    def merge(per_head: np.ndarray) -> np.ndarray:
+        """(p, h, D, d) -> (p, D, h·d), interleaving heads along columns."""
+        return per_head.transpose(0, 2, 1, 3).reshape(
+            n_probes, d_model, d_model
+        )
 
     return AttentionWeights(
         q=merge(grad_q), k=merge(grad_k), v=merge(grad_v), o=grad_o

@@ -28,18 +28,35 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.attention_grads import attention_seeded_gradients
+from repro.core.attention_grads import (
+    attention_seeded_gradients,
+    attention_seeded_gradients_batched,
+)
 from repro.nn.attention import AttentionCapture, MultiHeadAttention
 from repro.nn.transformer import LlamaModel
 
 __all__ = [
     "AttentionHessians",
+    "AttentionHessianAccumulator",
+    "CalibrationCaptureStream",
     "SharedGramCache",
+    "PROBE_MODES",
     "capture_attention",
     "attention_hessians",
+    "attention_hessians_from_captures",
     "exact_gauss_newton",
     "head_column_slices",
 ]
+
+#: Probe-loop strategies for the q/k Gauss-Newton estimator.  ``batched``
+#: draws every Rademacher seed at once and folds the probe and head loops
+#: into stacked einsums; ``reference`` is the original per-probe Python
+#: loop.  Both consume the *same* rng element stream (a single
+#: ``(p, b, s, D)`` draw fills row-major, so probe ``p``'s slice equals the
+#: ``p``-th sequential draw) and accumulate per-probe terms in the same
+#: order, so they are bitwise interchangeable — pinned by the differential
+#: tests.
+PROBE_MODES = ("batched", "reference")
 
 
 class SharedGramCache:
@@ -100,20 +117,43 @@ class AttentionHessians:
     k: list[np.ndarray]
     v: list[np.ndarray]
     o: np.ndarray
+    _full_cache: dict[str, np.ndarray] = dataclasses.field(
+        default_factory=dict, repr=False, compare=False
+    )
 
-    def full_matrix(self, projection: str) -> np.ndarray:
-        """Head-averaged Hessian for trace/sensitivity computations."""
-        if projection == "o_proj":
-            return self.o
-        per_head = {"q_proj": self.q, "k_proj": self.k, "v_proj": self.v}[
+    def _per_head(self, projection: str) -> list[np.ndarray]:
+        return {"q_proj": self.q, "k_proj": self.k, "v_proj": self.v}[
             projection
         ]
-        return np.mean(per_head, axis=0)
+
+    def full_matrix(self, projection: str) -> np.ndarray:
+        """Head-averaged Hessian, memoized per projection.
+
+        The sensitivity sweep asks for the same projection's matrix under
+        several bit-widths; the head mean is computed once and cached.
+        """
+        if projection == "o_proj":
+            return self.o
+        cached = self._full_cache.get(projection)
+        if cached is None:
+            cached = np.mean(self._per_head(projection), axis=0)
+            self._full_cache[projection] = cached
+        return cached
 
     def mean_trace(self, projection: str) -> float:
-        """Average Hessian trace (trace / dimension) of a projection."""
-        matrix = self.full_matrix(projection)
-        return float(np.trace(matrix) / matrix.shape[0])
+        """Average Hessian trace (trace / dimension) of a projection.
+
+        Reduces the per-head *diagonals* directly — no ``(D, D)``
+        head-averaged temporary.  The element-wise head mean and the
+        diagonal sum run in the same order as
+        ``np.trace(full_matrix(projection))``, so the value is bitwise
+        unchanged.
+        """
+        if projection == "o_proj":
+            return float(np.trace(self.o) / self.o.shape[0])
+        diagonals = [np.diagonal(m) for m in self._per_head(projection)]
+        diag_mean = np.mean(diagonals, axis=0)
+        return float(diag_mean.sum() / diag_mean.shape[0])
 
 
 def capture_attention(
@@ -132,6 +172,138 @@ def capture_attention(
     raise AssertionError("unreachable")
 
 
+class AttentionHessianAccumulator:
+    """Streaming accumulator for one block's four projection Hessians.
+
+    Feed one :class:`AttentionCapture` per calibration batch via
+    :meth:`add`, then :meth:`finalize` applies the per-token
+    normalisation.  Both probe modes (see :data:`PROBE_MODES`) produce
+    bitwise-identical sums: the batched path draws all probes in one rng
+    call (same element stream as sequential draws), computes every probe's
+    seeded gradient through stacked einsums whose per-probe slices match
+    the unbatched chain exactly, and adds the per-probe outer products in
+    the original probe-ascending order per head (the per-head sequences
+    are independent, so hoisting the head loop is order-preserving).
+    """
+
+    def __init__(
+        self,
+        attn: MultiHeadAttention,
+        n_probes: int = 8,
+        seed: int = 0,
+        probe_mode: str = "batched",
+    ) -> None:
+        if n_probes <= 0:
+            raise ValueError("n_probes must be positive")
+        if probe_mode not in PROBE_MODES:
+            raise ValueError(
+                f"unknown probe_mode {probe_mode!r}; expected one of "
+                f"{PROBE_MODES}"
+            )
+        self.attn = attn
+        self.n_probes = n_probes
+        self.probe_mode = probe_mode
+        self.rng = np.random.default_rng(seed)
+        d_model = attn.d_model
+        n_heads = attn.n_heads
+        d_head = attn.d_head
+        self.h_q = [np.zeros((d_model, d_model)) for _ in range(n_heads)]
+        self.h_k = [np.zeros((d_model, d_model)) for _ in range(n_heads)]
+        self.h_v = [np.zeros((d_model, d_model)) for _ in range(n_heads)]
+        self.h_o = np.zeros((d_model, d_model))
+        self.n_tokens = 0
+        w_o = attn.o_proj.weight.data
+        self.head_gain = np.array(
+            [
+                (w_o[h * d_head : (h + 1) * d_head] ** 2).sum() / d_head
+                for h in range(n_heads)
+            ]
+        )
+
+    def add(self, capture: AttentionCapture) -> None:
+        """Accumulate one calibration batch's contribution."""
+        attn = self.attn
+        d_model = attn.d_model
+        n_heads = attn.n_heads
+        d_head = attn.d_head
+        b, s, _ = capture.x.shape
+        self.n_tokens += b * s
+
+        # Closed forms: o_proj (exact) and v_proj (per head).
+        heads_flat = capture.heads.reshape(b * s, d_model)
+        self.h_o += d_model * (heads_flat.T @ heads_flat)
+        # A_h = P_h X: effective per-head input of W_h^V.
+        a = np.einsum("bhst,btD->bhsD", capture.probs, capture.x)
+        for h in range(n_heads):
+            a_flat = a[:, h].reshape(b * s, d_model)
+            # Accumulation is per-block-local: parallel fan-out is per
+            # block, so one worker owns this accumulator end to end.
+            self.h_v[h] += self.head_gain[h] * (a_flat.T @ a_flat)  # lint: disable=wp-order-dependent-reduction
+
+        # Probed Gauss-Newton for q/k (softmax nonlinearity).
+        if self.probe_mode == "batched":
+            probes = self.rng.choice(
+                [-1.0, 1.0], size=(self.n_probes, b, s, d_model)
+            )
+            grads = attention_seeded_gradients_batched(attn, capture, probes)
+            for h in range(n_heads):
+                cols = slice(h * d_head, (h + 1) * d_head)
+                gq = grads.q[:, :, cols]  # (p, D, d)
+                gk = grads.k[:, :, cols]
+                outer_q = (
+                    np.matmul(gq, gq.transpose(0, 2, 1)) / self.n_probes
+                )
+                outer_k = (
+                    np.matmul(gk, gk.transpose(0, 2, 1)) / self.n_probes
+                )
+                for p in range(self.n_probes):
+                    self.h_q[h] += outer_q[p]  # lint: disable=wp-order-dependent-reduction
+                    self.h_k[h] += outer_k[p]  # lint: disable=wp-order-dependent-reduction
+        else:
+            for _ in range(self.n_probes):
+                probe = self.rng.choice([-1.0, 1.0], size=(b, s, d_model))
+                grads = attention_seeded_gradients(attn, capture, probe)
+                for h in range(n_heads):
+                    cols = slice(h * d_head, (h + 1) * d_head)
+                    gq = grads.q[:, cols]
+                    gk = grads.k[:, cols]
+                    self.h_q[h] += gq @ gq.T / self.n_probes  # lint: disable=wp-order-dependent-reduction
+                    self.h_k[h] += gk @ gk.T / self.n_probes  # lint: disable=wp-order-dependent-reduction
+
+    def finalize(self) -> AttentionHessians:
+        """Per-token-normalised Hessians for everything accumulated."""
+        if self.n_tokens == 0:
+            raise ValueError("no calibration tokens")
+        norm = 2.0 / self.n_tokens
+        return AttentionHessians(
+            q=[norm * m for m in self.h_q],
+            k=[norm * m for m in self.h_k],
+            v=[norm * m for m in self.h_v],
+            o=norm * self.h_o,
+        )
+
+
+def attention_hessians_from_captures(
+    attn: MultiHeadAttention,
+    captures: Sequence[AttentionCapture],
+    n_probes: int = 8,
+    seed: int = 0,
+    probe_mode: str = "batched",
+) -> AttentionHessians:
+    """Accumulate one block's Hessians from pre-computed captures.
+
+    The capture-producing forward (see :class:`CalibrationCaptureStream`)
+    is decoupled from the estimator so the calibration loop forwards each
+    batch once per block instead of once per ``(block, batch)`` pair.
+    """
+    accumulator = AttentionHessianAccumulator(
+        attn, n_probes=n_probes, seed=seed, probe_mode=probe_mode
+    )
+    for capture in captures:
+        accumulator.add(capture)
+    return accumulator.finalize()
+
+
 def attention_hessians(
     model: LlamaModel,
     block_index: int,
@@ -139,66 +311,120 @@ def attention_hessians(
     n_probes: int = 8,
     batch_size: int = 16,
     seed: int = 0,
+    probe_mode: str = "batched",
 ) -> AttentionHessians:
-    """Accumulate the four projection Hessians over calibration segments."""
-    if n_probes <= 0:
-        raise ValueError("n_probes must be positive")
-    attn = model.blocks[block_index].self_attn
-    d_model = attn.d_model
-    n_heads = attn.n_heads
-    d_head = attn.d_head
-    rng = np.random.default_rng(seed)
+    """Accumulate the four projection Hessians over calibration segments.
 
-    h_q = [np.zeros((d_model, d_model)) for _ in range(n_heads)]
-    h_k = [np.zeros((d_model, d_model)) for _ in range(n_heads)]
-    h_v = [np.zeros((d_model, d_model)) for _ in range(n_heads)]
-    h_o = np.zeros((d_model, d_model))
-    n_tokens = 0
-
-    w_o = attn.o_proj.weight.data
-    head_gain = np.array(
-        [
-            (w_o[h * d_head : (h + 1) * d_head] ** 2).sum() / d_head
-            for h in range(n_heads)
-        ]
+    Reference entry point: re-forwards the model per batch via
+    :func:`capture_attention`.  The production pipeline streams captures
+    instead (:class:`CalibrationCaptureStream`), which is bitwise
+    identical per block; this form remains the ground truth the stream is
+    certified against.
+    """
+    accumulator = AttentionHessianAccumulator(
+        model.blocks[block_index].self_attn,
+        n_probes=n_probes,
+        seed=seed,
+        probe_mode=probe_mode,
     )
-
     segments = np.atleast_2d(np.asarray(segments))
     for start in range(0, segments.shape[0], batch_size):
         batch = segments[start : start + batch_size]
-        capture = capture_attention(model, batch, block_index)
-        b, s, _ = capture.x.shape
-        n_tokens += b * s
+        accumulator.add(capture_attention(model, batch, block_index))
+    return accumulator.finalize()
 
-        # Closed forms: o_proj (exact) and v_proj (per head).
-        heads_flat = capture.heads.reshape(b * s, d_model)
-        h_o += d_model * (heads_flat.T @ heads_flat)
-        # A_h = P_h X: effective per-head input of W_h^V.
-        a = np.einsum("bhst,btD->bhsD", capture.probs, capture.x)
-        for h in range(n_heads):
-            a_flat = a[:, h].reshape(b * s, d_model)
-            h_v[h] += head_gain[h] * (a_flat.T @ a_flat)
 
-        # Probed Gauss-Newton for q/k (softmax nonlinearity).
-        for _ in range(n_probes):
-            probe = rng.choice([-1.0, 1.0], size=(b, s, d_model))
-            grads = attention_seeded_gradients(attn, capture, probe)
-            for h in range(n_heads):
-                cols = slice(h * d_head, (h + 1) * d_head)
-                gq = grads.q[:, cols]
-                gk = grads.k[:, cols]
-                h_q[h] += gq @ gq.T / n_probes
-                h_k[h] += gk @ gk.T / n_probes
+class CalibrationCaptureStream:
+    """Single-pass capture of every block's intermediates per batch.
 
-    if n_tokens == 0:
-        raise ValueError("no calibration tokens")
-    norm = 2.0 / n_tokens
-    return AttentionHessians(
-        q=[norm * m for m in h_q],
-        k=[norm * m for m in h_k],
-        v=[norm * m for m in h_v],
-        o=norm * h_o,
-    )
+    ``capture_attention(model, batch, i)`` restarts at the embedding for
+    every ``(block, batch)`` pair — O(L²) block forwards per batch over a
+    full calibration run.  The stream instead caches each batch's running
+    hidden state and advances it one block at a time, so the whole run
+    costs O(L) block forwards per batch.
+
+    Two regimes:
+
+    * ``frozen=True`` — the model's weights will not change between
+      requests (the sensitivity pass).  The capturing forward's output is
+      reused directly as the next block's input.
+    * ``frozen=False`` (default) — the sequential APTQ loop *quantizes*
+      block ``i`` after capturing it and before requesting block ``i+1``.
+      The stream therefore defers advancing past block ``i`` until block
+      ``i+1`` is requested, at which point it re-runs only block ``i``'s
+      forward with the then-current (quantized) weights.  Because APTQ
+      finishes each block before moving on and never revisits one, every
+      cached hidden state is computed with exactly the weights the legacy
+      per-block re-forward would have seen — bitwise identical captures.
+
+    Requests must be strictly increasing in ``block_index``; skipped
+    blocks are forwarded without capture (resume support).
+    """
+
+    def __init__(
+        self,
+        model: LlamaModel,
+        segments: np.ndarray,
+        batch_size: int = 16,
+        frozen: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        segments = np.atleast_2d(np.asarray(segments))
+        if segments.shape[0] == 0:
+            raise ValueError("no calibration segments")
+        self.model = model
+        self.frozen = frozen
+        self._batches = [
+            segments[start : start + batch_size]
+            for start in range(0, segments.shape[0], batch_size)
+        ]
+        self._inputs: list[np.ndarray] | None = None
+        # Index of the first block whose forward has NOT yet been applied
+        # to the cached hidden states.
+        self._front = 0
+        # Smallest block index the next request may ask for.
+        self._min_request = 0
+
+    @property
+    def n_batches(self) -> int:
+        """Number of calibration batches the stream iterates per block."""
+        return len(self._batches)
+
+    def block_captures(self, block_index: int) -> list[AttentionCapture]:
+        """Per-batch captures of ``block_index``, advancing the stream."""
+        if not 0 <= block_index < len(self.model.blocks):
+            raise IndexError(f"block index {block_index} out of range")
+        if block_index < self._min_request:
+            raise ValueError(
+                f"capture stream is forward-only: block {block_index} "
+                f"requested after block {self._min_request - 1}"
+            )
+        if self._inputs is None:
+            self._inputs = [
+                self.model.embed.weight.data[np.atleast_2d(np.asarray(batch))]
+                for batch in self._batches
+            ]
+        # Re-run the deferred (possibly re-quantized) prefix up to the
+        # requested block with the weights as they stand *now*.
+        while self._front < block_index:
+            block = self.model.blocks[self._front]
+            self._inputs = [block.forward_array(x) for x in self._inputs]
+            self._front += 1
+        block = self.model.blocks[block_index]
+        captures: list[AttentionCapture] = []
+        outputs: list[np.ndarray] = []
+        for x in self._inputs:
+            out, capture = block.forward_array(x, capture=True)
+            captures.append(capture)
+            outputs.append(out)
+        if self.frozen:
+            # Immutable model: the capturing forward's output is the next
+            # block's input verbatim.
+            self._inputs = outputs
+            self._front = block_index + 1
+        self._min_request = block_index + 1
+        return captures
 
 
 def exact_gauss_newton(

@@ -8,6 +8,14 @@ layers, the attention-output form for Q/K/V/O).
 
 Traces are normalised per weight dimension (mean of the Hessian diagonal)
 so layers of different widths are comparable.
+
+The sensitivity pass runs on the *frozen* full-precision model, so the
+attention captures stream through a single forward per calibration batch
+(:class:`~repro.core.hessian.CalibrationCaptureStream` with
+``frozen=True``) instead of one forward per ``(block, batch)`` pair, and
+the per-block Hessian accumulation can fan out over worker processes
+(``workers > 0``) — each block's estimator is independent and
+deterministic, so parallel results are bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -16,10 +24,20 @@ import dataclasses
 
 import numpy as np
 
-from repro.core.hessian import AttentionHessians, attention_hessians
+from repro.core.hessian import (
+    AttentionHessians,
+    CalibrationCaptureStream,
+    attention_hessians_from_captures,
+)
+from repro.core.kron import (
+    HESSIAN_MODES,
+    KronAttentionHessians,
+    kron_attention_hessians_from_captures,
+)
 from repro.data.calibration import CalibrationSet
 from repro.nn.transformer import LlamaModel
 from repro.quant.calibration_hooks import collect_input_stats
+from repro.runtime.parallel import MIN_PARALLEL_COST, run_parallel_map
 
 __all__ = ["LayerSensitivity", "compute_sensitivities"]
 
@@ -42,13 +60,25 @@ def compute_sensitivities(
     n_probes: int = 8,
     batch_size: int = 16,
     seed: int = 0,
-    attention_cache: dict[int, AttentionHessians] | None = None,
+    attention_cache: dict[int, AttentionHessians | KronAttentionHessians]
+    | None = None,
+    hessian_mode: str = "probed",
+    workers: int = 0,
 ) -> dict[str, LayerSensitivity]:
     """Average Hessian trace of every quantizable layer.
 
     ``attention_cache``, if given, is filled with the per-block attention
-    Hessians so the quantization pass can reuse them instead of recomputing.
+    Hessians so the quantization pass can reuse them instead of
+    recomputing.  ``hessian_mode`` selects the q/k engine (``"probed"`` —
+    exact estimator — or ``"kron"``, see :mod:`repro.core.kron`);
+    ``workers > 0`` accumulates block Hessians in parallel (bit-identical
+    to serial).
     """
+    if hessian_mode not in HESSIAN_MODES:
+        raise ValueError(
+            f"unknown hessian_mode {hessian_mode!r}; expected one of "
+            f"{HESSIAN_MODES}"
+        )
     layers = model.quantizable_linears()
     sensitivities: dict[str, LayerSensitivity] = {}
 
@@ -71,15 +101,46 @@ def compute_sensitivities(
                 is_attention=False,
             )
 
-    for block_index in range(len(model.blocks)):
-        hessians = attention_hessians(
-            model,
-            block_index,
-            calibration.segments,
-            n_probes=n_probes,
-            batch_size=batch_size,
-            seed=seed + block_index,
+    stream = CalibrationCaptureStream(
+        model, calibration.segments, batch_size=batch_size, frozen=True
+    )
+
+    def block_hessians(block_index: int, captures):
+        """One block's Hessians from its streamed captures."""
+        attn = model.blocks[block_index].self_attn
+        if hessian_mode == "kron":
+            return kron_attention_hessians_from_captures(
+                attn, captures, n_probes=n_probes, seed=seed + block_index
+            )
+        return attention_hessians_from_captures(
+            attn, captures, n_probes=n_probes, seed=seed + block_index
         )
+
+    n_blocks = len(model.blocks)
+    if workers > 0 and n_blocks > 1:
+        # Fan out per block: captures are drained first (the stream is
+        # inherently serial), then each worker accumulates one block.
+        all_captures = [stream.block_captures(i) for i in range(n_blocks)]
+        d_model = model.config.d_model
+        total_tokens = int(np.atleast_2d(calibration.segments).size)
+        cost = float(n_blocks) * total_tokens * n_probes * d_model * d_model
+        per_block = run_parallel_map(
+            lambda i: block_hessians(i, all_captures[i]),
+            range(n_blocks),
+            workers=workers,
+            cost=cost,
+            min_cost=MIN_PARALLEL_COST,
+            label="block Hessians",
+        )
+    else:
+        # Serial path streams block by block: captures of block ``i`` are
+        # released before block ``i+1``'s are materialised.
+        per_block = [
+            block_hessians(i, stream.block_captures(i))
+            for i in range(n_blocks)
+        ]
+
+    for block_index, hessians in enumerate(per_block):
         if attention_cache is not None:
             attention_cache[block_index] = hessians
         for projection in _ATTENTION_PROJECTIONS:

@@ -166,9 +166,20 @@ class HessianFactor:
 
 
 def factorize_hessian(
-    hessian: np.ndarray, percdamp: float = 0.01, actorder: bool = False
+    hessian: np.ndarray,
+    percdamp: float = 0.01,
+    actorder: bool = False,
+    scale: float = 1.0,
 ) -> HessianFactor:
     """Damp, (optionally) permute, and Cholesky-factorize one Hessian.
+
+    ``scale`` factorizes ``scale · H`` without materialising it: the
+    damping is *relative* (``percdamp · mean(diag)``), so it commutes with
+    a positive scale; dead-channel detection and the ``actorder``
+    permutation (a stable argsort of the diagonal) are scale-invariant;
+    and ``chol((s·H_damped)^{-1}) = chol(H_damped^{-1}) / sqrt(s)``.  This
+    is what lets a Kronecker-factored Hessian family ``{g_h · A}`` share a
+    single O(D³) factorization of ``A`` across heads (KronQ).
 
     This is the solver's only expensive Hessian-side computation; callers
     quantizing several weight matrices against one Hessian (Q/K/V, retry
@@ -176,6 +187,8 @@ def factorize_hessian(
     calling this directly — the ``perf-raw-factorization`` lint rule
     enforces exactly that outside this module.
     """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
     damped, dead = prepare_hessian(hessian, percdamp)
     permutation: np.ndarray | None = None
     if actorder:
@@ -183,6 +196,8 @@ def factorize_hessian(
         damped = damped[np.ix_(permutation, permutation)]
         permutation.setflags(write=False)
     inv_upper = inverse_cholesky(damped)
+    if scale != 1.0:
+        inv_upper = inv_upper / np.sqrt(scale)
     inv_upper.setflags(write=False)
     dead.setflags(write=False)
     return HessianFactor(inv_upper=inv_upper, dead=dead, permutation=permutation)
@@ -204,6 +219,7 @@ class HessianFactorCache:
         self.hits = 0
         self.misses = 0
         self._entries: dict[tuple[str, float, bool], HessianFactor] = {}
+        self._derived: dict[tuple[str, float, float, bool], HessianFactor] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -223,6 +239,47 @@ class HessianFactorCache:
             self._entries.pop(next(iter(self._entries)))
         self._entries[key] = factor
         return factor
+
+    def scaled_factor(
+        self,
+        hessian: np.ndarray,
+        scale: float,
+        percdamp: float,
+        actorder: bool,
+    ) -> HessianFactor:
+        """Factor of ``scale · hessian``, derived from the cached base.
+
+        The Kronecker-aware entry: the O(D³) factorization of ``hessian``
+        happens (at most) once via :meth:`factor`; each distinct scale
+        costs only an O(D²) rescale of the inverse Cholesky factor.  The
+        derived entry matches ``factorize_hessian(hessian, ..., scale=s)``
+        exactly (same base factor, same rescale).
+        """
+        scale = float(scale)
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if scale == 1.0:
+            return self.factor(hessian, percdamp, actorder)
+        key = (
+            hessian_fingerprint(hessian),
+            scale,
+            float(percdamp),
+            bool(actorder),
+        )
+        cached = self._derived.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        base = self.factor(hessian, percdamp, actorder)
+        inv_upper = base.inv_upper / np.sqrt(scale)
+        inv_upper.setflags(write=False)
+        derived = HessianFactor(
+            inv_upper=inv_upper, dead=base.dead, permutation=base.permutation
+        )
+        if len(self._derived) >= self.max_entries:
+            self._derived.pop(next(iter(self._derived)))
+        self._derived[key] = derived
+        return derived
 
 
 def _static_group_grids(
@@ -360,6 +417,7 @@ def quantize_with_hessian(
     actorder: bool = False,
     mode: str = "blocked",
     cache: HessianFactorCache | None = None,
+    hessian_scale: float = 1.0,
 ) -> SolverResult:
     """Quantize ``weight`` with error compensation driven by ``hessian``.
 
@@ -369,7 +427,10 @@ def quantize_with_hessian(
     diagonal (GPTQ's ``--act-order``).  ``mode`` selects the sweep schedule
     (``"blocked"`` fast path or the ``"reference"`` column loop — both
     produce bit-identical results, see module docstring); ``cache`` reuses
-    Cholesky factors across calls sharing a Hessian.
+    Cholesky factors across calls sharing a Hessian.  ``hessian_scale``
+    quantizes against ``hessian_scale · hessian`` without materialising the
+    product (the KronQ per-head Hessians are positive multiples of one
+    shared input Gram, so all heads reuse a single cached factorization).
 
     Bits:
         bits: i64[1, 32]
@@ -392,9 +453,16 @@ def quantize_with_hessian(
     group_size = resolve_group_size(d_in, group_size)
 
     if cache is not None:
-        factor = cache.factor(hessian, percdamp, actorder)
+        if hessian_scale != 1.0:
+            factor = cache.scaled_factor(
+                hessian, hessian_scale, percdamp, actorder
+            )
+        else:
+            factor = cache.factor(hessian, percdamp, actorder)
     else:
-        factor = factorize_hessian(hessian, percdamp, actorder)
+        factor = factorize_hessian(
+            hessian, percdamp, actorder, scale=hessian_scale
+        )
 
     working = weight.copy()
     working[factor.dead, :] = 0.0

@@ -5,10 +5,16 @@ root (via ``tools/bench.py``): a schema-versioned report comparing the
 lazy-batch blocked solver against the column-at-a-time reference sweep,
 the Cholesky factor cache against cold factorization, the inference fast
 paths (fused NLL, KV-cached decoding, memoised packed forward) against
-their unfused/uncached twins, and the parallel APTQ executor against
-serial execution.  Every timed pair is also checked for bit-identical
+their unfused/uncached twins, the parallel APTQ executor against serial
+execution, and the calibration fast path (streamed captures, batched
+probes, the Kronecker-factored Hessian engine) against the legacy
+per-block protocol.  Every timed pair is also checked for bit-identical
 output, so the artifact doubles as a coarse correctness record — a
 speedup bought by numeric drift would be visible right in the report.
+Approximation tiers that are close-by-design rather than identical (the
+kron engine, fp-summation-order changes) instead carry an
+``equivalence`` block: measured error metrics certified against declared
+bounds, re-checked every time the report is rebuilt.
 
 Timing methodology: ``best_of`` takes the *minimum* of ``repeats`` runs of
 a zero-argument callable under ``time.perf_counter`` — the standard way to
@@ -46,9 +52,11 @@ __all__ = [
     "eval_bench_records",
     "format_bench_records",
     "pipeline_bench_record",
+    "calibration_bench_records",
     "serve_bench_records",
     "build_quantize_report",
     "build_serve_report",
+    "build_calibration_report",
     "validate_bench_report",
     "write_bench_report",
     "append_bench_history",
@@ -60,7 +68,7 @@ __all__ = [
 BENCH_SCHEMA_VERSION = 1
 
 #: Suites a bench report may declare (one JSON artifact per suite).
-BENCH_SUITES = ("quantize", "serve")
+BENCH_SUITES = ("quantize", "serve", "calibration")
 
 #: Keys every record must carry (checked by :func:`validate_bench_report`).
 _RECORD_KEYS = ("name", "kind", "params", "timings", "speedup", "bit_identical")
@@ -431,6 +439,298 @@ def pipeline_bench_record(
     }
 
 
+def _error_bounded(metrics: dict, bounds: dict) -> dict:
+    """An ``equivalence`` block for a record that is close, not identical.
+
+    ``within_bounds`` is computed fresh at build time (never copied from a
+    previous run), so a regenerated report re-certifies the approximation
+    against its declared bounds.
+    """
+    if set(metrics) != set(bounds):
+        raise ValueError("metrics and bounds must share keys")
+    return {
+        "kind": "error-bounded",
+        "metrics": {k: float(v) for k, v in metrics.items()},
+        "bounds": {k: float(v) for k, v in bounds.items()},
+        "within_bounds": all(
+            float(metrics[key]) <= float(bounds[key]) for key in bounds
+        ),
+    }
+
+
+def calibration_bench_records(
+    repeats: int = 3,
+    seed: int = 0,
+    n_layers: int = 12,
+    d_model: int = 32,
+    n_heads: int = 2,
+    d_ff: int = 256,
+    n_segments: int = 4,
+    seq_len: int = 32,
+    n_probes: int = 2,
+    batch_size: int = 4,
+) -> list[dict]:
+    """Time the calibration fast path against the legacy per-block protocol.
+
+    Three records:
+
+    * ``calibration-capture`` — the legacy per-block protocol (one
+      ``capture_attention`` restart from the embedding per (block, batch)
+      pair, ``probe_mode="reference"`` per-probe gradient loops) against a
+      frozen :class:`~repro.core.hessian.CalibrationCaptureStream` feeding
+      the batched-probe
+      :func:`~repro.core.hessian.attention_hessians_from_captures`.  The
+      fast path is bit-identical by construction; the flag is re-checked
+      here by exact array comparison of every block's q/k/v/o Hessians.
+    * ``calibration-kron`` — batched-probe vs Kronecker-factored
+      (``hessian_mode="kron"``) Hessian estimation over identical
+      captures.  *Error-bounded*, not bit-identical: the record carries an
+      ``equivalence`` block with the measured q/k reconstruction error and
+      the end-to-end perplexity delta of a kron-mode APTQ run, certified
+      against declared bounds at build time.
+    * ``calibration-trace-hutchinson`` — the vectorised explicit-matrix
+      Hutchinson trace against the per-probe loop (identical rng element
+      stream), error-bounded at machine precision.
+    """
+    # Imported here for the same leaf-package reason as the pipeline bench.
+    from repro.core.aptq import APTQConfig, aptq_quantize_model
+    from repro.core.hessian import (
+        CalibrationCaptureStream,
+        attention_hessians,
+        attention_hessians_from_captures,
+    )
+    from repro.core.kron import kron_attention_hessians_from_captures
+    from repro.core.trace import hutchinson_trace
+    from repro.data.calibration import CalibrationSet
+    from repro.eval.perplexity import perplexity
+    from repro.nn.transformer import LlamaConfig, LlamaModel
+
+    # Deep-and-narrow on purpose: the legacy protocol's cost is quadratic
+    # in depth (sum of block-prefix re-forwards), so a 12-layer model with
+    # a heavyish FFN puts the measurement in the forward-dominated regime
+    # the fast path actually targets.
+    config = LlamaConfig(
+        vocab_size=64,
+        d_model=d_model,
+        n_layers=n_layers,
+        n_heads=n_heads,
+        d_ff=d_ff,
+        max_seq_len=max(32, seq_len),
+    )
+    rng = np.random.default_rng(seed)
+    segments = rng.integers(0, config.vocab_size, size=(n_segments, seq_len))
+    model = LlamaModel(config, seed=seed)
+    shared_params = {
+        "n_layers": n_layers,
+        "d_model": d_model,
+        "n_heads": n_heads,
+        "d_ff": d_ff,
+        "n_segments": n_segments,
+        "seq_len": seq_len,
+        "n_probes": n_probes,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "seed": seed,
+    }
+
+    def legacy() -> list:
+        # O(L^2) block forwards: every attention_hessians call restarts
+        # capture_attention at the embedding for its block prefix.
+        return [
+            attention_hessians(
+                model,
+                block,
+                segments,
+                n_probes=n_probes,
+                batch_size=batch_size,
+                seed=seed + block,
+                probe_mode="reference",
+            )
+            for block in range(config.n_layers)
+        ]
+
+    def streamed() -> list:
+        stream = CalibrationCaptureStream(
+            model, segments, batch_size=batch_size, frozen=True
+        )
+        return [
+            attention_hessians_from_captures(
+                model.blocks[block].self_attn,
+                stream.block_captures(block),
+                n_probes=n_probes,
+                seed=seed + block,
+            )
+            for block in range(config.n_layers)
+        ]
+
+    legacy_hessians = legacy()
+    streamed_hessians = streamed()
+    identical = all(
+        all(np.array_equal(a, b) for a, b in zip(lg.q, st.q))
+        and all(np.array_equal(a, b) for a, b in zip(lg.k, st.k))
+        and all(np.array_equal(a, b) for a, b in zip(lg.v, st.v))
+        and np.array_equal(lg.o, st.o)
+        for lg, st in zip(legacy_hessians, streamed_hessians)
+    )
+    legacy_seconds = best_of(legacy, repeats)
+    streamed_seconds = best_of(streamed, repeats)
+    records = [
+        {
+            "name": "calibration-capture",
+            "kind": "calibration",
+            "params": dict(shared_params),
+            "timings": {
+                "per_block": legacy_seconds,
+                "streamed": streamed_seconds,
+            },
+            "speedup": legacy_seconds / streamed_seconds,
+            "bit_identical": bool(identical),
+        }
+    ]
+
+    # --- calibration-kron: estimator cost over identical captures. -------
+    stream = CalibrationCaptureStream(
+        model, segments, batch_size=batch_size, frozen=True
+    )
+    captures = [
+        stream.block_captures(block) for block in range(config.n_layers)
+    ]
+
+    def probed_estimate() -> list:
+        return [
+            attention_hessians_from_captures(
+                model.blocks[block].self_attn,
+                captures[block],
+                n_probes=n_probes,
+                seed=seed + block,
+            )
+            for block in range(config.n_layers)
+        ]
+
+    def kron_estimate() -> list:
+        return [
+            kron_attention_hessians_from_captures(
+                model.blocks[block].self_attn,
+                captures[block],
+                n_probes=n_probes,
+                seed=seed + block,
+            )
+            for block in range(config.n_layers)
+        ]
+
+    kron_hessians = kron_estimate()
+    reconstruction_errors = []
+    for probed_block, kron_block in zip(streamed_hessians, kron_hessians):
+        for projection in ("q", "k"):
+            exact_heads = getattr(probed_block, projection)
+            factor = getattr(kron_block, projection)
+            for head, exact in enumerate(exact_heads):
+                denom = float(np.linalg.norm(exact))
+                if denom == 0.0:
+                    continue
+                reconstruction_errors.append(
+                    float(np.linalg.norm(factor.dense(head) - exact)) / denom
+                )
+
+    micro = LlamaConfig(
+        vocab_size=64,
+        d_model=16,
+        n_layers=2,
+        n_heads=2,
+        d_ff=24,
+        max_seq_len=32,
+    )
+    calibration = CalibrationSet(
+        segments=rng.integers(0, micro.vocab_size, size=(6, 12)),
+        corpus_name="synthetic",
+        seed=seed,
+    )
+    eval_stream = rng.integers(0, micro.vocab_size, size=256)
+
+    def quantized_perplexity(mode: str) -> float:
+        quantized = LlamaModel(micro, seed=seed)
+        aptq_quantize_model(
+            quantized,
+            calibration,
+            APTQConfig(ratio_4bit=0.5, hessian_mode=mode),
+        )
+        return perplexity(quantized, eval_stream, seq_len=16)
+
+    ppl_probed = quantized_perplexity("probed")
+    ppl_kron = quantized_perplexity("kron")
+    kron_metrics = {
+        # Mean relative Frobenius error of g_h * A against the probed
+        # per-head q/k Hessians (v/o keep their exact closed forms).
+        "reconstruction_rel_error": float(np.mean(reconstruction_errors)),
+        "ppl_rel_delta": abs(ppl_kron - ppl_probed) / ppl_probed,
+    }
+    # Declared bounds of the approximation tier; commitments, not
+    # observations — a regenerated report that drifts past them fails
+    # validation (and the bench_compare gate) instead of re-declaring.
+    # The isotropic token-side collapse is a coarse curvature sketch
+    # (~0.8 relative Frobenius error on q/k for a random model), which is
+    # exactly why the binding bound is the end-to-end perplexity delta.
+    kron_bounds = {"reconstruction_rel_error": 0.9, "ppl_rel_delta": 0.05}
+    probed_seconds = best_of(probed_estimate, repeats)
+    kron_seconds = best_of(kron_estimate, repeats)
+    records.append(
+        {
+            "name": "calibration-kron",
+            "kind": "calibration",
+            "params": dict(shared_params),
+            "timings": {"probed": probed_seconds, "kron": kron_seconds},
+            "speedup": probed_seconds / kron_seconds,
+            "bit_identical": False,
+            "equivalence": _error_bounded(kron_metrics, kron_bounds),
+        }
+    )
+
+    # --- calibration-trace-hutchinson: vectorised quadratic forms. -------
+    dim, trace_probes = 192, 96
+    basis = rng.standard_normal((dim, dim))
+    matrix = basis @ basis.T / dim
+
+    def trace_loop() -> float:
+        # The callable branch keeps the per-probe loop; same rng stream.
+        return hutchinson_trace(
+            lambda z: matrix @ z, dim=dim, n_probes=trace_probes, seed=seed
+        )
+
+    def trace_vectorised() -> float:
+        return hutchinson_trace(matrix, n_probes=trace_probes, seed=seed)
+
+    loop_value = trace_loop()
+    vectorised_value = trace_vectorised()
+    loop_seconds = best_of(trace_loop, repeats)
+    vectorised_seconds = best_of(trace_vectorised, repeats)
+    records.append(
+        {
+            "name": "calibration-trace-hutchinson",
+            "kind": "calibration",
+            "params": {
+                "dim": dim,
+                "n_probes": trace_probes,
+                "repeats": repeats,
+                "seed": seed,
+            },
+            "timings": {
+                "loop": loop_seconds,
+                "vectorised": vectorised_seconds,
+            },
+            "speedup": loop_seconds / vectorised_seconds,
+            "bit_identical": False,
+            "equivalence": _error_bounded(
+                {
+                    "trace_rel_error": abs(vectorised_value - loop_value)
+                    / abs(loop_value)
+                },
+                {"trace_rel_error": 1e-9},
+            ),
+        }
+    )
+    return records
+
+
 def serve_bench_records(
     repeats: int = 3,
     seed: int = 0,
@@ -645,10 +945,14 @@ def build_quantize_report(
             )
         )
         records.extend(format_bench_records(repeats=1, size=64))
+        records.extend(
+            calibration_bench_records(repeats=1, n_layers=4, n_segments=2)
+        )
     else:
         records.extend(eval_bench_records(repeats=repeats))
         records.extend(format_bench_records(repeats=repeats))
         records.append(pipeline_bench_record(workers=workers))
+        records.extend(calibration_bench_records(repeats=repeats))
     report = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "suite": "quantize",
@@ -663,6 +967,92 @@ def build_quantize_report(
     if timestamp is not None:
         report["timestamp"] = timestamp
     return report
+
+
+def build_calibration_report(
+    repeats: int = 3,
+    quick: bool = False,
+    timestamp: str | None = None,
+) -> dict:
+    """Assemble a standalone ``BENCH_calibration.json`` report.
+
+    The calibration records also ride inside the quantize suite (they are
+    part of the committed ``BENCH_quantize.json``); this focused suite
+    exists so ``tools/bench.py --suite calibration`` can re-measure the
+    calibration fast path without re-running the solver/eval benches.
+    """
+    if quick:
+        records = calibration_bench_records(
+            repeats=1, n_layers=4, n_segments=2
+        )
+    else:
+        records = calibration_bench_records(repeats=repeats)
+    report = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "suite": "calibration",
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "records": records,
+    }
+    if timestamp is not None:
+        report["timestamp"] = timestamp
+    return report
+
+
+def _validate_equivalence(where: str, equivalence: object) -> list[str]:
+    """Check one record's error-bounded ``equivalence`` block."""
+    problems: list[str] = []
+    if not isinstance(equivalence, dict):
+        return [f"{where}.equivalence must be an object"]
+    if equivalence.get("kind") != "error-bounded":
+        problems.append(f"{where}.equivalence.kind must be 'error-bounded'")
+    metrics = equivalence.get("metrics")
+    bounds = equivalence.get("bounds")
+    for field, mapping in (("metrics", metrics), ("bounds", bounds)):
+        if not isinstance(mapping, dict) or not mapping:
+            problems.append(
+                f"{where}.equivalence.{field} must be a non-empty object"
+            )
+        elif any(
+            not isinstance(v, (int, float))
+            or isinstance(v, bool)
+            or not np.isfinite(v)
+            or v < 0
+            for v in mapping.values()
+        ):
+            problems.append(
+                f"{where}.equivalence.{field} values must be finite "
+                "non-negative numbers"
+            )
+    if (
+        isinstance(metrics, dict)
+        and isinstance(bounds, dict)
+        and metrics
+        and bounds
+    ):
+        if set(metrics) != set(bounds):
+            problems.append(
+                f"{where}.equivalence metrics and bounds must share keys"
+            )
+        else:
+            exceeded = sorted(
+                key
+                for key in bounds
+                if isinstance(metrics[key], (int, float))
+                and isinstance(bounds[key], (int, float))
+                and metrics[key] > bounds[key]
+            )
+            if exceeded:
+                problems.append(
+                    f"{where}.equivalence metrics exceed declared bounds: "
+                    + ", ".join(exceeded)
+                )
+    if equivalence.get("within_bounds") is not True:
+        problems.append(f"{where}.equivalence.within_bounds must be true")
+    return problems
 
 
 def validate_bench_report(report: dict, suite: str | None = None) -> list[str]:
@@ -705,8 +1095,14 @@ def validate_bench_report(report: dict, suite: str | None = None) -> list[str]:
         speedup = record.get("speedup")
         if not isinstance(speedup, (int, float)) or speedup <= 0:
             problems.append(f"{where}.speedup must be a positive number")
-        if record.get("bit_identical") is not True:
-            problems.append(f"{where}.bit_identical must be true")
+        equivalence = record.get("equivalence")
+        if equivalence is not None:
+            problems.extend(_validate_equivalence(where, equivalence))
+        if record.get("bit_identical") is not True and equivalence is None:
+            problems.append(
+                f"{where}.bit_identical must be true (only records with a "
+                "valid error-bounded equivalence block may opt out)"
+            )
         metrics = record.get("metrics")
         if metrics is not None:
             if not isinstance(metrics, dict) or not metrics:

@@ -307,6 +307,9 @@ class SolverTask:
     blocksize: int = 128
     percdamp: float = 0.01
     actorder: bool = False
+    # Quantize against ``hessian_scale · hessian`` (KronQ per-head scale);
+    # 1.0 is the plain path.
+    hessian_scale: float = 1.0
 
 
 def _execute_task(
@@ -335,6 +338,7 @@ def _execute_task(
         journal=child,
         layer=task.key,
         cache=cache,
+        hessian_scale=task.hessian_scale,
     )
     return result, tuple(child.events)
 

@@ -141,6 +141,7 @@ def robust_quantize_layer(
     journal: Optional[RunJournal] = None,
     layer: str = "",
     cache: Optional["HessianFactorCache"] = None,
+    hessian_scale: float = 1.0,
 ) -> "SolverResult":
     """:func:`quantize_with_hessian` behind the numerical recovery ladder.
 
@@ -170,6 +171,7 @@ def robust_quantize_layer(
             actorder=actorder,
             mode=mode,
             cache=cache,
+            hessian_scale=hessian_scale,
         )
 
     last_error: Exception | None = None

@@ -34,6 +34,7 @@ EXPECTED_RULE_IDS = {
     "serve-unbounded-queue",
     "perf-raw-factorization",
     "perf-full-logsoftmax",
+    "perf-calibration-reforward",
 }
 
 
@@ -444,6 +445,80 @@ class TestPerfLogSoftmaxRule:
             "    return F.gather_nll(logits, targets)\n"
         )
         assert hits(src, "perf-full-logsoftmax") == []
+
+
+class TestPerfCalibrationReforward:
+    CAPTURE_IN_LOOP = (
+        '"""m."""\nfrom repro.core.hessian import capture_attention\n\n\n'
+        'def f(model, batches, i):\n    """D."""\n'
+        "    out = []\n"
+        "    for batch in batches:\n"
+        "        out.append(capture_attention(model, batch, i))\n"
+        "    return out\n"
+    )
+    FORWARD_IN_BLOCK_LOOP = (
+        '"""m."""\n\n\n'
+        'def f(model, x):\n    """D."""\n'
+        "    for _i in range(len(model.blocks)):\n"
+        "        x = model.forward_array(x)\n"
+        "    return x\n"
+    )
+
+    def test_capture_attention_in_any_loop_flagged(self):
+        assert hits(self.CAPTURE_IN_LOOP, "perf-calibration-reforward") == [
+            ("perf-calibration-reforward", 9)
+        ]
+
+    def test_model_forward_in_block_loop_flagged(self):
+        assert hits(
+            self.FORWARD_IN_BLOCK_LOOP, "perf-calibration-reforward"
+        ) == [("perf-calibration-reforward", 7)]
+
+    def test_batch_loop_forward_clean(self):
+        # Looping over *batches* is the normal evaluation shape; only a
+        # loop over blocks re-runs the quantized prefix per block.
+        src = (
+            '"""m."""\n\n\n'
+            'def f(model, batches):\n    """D."""\n'
+            "    outs = []\n"
+            "    for batch in batches:\n"
+            "        outs.append(model.forward_array(batch))\n"
+            "    return outs\n"
+        )
+        assert hits(src, "perf-calibration-reforward") == []
+
+    def test_streamed_captures_clean(self):
+        src = (
+            '"""m."""\n\n\n'
+            'def f(stream, model):\n    """D."""\n'
+            "    out = []\n"
+            "    for i in range(len(model.blocks)):\n"
+            "        out.append(stream.block_captures(i))\n"
+            "    return out\n"
+        )
+        assert hits(src, "perf-calibration-reforward") == []
+
+    def test_reference_module_exempt(self):
+        from repro.analysis.rules.perf import CALIBRATION_REFORWARD_ALLOWED
+
+        for module in CALIBRATION_REFORWARD_ALLOWED:
+            path = "src/" + module.replace(".", "/") + ".py"
+            assert (
+                hits(
+                    self.CAPTURE_IN_LOOP,
+                    "perf-calibration-reforward",
+                    path=path,
+                )
+                == []
+            )
+            assert (
+                hits(
+                    self.FORWARD_IN_BLOCK_LOOP,
+                    "perf-calibration-reforward",
+                    path=path,
+                )
+                == []
+            )
 
 
 class TestSuppression:

@@ -16,12 +16,24 @@ bench_compare = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(bench_compare)
 
 
-def record(name, speedup, bit_identical=True, params=None):
-    return {
+def record(name, speedup, bit_identical=True, params=None, equivalence=None):
+    built = {
         "name": name,
         "speedup": speedup,
         "bit_identical": bit_identical,
         "params": dict(params or {"repeats": 3}),
+    }
+    if equivalence is not None:
+        built["equivalence"] = equivalence
+    return built
+
+
+def error_bounded(within_bounds=True):
+    return {
+        "kind": "error-bounded",
+        "metrics": {"err": 0.1},
+        "bounds": {"err": 0.5},
+        "within_bounds": within_bounds,
     }
 
 
@@ -52,6 +64,62 @@ class TestCompareReports:
             report(record("solver", 9.0, bit_identical=False)),
         )
         assert problems == ["record 'solver' lost bit-identity"]
+
+    def test_error_bounded_record_gated_on_fresh_bounds_not_identity(self):
+        # calibration-kron never claims bit-identity; the gate is that a
+        # fresh run re-measures its error metrics within bounds.
+        baseline = report(
+            record(
+                "kron", 1.5, bit_identical=False, equivalence=error_bounded()
+            )
+        )
+        lines, problems = bench_compare.compare_reports(
+            baseline,
+            report(
+                record(
+                    "kron",
+                    1.45,
+                    bit_identical=False,
+                    equivalence=error_bounded(),
+                )
+            ),
+        )
+        assert problems == []
+        assert "kron: baseline=1.50x fresh=1.45x (-3.3%) ok" in lines
+
+    def test_error_bounded_record_outside_bounds_fails(self):
+        baseline = report(
+            record(
+                "kron", 1.5, bit_identical=False, equivalence=error_bounded()
+            )
+        )
+        _, problems = bench_compare.compare_reports(
+            baseline,
+            report(
+                record(
+                    "kron",
+                    9.0,
+                    bit_identical=False,
+                    equivalence=error_bounded(within_bounds=False),
+                )
+            ),
+        )
+        assert problems == [
+            "record 'kron' fell outside its declared error bounds"
+        ]
+
+    def test_error_bounded_baseline_requires_fresh_equivalence(self):
+        baseline = report(
+            record(
+                "kron", 1.5, bit_identical=False, equivalence=error_bounded()
+            )
+        )
+        _, problems = bench_compare.compare_reports(
+            baseline, report(record("kron", 1.5, bit_identical=False))
+        )
+        assert problems == [
+            "record 'kron' fell outside its declared error bounds"
+        ]
 
     def test_missing_record_fails_unless_allowed(self):
         baseline = report(record("solver", 3.0), record("eval", 2.0))

@@ -19,8 +19,10 @@ from repro.report.bench import (
     BENCH_SUITES,
     append_bench_history,
     best_of,
+    build_calibration_report,
     build_quantize_report,
     build_serve_report,
+    calibration_bench_records,
     eval_bench_records,
     format_bench_records,
     load_bench_history,
@@ -115,6 +117,38 @@ class TestCommittedArtifact:
             assert record["speedup"] >= 0.8, record
             assert record["bit_identical"] is True
 
+    def test_committed_calibration_records_meet_bar(self):
+        # Calibration fast-path acceptance: the streamed+batched capture
+        # path shows >=2x over the legacy per-block protocol and stays
+        # bit-identical; the kron engine's error-bounded equivalence is
+        # certified within its declared bounds.
+        report = json.loads(ARTIFACT.read_text())
+        by_name = {
+            record["name"]: record
+            for record in report["records"]
+            if record["kind"] == "calibration"
+        }
+        assert set(by_name) == {
+            "calibration-capture",
+            "calibration-kron",
+            "calibration-trace-hutchinson",
+        }, "missing calibration records; rerun `python tools/bench.py`"
+        capture = by_name["calibration-capture"]
+        assert capture["bit_identical"] is True, capture
+        assert capture["speedup"] >= 2.0, capture
+        kron = by_name["calibration-kron"]
+        equivalence = kron["equivalence"]
+        assert equivalence["kind"] == "error-bounded"
+        assert equivalence["within_bounds"] is True, equivalence
+        assert set(equivalence["metrics"]) == {
+            "reconstruction_rel_error",
+            "ppl_rel_delta",
+        }
+        assert set(equivalence["metrics"]) == set(equivalence["bounds"])
+        trace = by_name["calibration-trace-hutchinson"]
+        assert trace["equivalence"]["within_bounds"] is True, trace
+        assert trace["speedup"] > 1.0, trace
+
 
 class TestServeArtifact:
     def test_artifact_exists_and_validates(self):
@@ -198,6 +232,30 @@ class TestLiveSmoke:
             "packed-forward"
         ]
 
+    def test_calibration_live_smoke(self):
+        # Shrunk bench model, no speedup bar on the capture record (a
+        # 4-layer model barely amortises the O(L^2) term): the point is
+        # the bit-identity and error-bound flags re-measured live.
+        records = calibration_bench_records(
+            repeats=1, n_layers=4, n_segments=2
+        )
+        by_name = {r["name"]: r for r in records}
+        assert set(by_name) == {
+            "calibration-capture",
+            "calibration-kron",
+            "calibration-trace-hutchinson",
+        }
+        assert by_name["calibration-capture"]["bit_identical"] is True
+        for name in ("calibration-kron", "calibration-trace-hutchinson"):
+            record = by_name[name]
+            assert record["bit_identical"] is False
+            assert record["equivalence"]["within_bounds"] is True, record
+
+    def test_calibration_report_builds_and_validates(self):
+        report = build_calibration_report(repeats=1, quick=True)
+        assert validate_bench_report(report, suite="calibration") == []
+        assert report["suite"] in BENCH_SUITES
+
 
 class TestSchemaValidation:
     def test_quick_report_validates(self):
@@ -244,6 +302,63 @@ class TestSchemaValidation:
         assert any("metrics" in p for p in validate_bench_report(bad_metrics))
         wrong_suite = dict(good, suite="serve")
         assert validate_bench_report(wrong_suite, suite="quantize")
+
+    def test_validator_error_bounded_equivalence(self):
+        def bounded_report(**overrides):
+            equivalence = {
+                "kind": "error-bounded",
+                "metrics": {"err": 0.1},
+                "bounds": {"err": 0.5},
+                "within_bounds": True,
+            }
+            equivalence.update(overrides)
+            return {
+                "schema_version": BENCH_SCHEMA_VERSION,
+                "suite": "calibration",
+                "records": [
+                    {
+                        "name": "kron",
+                        "kind": "calibration",
+                        "params": {},
+                        "timings": {"a": 1.0, "b": 2.0},
+                        "speedup": 2.0,
+                        "bit_identical": False,
+                        "equivalence": equivalence,
+                    }
+                ],
+            }
+
+        # A valid equivalence block lets a record opt out of bit-identity.
+        assert validate_bench_report(bounded_report()) == []
+        # ... but each departure from the contract is a problem.
+        assert any(
+            "exceed" in p
+            for p in validate_bench_report(
+                bounded_report(metrics={"err": 0.9})
+            )
+        )
+        assert any(
+            "within_bounds" in p
+            for p in validate_bench_report(
+                bounded_report(within_bounds=False)
+            )
+        )
+        assert any(
+            "share keys" in p
+            for p in validate_bench_report(
+                bounded_report(bounds={"other": 0.5})
+            )
+        )
+        assert any(
+            "kind" in p
+            for p in validate_bench_report(bounded_report(kind="exact"))
+        )
+        assert any(
+            "metrics" in p
+            for p in validate_bench_report(
+                bounded_report(metrics={"err": float("nan")})
+            )
+        )
 
     def test_writer_refuses_invalid_report(self, tmp_path):
         with pytest.raises(ValueError, match="invalid bench report"):

@@ -6,8 +6,9 @@ Usage:  python tools/bench_compare.py [--suite quantize|serve]
 
 Re-runs the selected perf suite and fails (exit 1) when any baseline
 record regresses: a record missing from the fresh run, a record that lost
-``bit_identical``, or a speedup more than ``--tolerance`` (default 10%)
-below the committed number.  Extra fresh records are reported as
+``bit_identical`` (or, for error-bounded records, whose fresh
+``equivalence`` block fell outside its declared bounds), or a speedup
+more than ``--tolerance`` (default 10%) below the committed number.  Extra fresh records are reported as
 informational "new benchmark" lines — never failures — so new benches can
 land before their baseline is refreshed.  ``--quick`` compares
 only the records the quick suite produces (solver + shrunk eval) — the
@@ -29,6 +30,7 @@ ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.report.bench import (  # noqa: E402
+    build_calibration_report,
     build_quantize_report,
     build_serve_report,
 )
@@ -89,7 +91,26 @@ def compare_reports(
             # benches): speedups are not comparable.
             lines.append(f"{name}: skipped (params differ)")
             continue
-        if not other.get("bit_identical"):
+        baseline_equivalence = record.get("equivalence")
+        if (
+            isinstance(baseline_equivalence, dict)
+            and baseline_equivalence.get("kind") == "error-bounded"
+        ):
+            # Error-bounded records (e.g. calibration-kron) never claim
+            # bit-identity; the equivalence contract is that a *fresh*
+            # run re-measures its error metrics inside the declared
+            # bounds.
+            fresh_equivalence = other.get("equivalence")
+            if not (
+                isinstance(fresh_equivalence, dict)
+                and fresh_equivalence.get("within_bounds") is True
+            ):
+                problems.append(
+                    f"record '{name}' fell outside its declared error "
+                    "bounds"
+                )
+                continue
+        elif not other.get("bit_identical"):
             problems.append(f"record '{name}' lost bit-identity")
             continue
         base_speedup = record.get("speedup")
@@ -120,7 +141,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("quantize", "serve"),
+        choices=("quantize", "serve", "calibration"),
         default="quantize",
         help="bench suite to re-run (default: quantize)",
     )
@@ -171,6 +192,10 @@ def main(argv: list[str] | None = None) -> int:
     timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
     if args.suite == "serve":
         fresh = build_serve_report(
+            repeats=args.repeats, quick=args.quick, timestamp=timestamp
+        )
+    elif args.suite == "calibration":
+        fresh = build_calibration_report(
             repeats=args.repeats, quick=args.quick, timestamp=timestamp
         )
     else:
